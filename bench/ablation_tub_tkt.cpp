@@ -1,0 +1,126 @@
+// Reproduces the section 4.2 design-choice claims about the software
+// TSU (google-benchmark):
+//
+//  - the segmented try-lock TUB: "to avoid long idle periods the TUB
+//    is partitioned into segments... only one segment is locked by
+//    each kernel at any time point". Sweeping the segment count under
+//    a real multi-kernel run shows try-lock contention falling as
+//    segments are added.
+//
+//  - Thread Indexing (the TKT): "allows the TSU Emulator to directly
+//    access the correct SM, consequently eliminating any unnecessary
+//    search operation". Disabling it makes the emulator pay a
+//    sequential SM search per Ready Count update.
+#include <benchmark/benchmark.h>
+
+#include "core/builder.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace tflux;
+
+core::Program make_fanout_program(std::uint16_t kernels, int width) {
+  // source -> width workers -> sink: every worker completion publishes
+  // updates through the TUB, stressing it.
+  core::ProgramBuilder b("fanout");
+  const core::BlockId blk = b.add_block();
+  const core::ThreadId source = b.add_thread(blk, "source", {});
+  const core::ThreadId sink = b.add_thread(blk, "sink", {});
+  for (int i = 0; i < width; ++i) {
+    const core::ThreadId w = b.add_thread(blk, "w", {});
+    b.add_arc(source, w);
+    b.add_arc(w, sink);
+  }
+  return b.build(core::BuildOptions{.num_kernels = kernels});
+}
+
+void BM_TubSegments(benchmark::State& state) {
+  const auto segments = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint16_t kKernels = 4;
+  constexpr int kWidth = 4096;
+  std::uint64_t trylock_failures = 0;
+  std::uint64_t publishes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Program p = make_fanout_program(kKernels, kWidth);
+    state.ResumeTiming();
+    runtime::RuntimeOptions options;
+    options.num_kernels = kKernels;
+    options.tub_segments = segments;
+    const runtime::RuntimeStats st = runtime::Runtime(p, options).run();
+    trylock_failures += st.tub.trylock_failures;
+    publishes += st.tub.publishes;
+  }
+  state.SetItemsProcessed(state.iterations() * kWidth);
+  state.counters["trylock_fail_per_1k_publishes"] = benchmark::Counter(
+      publishes ? 1000.0 * static_cast<double>(trylock_failures) /
+                      static_cast<double>(publishes)
+                : 0.0);
+}
+BENCHMARK(BM_TubSegments)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadIndexing(benchmark::State& state) {
+  const bool tkt = state.range(0) != 0;
+  constexpr std::uint16_t kKernels = 4;
+  constexpr int kWidth = 4096;
+  std::uint64_t search_steps = 0;
+  std::uint64_t updates = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Program p = make_fanout_program(kKernels, kWidth);
+    state.ResumeTiming();
+    runtime::RuntimeOptions options;
+    options.num_kernels = kKernels;
+    options.thread_indexing = tkt;
+    const runtime::RuntimeStats st = runtime::Runtime(p, options).run();
+    search_steps += st.emulator.sm_search_steps;
+    updates += st.emulator.updates_processed;
+  }
+  state.SetItemsProcessed(state.iterations() * kWidth);
+  state.counters["sm_slots_scanned_per_update"] = benchmark::Counter(
+      updates ? static_cast<double>(search_steps) /
+                    static_cast<double>(updates)
+              : 0.0);
+}
+BENCHMARK(BM_ThreadIndexing)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"tkt"})
+    ->Unit(benchmark::kMillisecond);
+
+// Software flavor of the section 4.1 extension: multiple TSU Emulator
+// threads. On a many-core host the extra emulators parallelize Ready
+// Count processing; on this 1-core machine the benchmark documents the
+// overhead/benefit tradeoff rather than a speedup.
+void BM_EmulatorGroups(benchmark::State& state) {
+  const auto groups = static_cast<std::uint16_t>(state.range(0));
+  constexpr std::uint16_t kKernels = 4;
+  constexpr int kWidth = 4096;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Program p = make_fanout_program(kKernels, kWidth);
+    state.ResumeTiming();
+    runtime::RuntimeOptions options;
+    options.num_kernels = kKernels;
+    options.tsu_groups = groups;
+    runtime::Runtime(p, options).run();
+  }
+  state.SetItemsProcessed(state.iterations() * kWidth);
+}
+BENCHMARK(BM_EmulatorGroups)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"groups"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

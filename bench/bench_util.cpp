@@ -1,0 +1,102 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "machine/machine.h"
+
+namespace tflux::bench {
+
+SpeedupCell measure(apps::AppKind app, apps::SizeClass size,
+                    apps::Platform platform,
+                    const machine::MachineConfig& config,
+                    const apps::DdmParams& params) {
+  apps::DdmParams p = params;
+  p.num_kernels = config.num_kernels;
+  apps::AppRun run = apps::build_app(app, size, platform, p);
+
+  machine::Machine m(config, run.program, /*invoke_bodies=*/false);
+  const machine::MachineStats st = m.run();
+  const core::Cycles baseline =
+      machine::simulate_sequential(config, run.sequential_plan);
+
+  SpeedupCell cell;
+  cell.app = app;
+  cell.size = size;
+  cell.kernels = config.num_kernels;
+  cell.parallel_cycles = st.total_cycles;
+  cell.baseline_cycles = baseline;
+  cell.speedup = st.total_cycles == 0
+                     ? 0.0
+                     : static_cast<double>(baseline) /
+                           static_cast<double>(st.total_cycles);
+  return cell;
+}
+
+SpeedupCell measure_best(apps::AppKind app, apps::SizeClass size,
+                         apps::Platform platform,
+                         const machine::MachineConfig& config,
+                         const apps::DdmParams& params,
+                         const std::vector<std::uint32_t>& unrolls,
+                         std::uint32_t* best_unroll) {
+  SpeedupCell best;
+  std::uint32_t winner = 0;
+  for (std::uint32_t u : unrolls) {
+    apps::DdmParams p = params;
+    p.unroll = u;
+    const SpeedupCell cell = measure(app, size, platform, config, p);
+    if (winner == 0 || cell.parallel_cycles < best.parallel_cycles) {
+      best = cell;
+      winner = u;
+    }
+  }
+  if (best_unroll) *best_unroll = winner;
+  return best;
+}
+
+void print_figure(const std::string& title,
+                  const std::vector<apps::AppKind>& app_order,
+                  const std::vector<std::uint16_t>& kernel_counts,
+                  const std::vector<SpeedupCell>& cells) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-8s %-8s | %8s %8s %8s\n", "app", "kernels", "Small",
+              "Medium", "Large");
+  std::printf("-----------------+----------------------------\n");
+  auto find = [&cells](apps::AppKind app, apps::SizeClass size,
+                       std::uint16_t kernels) -> const SpeedupCell* {
+    for (const SpeedupCell& c : cells) {
+      if (c.app == app && c.size == size && c.kernels == kernels) return &c;
+    }
+    return nullptr;
+  };
+  for (apps::AppKind app : app_order) {
+    for (std::uint16_t k : kernel_counts) {
+      std::printf("%-8s %-8u |", apps::to_string(app), k);
+      for (apps::SizeClass size :
+           {apps::SizeClass::kSmall, apps::SizeClass::kMedium,
+            apps::SizeClass::kLarge}) {
+        if (const SpeedupCell* c = find(app, size, k)) {
+          std::printf(" %8.2f", c->speedup);
+        } else {
+          std::printf(" %8s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("-----------------+----------------------------\n");
+  }
+}
+
+double average_large_speedup(const std::vector<SpeedupCell>& cells,
+                             std::uint16_t kernels) {
+  double sum = 0.0;
+  int n = 0;
+  for (const SpeedupCell& c : cells) {
+    if (c.kernels == kernels && c.size == apps::SizeClass::kLarge) {
+      sum += c.speedup;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace tflux::bench

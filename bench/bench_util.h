@@ -1,0 +1,54 @@
+// Shared harness for the figure-reproduction benches: runs an app on a
+// simulated machine configuration, computes speedup against the
+// sequential baseline (paper methodology, section 5), and prints
+// figure-style tables with the paper's reference values alongside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "machine/config.h"
+
+namespace tflux::bench {
+
+struct SpeedupCell {
+  apps::AppKind app;
+  apps::SizeClass size;
+  std::uint16_t kernels;
+  double speedup = 0.0;
+  core::Cycles parallel_cycles = 0;
+  core::Cycles baseline_cycles = 0;
+};
+
+/// Build `app` at `size` for `platform` sizes, simulate it on `config`
+/// (timing plane only - bodies are not invoked), and return the
+/// speedup over the sequential baseline on the same machine.
+SpeedupCell measure(apps::AppKind app, apps::SizeClass size,
+                    apps::Platform platform, const machine::MachineConfig&
+                    config, const apps::DdmParams& params);
+
+/// Paper methodology (section 5): evaluate the parallel program at
+/// several unroll factors and report the best ("we used the variation
+/// that gave the minimum execution time"). Returns the winning cell;
+/// `best_unroll` (if non-null) receives the winning factor.
+SpeedupCell measure_best(apps::AppKind app, apps::SizeClass size,
+                         apps::Platform platform,
+                         const machine::MachineConfig& config,
+                         const apps::DdmParams& params,
+                         const std::vector<std::uint32_t>& unrolls,
+                         std::uint32_t* best_unroll = nullptr);
+
+/// Print one figure: rows = kernel counts, columns = Small/Medium/Large
+/// per app, in the paper's layout.
+void print_figure(const std::string& title,
+                  const std::vector<apps::AppKind>& app_order,
+                  const std::vector<std::uint16_t>& kernel_counts,
+                  const std::vector<SpeedupCell>& cells);
+
+/// Geometric-free average of the Large-size speedups at `kernels`.
+double average_large_speedup(const std::vector<SpeedupCell>& cells,
+                             std::uint16_t kernels);
+
+}  // namespace tflux::bench

@@ -1,0 +1,34 @@
+// Computing pi with the trapezoidal rule under the DDM model -
+// the paper's TRAPEZ kernel expressed with DDM pragma directives.
+// Thread 1 is a parallel loop (one DThread per 64 iterations after
+// unrolling); thread 2 is the reduction and runs only when every
+// loop DThread has completed (depends clause).
+#include <cmath>
+#include <cstdio>
+
+#pragma ddm startprogram kernels 4 name pi_trapez
+
+static const long NUM_INTERVALS = 1 << 20;
+static double partials[1 << 20];
+static double pi_result = 0.0;
+#pragma ddm shared partials, pi_result
+
+#pragma ddm for thread 1 unroll 64
+for (long i = 1; i < NUM_INTERVALS; i++) {
+  const double h = 1.0 / (double)NUM_INTERVALS;
+  const double x = i * h;
+  partials[i] = 4.0 / (1.0 + x * x) * h;
+}
+#pragma ddm endfor
+
+#pragma ddm thread 2 depends(1)
+{
+  double sum = (4.0 / (1.0 + 0.0) + 4.0 / (1.0 + 1.0)) * 0.5
+               / (double)NUM_INTERVALS;
+  for (long c = 1; c < NUM_INTERVALS; ++c) sum += partials[c];
+  pi_result = sum;
+  std::printf("pi ~= %.9f\n", pi_result);
+}
+#pragma ddm endthread
+
+#pragma ddm endprogram

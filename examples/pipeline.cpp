@@ -1,0 +1,165 @@
+// Software pipeline: a signal-processing chain (generate -> FIR filter
+// -> downsample -> RMS) over a stream of frames, expressed as a DDM
+// program. Each stage of each frame is one DThread; arcs encode both
+// the stage order within a frame and the stateful stage's
+// frame-to-frame dependency (the FIR filter carries overlap state, so
+// filter(frame i) also depends on filter(frame i-1)).
+//
+// The TSU overlaps the stages of different frames automatically - the
+// classic pipelined-parallelism picture - while the native runtime
+// executes everything with real std::threads and the result is checked
+// against a sequential run of the same chain.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/builder.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+constexpr int kFrames = 64;
+constexpr int kFrameLen = 2048;
+constexpr int kTaps = 16;
+constexpr int kDecimate = 4;
+
+struct Stream {
+  std::vector<std::vector<double>> raw;        // per frame
+  std::vector<std::vector<double>> filtered;   // per frame
+  std::vector<std::vector<double>> decimated;  // per frame
+  std::vector<double> rms;                     // per frame
+  std::vector<double> fir_state;               // kTaps-1 carry samples
+};
+
+void generate(Stream& s, int frame) {
+  auto& out = s.raw[frame];
+  out.resize(kFrameLen);
+  for (int i = 0; i < kFrameLen; ++i) {
+    const double t = frame * kFrameLen + i;
+    out[i] = std::sin(0.01 * t) + 0.25 * std::sin(0.31 * t + 1.0);
+  }
+}
+
+void fir(Stream& s, int frame) {
+  auto& out = s.filtered[frame];
+  out.resize(kFrameLen);
+  auto sample = [&](int i) -> double {
+    // i indexes into this frame; negative reaches into carried state.
+    if (i >= 0) return s.raw[frame][i];
+    return s.fir_state[kTaps - 1 + i];
+  };
+  for (int i = 0; i < kFrameLen; ++i) {
+    double acc = 0;
+    for (int t = 0; t < kTaps; ++t) acc += sample(i - t) / kTaps;
+    out[i] = acc;
+  }
+  // Carry the tail into the next frame (the stateful dependency).
+  for (int t = 0; t < kTaps - 1; ++t) {
+    s.fir_state[t] = s.raw[frame][kFrameLen - (kTaps - 1) + t];
+  }
+}
+
+void decimate(Stream& s, int frame) {
+  auto& out = s.decimated[frame];
+  out.resize(kFrameLen / kDecimate);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = s.filtered[frame][i * kDecimate];
+  }
+}
+
+void rms(Stream& s, int frame) {
+  double acc = 0;
+  for (double v : s.decimated[frame]) acc += v * v;
+  s.rms[frame] = std::sqrt(acc / static_cast<double>(
+                                     s.decimated[frame].size()));
+}
+
+std::vector<double> run_sequential() {
+  Stream s;
+  s.raw.resize(kFrames);
+  s.filtered.resize(kFrames);
+  s.decimated.resize(kFrames);
+  s.rms.resize(kFrames);
+  s.fir_state.assign(kTaps - 1, 0.0);
+  for (int f = 0; f < kFrames; ++f) {
+    generate(s, f);
+    fir(s, f);
+    decimate(s, f);
+    rms(s, f);
+  }
+  return s.rms;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tflux;
+
+  auto stream = std::make_shared<Stream>();
+  stream->raw.resize(kFrames);
+  stream->filtered.resize(kFrames);
+  stream->decimated.resize(kFrames);
+  stream->rms.resize(kFrames);
+  stream->fir_state.assign(kTaps - 1, 0.0);
+
+  core::ProgramBuilder builder("pipeline");
+  const core::BlockId block = builder.add_block();
+  core::ThreadId prev_fir = core::kInvalidThread;
+  for (int f = 0; f < kFrames; ++f) {
+    // Footprints (compute-cycle weights) make the graph analysis and
+    // machine simulation meaningful: FIR dominates (kTaps MACs/sample).
+    auto weighted = [](core::Cycles c) {
+      core::Footprint fp;
+      fp.compute(c);
+      return fp;
+    };
+    const core::ThreadId gen = builder.add_thread(
+        block, "gen" + std::to_string(f),
+        [stream, f](const core::ExecContext&) { generate(*stream, f); },
+        weighted(kFrameLen * 20));
+    const core::ThreadId fil = builder.add_thread(
+        block, "fir" + std::to_string(f),
+        [stream, f](const core::ExecContext&) { fir(*stream, f); },
+        weighted(static_cast<core::Cycles>(kFrameLen) * kTaps * 4));
+    const core::ThreadId dec = builder.add_thread(
+        block, "dec" + std::to_string(f),
+        [stream, f](const core::ExecContext&) { decimate(*stream, f); },
+        weighted(kFrameLen / kDecimate * 4));
+    const core::ThreadId r = builder.add_thread(
+        block, "rms" + std::to_string(f),
+        [stream, f](const core::ExecContext&) { rms(*stream, f); },
+        weighted(kFrameLen / kDecimate * 6));
+    builder.add_arc(gen, fil);
+    builder.add_arc(fil, dec);
+    builder.add_arc(dec, r);
+    if (prev_fir != core::kInvalidThread) {
+      builder.add_arc(prev_fir, fil);  // FIR state carries frame order
+    }
+    prev_fir = fil;
+  }
+
+  core::Program program =
+      builder.build(core::BuildOptions{.num_kernels = 4});
+  const core::GraphAnalysis a = core::analyze(program);
+  std::printf("pipeline: %d frames x 4 stages = %u DThreads, critical "
+              "path %u, avg parallelism %.2f\n",
+              kFrames, program.num_app_threads(), a.critical_path_threads,
+              a.average_parallelism);
+
+  runtime::Runtime rt(program, runtime::RuntimeOptions{.num_kernels = 4});
+  rt.run();
+
+  const std::vector<double> reference = run_sequential();
+  for (int f = 0; f < kFrames; ++f) {
+    if (std::abs(reference[f] - stream->rms[f]) > 1e-12) {
+      std::printf("MISMATCH at frame %d\n", f);
+      return 1;
+    }
+  }
+  std::printf("all %d frame RMS values match the sequential chain "
+              "(last = %.6f)\n",
+              kFrames, stream->rms[kFrames - 1]);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Wavefront: a dependency-rich DDM scenario beyond parallel loops.
+//
+// A 2D dynamic-programming table (here: Needleman-Wunsch-style edit
+// distance between two synthetic strings) is computed by tile: tile
+// (i,j) depends on tiles (i-1,j) and (i,j-1). DDM shines here - the
+// TSU releases each tile the instant its two producers finish, so the
+// anti-diagonal wavefront emerges automatically from Ready Counts; no
+// barrier or phase structure is needed.
+//
+// The example runs the same graph on 1 and 6 kernels of the simulated
+// TFluxHard machine and prints the cycle counts - the wavefront's
+// pipelined parallelism shows up as real speedup.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+
+namespace {
+
+constexpr int kLen = 768;   // string length
+constexpr int kTile = 128;  // tile edge
+constexpr int kTiles = kLen / kTile;
+
+struct Table {
+  std::string a, b;
+  std::vector<int> dp;  // (kLen+1)^2
+
+  int& at(int i, int j) { return dp[static_cast<std::size_t>(i) * (kLen + 1) + j]; }
+};
+
+void compute_tile(Table& t, int ti, int tj) {
+  const int i0 = ti * kTile + 1, i1 = i0 + kTile;
+  const int j0 = tj * kTile + 1, j1 = j0 + kTile;
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      const int sub = t.at(i - 1, j - 1) + (t.a[i - 1] == t.b[j - 1] ? 0 : 1);
+      t.at(i, j) = std::min({sub, t.at(i - 1, j) + 1, t.at(i, j - 1) + 1});
+    }
+  }
+}
+
+tflux::core::Program build_program(std::shared_ptr<Table> table,
+                                   std::uint16_t kernels) {
+  using namespace tflux;
+  core::ProgramBuilder builder("wavefront");
+  const core::BlockId block = builder.add_block();
+
+  // Init thread: strings + DP borders.
+  const core::ThreadId init = builder.add_thread(
+      block, "init", [table](const core::ExecContext&) {
+        table->a.resize(kLen);
+        table->b.resize(kLen);
+        for (int i = 0; i < kLen; ++i) {
+          table->a[i] = static_cast<char>('a' + (i * 7 + 3) % 4);
+          table->b[i] = static_cast<char>('a' + (i * 5 + 1) % 4);
+        }
+        table->dp.assign(static_cast<std::size_t>(kLen + 1) * (kLen + 1), 0);
+        for (int i = 0; i <= kLen; ++i) {
+          table->at(i, 0) = i;
+          table->at(0, i) = i;
+        }
+      });
+
+  std::vector<std::vector<core::ThreadId>> tile(
+      kTiles, std::vector<core::ThreadId>(kTiles));
+  for (int ti = 0; ti < kTiles; ++ti) {
+    for (int tj = 0; tj < kTiles; ++tj) {
+      core::Footprint fp;
+      fp.compute(static_cast<core::Cycles>(kTile) * kTile * 12);
+      fp.read(0x1000000 + (static_cast<core::SimAddr>(ti) * kTiles + tj) *
+                               kTile * kTile * 4,
+              kTile * kTile * 4);
+      tile[ti][tj] = builder.add_thread(
+          block,
+          "tile." + std::to_string(ti) + "." + std::to_string(tj),
+          [table, ti, tj](const core::ExecContext&) {
+            compute_tile(*table, ti, tj);
+          },
+          std::move(fp));
+      if (ti == 0 && tj == 0) {
+        builder.add_arc(init, tile[0][0]);
+      }
+      if (ti > 0) builder.add_arc(tile[ti - 1][tj], tile[ti][tj]);
+      if (tj > 0) builder.add_arc(tile[ti][tj - 1], tile[ti][tj]);
+    }
+  }
+  // Every border tile also needs init's data.
+  for (int k = 1; k < kTiles; ++k) {
+    builder.add_arc(init, tile[0][k]);
+    builder.add_arc(init, tile[k][0]);
+  }
+  return builder.build(core::BuildOptions{.tsu_capacity = 0,
+                                          .num_kernels = kernels});
+}
+
+}  // namespace
+
+int main() {
+  using namespace tflux;
+
+  std::printf("wavefront edit-distance, %dx%d tiles of %dx%d cells\n",
+              kTiles, kTiles, kTile, kTile);
+
+  core::Cycles cycles1 = 0;
+  int distance = -1;
+  for (std::uint16_t kernels : {std::uint16_t{1}, std::uint16_t{6}}) {
+    auto table = std::make_shared<Table>();
+    core::Program program = build_program(table, kernels);
+    machine::Machine m(machine::bagle_sparc(kernels), program);
+    const machine::MachineStats st = m.run();
+    if (kernels == 1) cycles1 = st.total_cycles;
+    distance = table->at(kLen, kLen);
+    std::printf("  %u kernels: %10llu cycles  (speedup %.2fx)\n", kernels,
+                static_cast<unsigned long long>(st.total_cycles),
+                static_cast<double>(cycles1) /
+                    static_cast<double>(st.total_cycles));
+  }
+  std::printf("edit distance = %d\n", distance);
+  // The diagonal dependence caps speedup below the kernel count but
+  // the wavefront still pipelines nicely.
+  return distance >= 0 ? 0 : 1;
+}

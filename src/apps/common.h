@@ -1,0 +1,100 @@
+// Shared vocabulary of the TFlux benchmark suite (paper Table 1):
+// problem-size classes, per-platform size selection, DDM construction
+// parameters, and the uniform AppRun handle the benches drive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/builder.h"
+#include "core/program.h"
+
+namespace tflux::apps {
+
+/// Table 1 problem-size classes.
+enum class SizeClass : std::uint8_t { kSmall, kMedium, kLarge };
+
+/// Which platform's size column applies (Table 1 separates Simulated,
+/// Native and Cell sizes for MMULT and QSORT).
+enum class Platform : std::uint8_t { kSimulated, kNative, kCell };
+
+const char* to_string(SizeClass s);
+const char* to_string(Platform p);
+
+/// DDM construction parameters.
+struct DdmParams {
+  std::uint16_t num_kernels = 4;
+  /// Loop unroll factor: iterations per loop DThread (paper section 5:
+  /// every benchmark evaluated with unroll 1..64).
+  std::uint32_t unroll = 16;
+  /// TSU capacity (DThreads per DDM Block incl. inlet/outlet);
+  /// programs larger than this are split into chained blocks.
+  std::uint32_t tsu_capacity = 512;
+};
+
+/// A built benchmark instance: the DDM program plus a validator that
+/// compares the program's produced results against the sequential
+/// reference. The shared_ptr keeps the working buffers (captured by
+/// the DThread bodies) alive.
+struct AppRun {
+  std::string name;
+  core::Program program;
+  std::shared_ptr<void> buffers;
+  std::function<bool()> validate;
+  /// Timing plan of the *original sequential program* (the paper's
+  /// speedup baseline); fed to machine::simulate_sequential.
+  std::vector<core::Footprint> sequential_plan;
+};
+
+/// Doles threads out to DDM Blocks of at most tsu_capacity-2 threads,
+/// creating blocks on demand. Phases call fresh_block() to force a
+/// barrier (the inlet/outlet chain) between loop nests.
+class BlockAllocator {
+ public:
+  BlockAllocator(core::ProgramBuilder& builder, std::uint32_t tsu_capacity)
+      : builder_(builder),
+        capacity_(tsu_capacity == 0
+                      ? 0
+                      : (tsu_capacity > 3 ? tsu_capacity - 2 : 1)) {}
+
+  /// Block for the next thread; opens a new block when the current one
+  /// is full (or none exists yet).
+  core::BlockId next() {
+    if (current_ == core::kInvalidBlock ||
+        (capacity_ != 0 && used_ >= capacity_)) {
+      current_ = builder_.add_block();
+      used_ = 0;
+    }
+    ++used_;
+    return current_;
+  }
+
+  /// Start a new block unconditionally (phase boundary / barrier).
+  /// Threads are still added via next().
+  core::BlockId fresh() {
+    current_ = builder_.add_block();
+    used_ = 0;
+    return current_;
+  }
+
+  /// The block the most recent thread landed in.
+  core::BlockId current() const { return current_; }
+
+ private:
+  core::ProgramBuilder& builder_;
+  std::uint32_t capacity_;
+  core::BlockId current_ = core::kInvalidBlock;
+  std::uint32_t used_ = 0;
+};
+
+// Synthetic address-space bases for timing footprints. Each array of
+// each benchmark lives in its own region; regions are far apart so
+// they never share cache lines.
+inline constexpr core::SimAddr kArenaA = 0x1000'0000;
+inline constexpr core::SimAddr kArenaB = 0x2000'0000;
+inline constexpr core::SimAddr kArenaC = 0x3000'0000;
+inline constexpr core::SimAddr kArenaD = 0x4000'0000;
+
+}  // namespace tflux::apps

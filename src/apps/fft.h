@@ -1,0 +1,40 @@
+// FFT (paper Table 1, from NAS): FFT on a matrix of complex numbers.
+// DDM structure follows section 6.1.2: the benchmark "operates on the
+// data in phases, which can only be parallelized independently" - a
+// row-FFT phase and a column-FFT phase, each row/column-parallel, with
+// "an implicit synchronization overhead between the phases" (here: the
+// DDM Block barrier). The strided column phase is also the cache-
+// hostile half, which is what keeps FFT below the other benchmarks.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+struct FftInput {
+  /// Matrix dimension n (power of two; Table 1: 32 / 64 / 128).
+  std::uint32_t n = 32;
+};
+
+FftInput fft_input(SizeClass size);
+
+/// In-place iterative radix-2 FFT over `n` complex values with stride
+/// `stride` (stride 1 = a row, stride n = a column). Exposed for unit
+/// testing against a direct DFT.
+void fft_radix2(std::complex<double>* data, std::uint32_t n,
+                std::uint32_t stride);
+
+/// Sequential reference: the 2D FFT (rows then columns) of the
+/// deterministic input matrix.
+std::vector<std::complex<double>> fft_sequential(const FftInput& input);
+
+AppRun build_fft(const FftInput& input, const DdmParams& params);
+
+/// Timing-model constant: cycles per butterfly.
+inline constexpr core::Cycles kFftCyclesPerButterfly = 16;
+
+}  // namespace tflux::apps

@@ -1,0 +1,147 @@
+#include "apps/mmult.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/unroll.h"
+#include "sim/rng.h"
+
+namespace tflux::apps {
+namespace {
+
+struct MmultBuffers {
+  std::uint32_t n = 0;
+  std::vector<double> a, b, c;
+};
+
+void fill_matrices(MmultBuffers& buf, std::uint32_t n) {
+  buf.n = n;
+  const std::size_t elems = static_cast<std::size_t>(n) * n;
+  buf.a.resize(elems);
+  buf.b.resize(elems);
+  buf.c.assign(elems, 0.0);
+  sim::SplitMix64 rng(0xABCDEF12u + n);
+  for (std::size_t i = 0; i < elems; ++i) {
+    buf.a[i] = rng.next_double() * 2.0 - 1.0;
+    buf.b[i] = rng.next_double() * 2.0 - 1.0;
+  }
+}
+
+void multiply_rows(const MmultBuffers& buf, std::vector<double>& out,
+                   std::uint32_t row_begin, std::uint32_t row_end) {
+  const std::uint32_t n = buf.n;
+  for (std::uint32_t i = row_begin; i < row_end; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        sum += buf.a[static_cast<std::size_t>(i) * n + k] *
+               buf.b[static_cast<std::size_t>(k) * n + j];
+      }
+      out[static_cast<std::size_t>(i) * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+MmultInput mmult_input(SizeClass size, Platform platform) {
+  // Table 1: MMULT uses larger sizes for native/Cell runs "to avoid
+  // too short times for the native execution".
+  const bool small_sizes = platform == Platform::kSimulated;
+  switch (size) {
+    case SizeClass::kSmall:
+      return MmultInput{small_sizes ? 64u : 256u};
+    case SizeClass::kMedium:
+      return MmultInput{small_sizes ? 128u : 512u};
+    case SizeClass::kLarge:
+      return MmultInput{small_sizes ? 256u : 1024u};
+  }
+  return MmultInput{64};
+}
+
+std::vector<double> mmult_sequential(const MmultInput& input) {
+  MmultBuffers buf;
+  fill_matrices(buf, input.n);
+  std::vector<double> out(buf.c.size(), 0.0);
+  multiply_rows(buf, out, 0, input.n);
+  return out;
+}
+
+AppRun build_mmult(const MmultInput& input, const DdmParams& params) {
+  auto buffers = std::make_shared<MmultBuffers>();
+  fill_matrices(*buffers, input.n);
+  const std::uint32_t n = input.n;
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(n) * 8;
+
+  core::ProgramBuilder builder("mmult");
+  BlockAllocator blocks(builder, params.tsu_capacity);
+
+  // Footprint granularity: B is streamed once per kRowsPerBScan rows
+  // (inner-loop blocking keeps that many rows' worth of reuse in
+  // registers/L1). The sequential plan below uses the *same*
+  // granularity, so DDM and baseline see symmetric cache behavior:
+  // B re-scans hit L2 when B fits (N <= ~512 for a 2-4MB L2) and
+  // stream from memory/bus when it does not - the paper's MMULT
+  // coherency/bandwidth limitation.
+  auto chunk_footprint = [&](std::int64_t row_begin, std::int64_t row_end) {
+    core::Footprint fp;
+    const auto rows = static_cast<std::uint64_t>(row_end - row_begin);
+    fp.compute(rows * n * n * kMmultCyclesPerMac);
+    for (std::int64_t r = row_begin; r < row_end;
+         r += kMmultRowsPerBScan) {
+      const std::int64_t r_hi =
+          std::min<std::int64_t>(row_end, r + kMmultRowsPerBScan);
+      const auto scan_rows = static_cast<std::uint32_t>(r_hi - r);
+      fp.read(kArenaA + static_cast<core::SimAddr>(r) * row_bytes,
+              static_cast<std::uint32_t>(scan_rows * row_bytes),
+              /*stream=*/true);
+      fp.read(kArenaB, static_cast<std::uint32_t>(n * row_bytes),
+              /*stream=*/true);
+      fp.write(kArenaC + static_cast<core::SimAddr>(r) * row_bytes,
+               static_cast<std::uint32_t>(scan_rows * row_bytes),
+               /*stream=*/true);
+    }
+    return fp;
+  };
+
+  const auto chunks = core::chunk_iterations(0, n, params.unroll);
+  for (std::size_t idx = 0; idx < chunks.size(); ++idx) {
+    const core::LoopChunk c = chunks[idx];
+    builder.add_thread(
+        blocks.next(), "rows" + std::to_string(idx),
+        [buffers, c](const core::ExecContext&) {
+          multiply_rows(*buffers, buffers->c,
+                        static_cast<std::uint32_t>(c.begin),
+                        static_cast<std::uint32_t>(c.end));
+        },
+        chunk_footprint(c.begin, c.end));
+  }
+
+  core::BuildOptions options;
+  options.num_kernels = params.num_kernels;
+  options.tsu_capacity = params.tsu_capacity;
+
+  AppRun run;
+  run.name = "MMULT";
+  run.program = builder.build(options);
+  run.buffers = buffers;
+  // Sequential baseline: the same row loop, one footprint per B-scan
+  // granule, no TFlux overheads.
+  for (std::uint32_t r = 0; r < n; r += kMmultRowsPerBScan) {
+    run.sequential_plan.push_back(chunk_footprint(
+        r, std::min<std::int64_t>(n, r + kMmultRowsPerBScan)));
+  }
+  run.validate = [buffers, input] {
+    const std::vector<double> ref = mmult_sequential(input);
+    if (ref.size() != buffers->c.size()) return false;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (std::abs(ref[i] - buffers->c[i]) > 1e-9) return false;
+    }
+    return true;
+  };
+  return run;
+}
+
+}  // namespace tflux::apps

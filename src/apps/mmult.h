@@ -1,0 +1,38 @@
+// MMULT (paper Table 1): dense double-precision matrix multiply
+// C = A x B. DDM structure: the row loop is unrolled, one DThread per
+// chunk of `unroll` consecutive rows; no inter-DThread dependencies
+// ("embarrassingly parallel but suffers from a large number of
+// coherency misses", section 6.1.2) - every core streams the shared B
+// matrix over the bus, which is what limits the speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+struct MmultInput {
+  /// Matrix dimension N (Table 1: simulated 64/128/256, native & Cell
+  /// 256/512/1024).
+  std::uint32_t n = 64;
+};
+
+MmultInput mmult_input(SizeClass size, Platform platform);
+
+/// Sequential reference: returns C = A x B for the deterministic
+/// pseudo-random A, B the DDM build also uses.
+std::vector<double> mmult_sequential(const MmultInput& input);
+
+AppRun build_mmult(const MmultInput& input, const DdmParams& params);
+
+/// Timing-model constant: cycles per multiply-accumulate.
+inline constexpr core::Cycles kMmultCyclesPerMac = 12;
+
+/// Footprint granularity: B is streamed once per this many C rows
+/// (register/L1 blocking); identical for DDM threads and the
+/// sequential baseline so the cache model treats both symmetrically.
+inline constexpr std::uint32_t kMmultRowsPerBScan = 8;
+
+}  // namespace tflux::apps

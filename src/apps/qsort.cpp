@@ -1,0 +1,231 @@
+#include "apps/qsort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/unroll.h"
+#include "sim/rng.h"
+
+namespace tflux::apps {
+namespace {
+
+struct QsortBuffers {
+  std::vector<std::uint32_t> data;    // initialized + chunk-sorted here
+  std::vector<std::uint32_t> level1;  // two-level merge: intermediate
+  std::vector<std::uint32_t> out;     // final merge target
+};
+
+/// In-place quicksort (median-of-three), the MiBench-style kernel.
+void quicksort(std::uint32_t* a, std::int64_t lo, std::int64_t hi) {
+  while (lo < hi) {
+    if (hi - lo < 16) {
+      for (std::int64_t i = lo + 1; i <= hi; ++i) {
+        const std::uint32_t v = a[i];
+        std::int64_t j = i - 1;
+        while (j >= lo && a[j] > v) {
+          a[j + 1] = a[j];
+          --j;
+        }
+        a[j + 1] = v;
+      }
+      return;
+    }
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (a[mid] < a[lo]) std::swap(a[mid], a[lo]);
+    if (a[hi] < a[lo]) std::swap(a[hi], a[lo]);
+    if (a[hi] < a[mid]) std::swap(a[hi], a[mid]);
+    const std::uint32_t pivot = a[mid];
+    std::int64_t i = lo, j = hi;
+    while (i <= j) {
+      while (a[i] < pivot) ++i;
+      while (a[j] > pivot) --j;
+      if (i <= j) std::swap(a[i++], a[j--]);
+    }
+    // Recurse on the smaller side, loop on the larger (bounded stack).
+    if (j - lo < hi - i) {
+      quicksort(a, lo, j);
+      lo = i;
+    } else {
+      quicksort(a, i, hi);
+      hi = j;
+    }
+  }
+}
+
+/// k-way merge of consecutive sorted runs from `src` into `dst`.
+void merge_runs(const std::uint32_t* src,
+                const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                    runs,
+                std::uint32_t* dst) {
+  std::vector<std::uint32_t> cursor;
+  cursor.reserve(runs.size());
+  for (const auto& r : runs) cursor.push_back(r.first);
+  std::size_t out = 0;
+  for (;;) {
+    std::int64_t best = -1;
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      if (cursor[k] >= runs[k].second) continue;
+      if (best < 0 || src[cursor[k]] < src[cursor[best]]) {
+        best = static_cast<std::int64_t>(k);
+      }
+    }
+    if (best < 0) break;
+    dst[out++] = src[cursor[best]++];
+  }
+}
+
+core::Cycles sort_cycles(std::uint64_t n) {
+  if (n < 2) return 8;
+  const double logn = std::log2(static_cast<double>(n));
+  return static_cast<core::Cycles>(static_cast<double>(n) * logn *
+                                   kQsortCyclesPerCompare);
+}
+
+}  // namespace
+
+QsortInput qsort_input(SizeClass size, Platform platform) {
+  // Table 1: S,N use 10K/20K/50K; the Cell column is 3K/6K/12K because
+  // larger arrays do not fit in the SPE Local Stores (section 6.3).
+  const bool cell = platform == Platform::kCell;
+  switch (size) {
+    case SizeClass::kSmall:
+      return QsortInput{cell ? 3000u : 10000u};
+    case SizeClass::kMedium:
+      return QsortInput{cell ? 6000u : 20000u};
+    case SizeClass::kLarge:
+      return QsortInput{cell ? 12000u : 50000u};
+  }
+  return QsortInput{10000};
+}
+
+std::vector<std::uint32_t> qsort_sequential(const QsortInput& input) {
+  std::vector<std::uint32_t> data(input.n);
+  sim::SplitMix64 rng(0x5EEDu + input.n);
+  for (auto& v : data) v = static_cast<std::uint32_t>(rng.next());
+  quicksort(data.data(), 0, static_cast<std::int64_t>(data.size()) - 1);
+  return data;
+}
+
+AppRun build_qsort(const QsortInput& input, const DdmParams& params) {
+  auto buffers = std::make_shared<QsortBuffers>();
+  const std::uint32_t n = input.n;
+  buffers->data.assign(n, 0);
+  buffers->level1.assign(n, 0);
+  buffers->out.assign(n, 0);
+
+  core::ProgramBuilder builder("qsort");
+  BlockAllocator blocks(builder, params.tsu_capacity);
+
+  // --- Phase 1: one DThread initializes the whole array -------------
+  core::Footprint init_fp;
+  init_fp.compute(static_cast<core::Cycles>(n) * 4);
+  init_fp.write(kArenaA, n * 4u, /*stream=*/true);
+  const core::ThreadId init = builder.add_thread(
+      blocks.next(), "init",
+      [buffers, n](const core::ExecContext&) {
+        sim::SplitMix64 rng(0x5EEDu + n);
+        for (auto& v : buffers->data) {
+          v = static_cast<std::uint32_t>(rng.next());
+        }
+      },
+      std::move(init_fp));
+
+  // --- Phase 2: P sorter DThreads, one part each ---------------------
+  const std::uint32_t parts = std::max<std::uint32_t>(params.num_kernels, 1);
+  const auto chunks =
+      core::chunk_iterations(0, n, (n + parts - 1) / parts);
+  std::vector<core::ThreadId> sorters;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> part_runs;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const core::LoopChunk c = chunks[i];
+    part_runs.emplace_back(static_cast<std::uint32_t>(c.begin),
+                           static_cast<std::uint32_t>(c.end));
+    core::Footprint fp;
+    fp.compute(sort_cycles(static_cast<std::uint64_t>(c.size())));
+    fp.read(kArenaA + static_cast<core::SimAddr>(c.begin) * 4,
+            static_cast<std::uint32_t>(c.size() * 4));
+    fp.write(kArenaA + static_cast<core::SimAddr>(c.begin) * 4,
+             static_cast<std::uint32_t>(c.size() * 4));
+    const core::ThreadId sorter = builder.add_thread(
+        blocks.next(), "sort" + std::to_string(i),
+        [buffers, c](const core::ExecContext&) {
+          quicksort(buffers->data.data(), c.begin, c.end - 1);
+        },
+        std::move(fp));
+    builder.add_arc(init, sorter);
+    sorters.push_back(sorter);
+  }
+
+  // --- Phase 3: two-level merge tree ---------------------------------
+  // Level 1: groups of ~sqrt(P) runs merged in parallel; level 2: one
+  // final merge of the group results (the serial bottleneck).
+  const std::uint32_t group =
+      std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::ceil(
+                                     std::sqrt(double(chunks.size())))));
+  std::vector<core::ThreadId> level1_merges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> level1_runs;
+  for (std::size_t g = 0; g < chunks.size(); g += group) {
+    const std::size_t hi = std::min(chunks.size(), g + group);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs(
+        part_runs.begin() + g, part_runs.begin() + hi);
+    const std::uint32_t lo_elem = runs.front().first;
+    const std::uint32_t hi_elem = runs.back().second;
+    const std::uint32_t elems = hi_elem - lo_elem;
+    core::Footprint fp;
+    fp.compute(static_cast<core::Cycles>(elems) * kMergeCyclesPerElement);
+    fp.read(kArenaA + static_cast<core::SimAddr>(lo_elem) * 4, elems * 4);
+    fp.write(kArenaB + static_cast<core::SimAddr>(lo_elem) * 4, elems * 4);
+    const core::ThreadId merge = builder.add_thread(
+        blocks.next(), "merge1." + std::to_string(g / group),
+        [buffers, runs, lo_elem](const core::ExecContext&) {
+          merge_runs(buffers->data.data(), runs,
+                     buffers->level1.data() + lo_elem);
+        },
+        std::move(fp));
+    for (std::size_t k = g; k < hi; ++k) builder.add_arc(sorters[k], merge);
+    level1_merges.push_back(merge);
+    level1_runs.emplace_back(lo_elem, hi_elem);
+  }
+
+  core::Footprint final_fp;
+  final_fp.compute(static_cast<core::Cycles>(n) * kMergeCyclesPerElement);
+  final_fp.read(kArenaB, n * 4u);
+  final_fp.write(kArenaC, n * 4u);
+  const core::ThreadId final_merge = builder.add_thread(
+      blocks.next(), "merge2",
+      [buffers, level1_runs](const core::ExecContext&) {
+        merge_runs(buffers->level1.data(), level1_runs,
+                   buffers->out.data());
+      },
+      std::move(final_fp));
+  for (core::ThreadId m : level1_merges) builder.add_arc(m, final_merge);
+
+  core::BuildOptions options;
+  options.num_kernels = params.num_kernels;
+  options.tsu_capacity = params.tsu_capacity;
+
+  AppRun run;
+  run.name = "QSORT";
+  run.program = builder.build(options);
+  run.buffers = buffers;
+  run.validate = [buffers, input] {
+    return buffers->out == qsort_sequential(input);
+  };
+  // Sequential baseline: initialize + quicksort the whole array.
+  {
+    core::Footprint seq_init;
+    seq_init.compute(static_cast<core::Cycles>(n) * 4);
+    seq_init.write(kArenaA, n * 4u);
+    run.sequential_plan.push_back(std::move(seq_init));
+    core::Footprint seq_sort;
+    seq_sort.compute(sort_cycles(n));
+    seq_sort.read(kArenaA, n * 4u);
+    seq_sort.write(kArenaA, n * 4u);
+    run.sequential_plan.push_back(std::move(seq_sort));
+  }
+  return run;
+}
+
+}  // namespace tflux::apps

@@ -1,0 +1,33 @@
+// QSORT (paper Table 1, from MiBench): parallel array sort. DDM
+// structure follows section 6.1.2: one initialization DThread fills
+// the array (the data-transfer tradeoff the paper discusses for
+// TFluxSoft), each sorter DThread quicksorts one part, and the sorted
+// sub-arrays are merged "with a two-level tree" - the final merge is
+// the serial bottleneck that caps QSORT's speedup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+struct QsortInput {
+  /// Element count (Table 1: 10K/20K/50K; Cell column 3K/6K/12K - the
+  /// larger sizes "would not fit in each SPE Local Store").
+  std::uint32_t n = 10000;
+};
+
+QsortInput qsort_input(SizeClass size, Platform platform);
+
+/// Sequential reference: the sorted copy of the deterministic input.
+std::vector<std::uint32_t> qsort_sequential(const QsortInput& input);
+
+AppRun build_qsort(const QsortInput& input, const DdmParams& params);
+
+/// Timing-model constants.
+inline constexpr core::Cycles kQsortCyclesPerCompare = 24;  // sort: n*log2(n)
+inline constexpr core::Cycles kMergeCyclesPerElement = 20;
+
+}  // namespace tflux::apps

@@ -1,0 +1,96 @@
+#include "apps/suite.h"
+
+#include "apps/fft.h"
+#include "apps/mmult.h"
+#include "apps/qsort.h"
+#include "apps/susan.h"
+#include "apps/trapez.h"
+#include "core/error.h"
+
+namespace tflux::apps {
+
+const char* to_string(AppKind kind) {
+  switch (kind) {
+    case AppKind::kTrapez:
+      return "TRAPEZ";
+    case AppKind::kMmult:
+      return "MMULT";
+    case AppKind::kQsort:
+      return "QSORT";
+    case AppKind::kSusan:
+      return "SUSAN";
+    case AppKind::kFft:
+      return "FFT";
+  }
+  return "?";
+}
+
+const char* to_string(SizeClass s) {
+  switch (s) {
+    case SizeClass::kSmall:
+      return "Small";
+    case SizeClass::kMedium:
+      return "Medium";
+    case SizeClass::kLarge:
+      return "Large";
+  }
+  return "?";
+}
+
+const char* to_string(Platform p) {
+  switch (p) {
+    case Platform::kSimulated:
+      return "Simulated";
+    case Platform::kNative:
+      return "Native";
+    case Platform::kCell:
+      return "Cell";
+  }
+  return "?";
+}
+
+std::vector<AppKind> all_apps() {
+  return {AppKind::kTrapez, AppKind::kMmult, AppKind::kQsort,
+          AppKind::kSusan, AppKind::kFft};
+}
+
+std::vector<AppKind> cell_apps() {
+  return {AppKind::kTrapez, AppKind::kMmult, AppKind::kQsort,
+          AppKind::kSusan};
+}
+
+AppRun build_app(AppKind kind, SizeClass size, Platform platform,
+                 const DdmParams& params) {
+  switch (kind) {
+    case AppKind::kTrapez:
+      return build_trapez(trapez_input(size), params);
+    case AppKind::kMmult:
+      return build_mmult(mmult_input(size, platform), params);
+    case AppKind::kQsort:
+      return build_qsort(qsort_input(size, platform), params);
+    case AppKind::kSusan:
+      return build_susan(susan_input(size), params);
+    case AppKind::kFft:
+      return build_fft(fft_input(size), params);
+  }
+  throw core::TFluxError("build_app: unknown AppKind");
+}
+
+std::vector<WorkloadRow> table1_catalog() {
+  return {
+      {AppKind::kTrapez, "kernel", "Trapezoidal rule for integration",
+       "2^19 / 2^21 / 2^23", "2^19 / 2^21 / 2^23", "2^19 / 2^21 / 2^23"},
+      {AppKind::kMmult, "kernel", "Matrix multiply",
+       "64x64 / 128x128 / 256x256", "256x256 / 512x512 / 1024x1024",
+       "256x256 / 512x512 / 1024x1024"},
+      {AppKind::kQsort, "MiBench", "Array sorting", "10K / 20K / 50K",
+       "10K / 20K / 50K", "3K / 6K / 12K"},
+      {AppKind::kSusan, "MiBench", "Image recognition / smoothing",
+       "256x288 / 512x576 / 1024x576", "256x288 / 512x576 / 1024x576",
+       "256x288 / 512x576 / 1024x576"},
+      {AppKind::kFft, "NAS", "FFT on a matrix of complex numbers",
+       "32 / 64 / 128", "32 / 64 / 128", "(not run on Cell)"},
+  };
+}
+
+}  // namespace tflux::apps

@@ -1,0 +1,39 @@
+// Uniform driver interface over the five Table-1 benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+enum class AppKind : std::uint8_t { kTrapez, kMmult, kQsort, kSusan, kFft };
+
+const char* to_string(AppKind kind);
+
+/// All five benchmarks (Figure 5/6 order).
+std::vector<AppKind> all_apps();
+
+/// The four benchmarks evaluated on TFluxCell (Figure 7 omits FFT).
+std::vector<AppKind> cell_apps();
+
+/// Build the DDM program for `kind` with the platform's Table-1
+/// problem size for `size`.
+AppRun build_app(AppKind kind, SizeClass size, Platform platform,
+                 const DdmParams& params);
+
+/// One row of the Table-1 catalog (for bench/table1_workloads).
+struct WorkloadRow {
+  AppKind app;
+  std::string source;
+  std::string description;
+  std::string sizes_simulated;
+  std::string sizes_native;
+  std::string sizes_cell;
+};
+
+std::vector<WorkloadRow> table1_catalog();
+
+}  // namespace tflux::apps

@@ -1,0 +1,47 @@
+// SUSAN (paper Table 1, from MiBench): image recognition/smoothing.
+// DDM structure follows section 6.1.2: "three distinct phases which
+// have been parallelized independently - the initialization phase, the
+// processing phase and the one during which the results are written to
+// a large output array". Each phase is a row-parallel loop in its own
+// DDM Block (the inlet/outlet chain is the inter-phase barrier).
+//
+// The processing phase is SUSAN-style brightness-similarity weighted
+// smoothing: each output pixel is the similarity-weighted average of a
+// 7x7 neighborhood, with weights exp(-((I(p)-I(c))/t)^2) from a
+// precomputed lookup table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+struct SusanInput {
+  std::uint32_t width = 256;
+  std::uint32_t height = 288;
+
+  std::uint64_t pixels() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+};
+
+SusanInput susan_input(SizeClass size);
+
+/// Sequential reference: the smoothed image for the deterministic
+/// synthetic input.
+std::vector<std::uint8_t> susan_sequential(const SusanInput& input);
+
+/// The deterministic synthetic input image itself (gradient + speckle
+/// noise) - exposed for testing and inspection.
+std::vector<std::uint8_t> susan_input_image(const SusanInput& input);
+
+AppRun build_susan(const SusanInput& input, const DdmParams& params);
+
+/// Timing-model constants (cycles per pixel).
+inline constexpr core::Cycles kSusanInitCyclesPerPixel = 6;
+inline constexpr core::Cycles kSusanProcCyclesPerPixel = 300;
+inline constexpr core::Cycles kSusanOutCyclesPerPixel = 6;
+
+}  // namespace tflux::apps

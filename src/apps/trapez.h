@@ -1,0 +1,33 @@
+// TRAPEZ (paper Table 1): trapezoidal-rule integration of
+// f(x) = 4/(1+x^2) over [0,1] - the classic pi kernel from Numerical
+// Recipes. DDM structure: the interval loop is split into unroll-sized
+// chunk DThreads, all feeding one reduction DThread ("no DThread
+// dependencies other than a reduction at the end", section 6.1.2).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace tflux::apps {
+
+struct TrapezInput {
+  /// log2 of the interval count (Table 1: 19 / 21 / 23).
+  std::uint32_t log2_intervals = 19;
+
+  std::uint64_t intervals() const { return 1ull << log2_intervals; }
+};
+
+TrapezInput trapez_input(SizeClass size);
+
+/// Sequential reference: returns the integral (pi).
+double trapez_sequential(const TrapezInput& input);
+
+/// Build the DDM program. After execution (any platform), validate()
+/// checks the parallel integral against the sequential one.
+AppRun build_trapez(const TrapezInput& input, const DdmParams& params);
+
+/// Timing-model constant: cycles to evaluate f and accumulate once.
+inline constexpr core::Cycles kTrapezCyclesPerEval = 30;
+
+}  // namespace tflux::apps

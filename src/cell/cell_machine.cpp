@@ -1,0 +1,269 @@
+#include "cell/cell_machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::cell {
+
+CellMachine::CellMachine(const CellConfig& config,
+                         const core::Program& program, bool invoke_bodies)
+    : config_(config), program_(program), invoke_bodies_(invoke_bodies) {
+  if (config_.num_spes == 0) {
+    throw core::TFluxError("CellMachine: num_spes must be >= 1");
+  }
+  if (config_.ls_reserved_bytes >= config_.local_store_bytes) {
+    throw core::TFluxError("CellMachine: LS reserve exceeds LS size");
+  }
+  spes_.reserve(config_.num_spes);
+  for (std::uint16_t s = 0; s < config_.num_spes; ++s) {
+    spes_.emplace_back(config_.command_buffer_bytes);
+  }
+}
+
+std::uint64_t CellMachine::tsu_ops_for(const core::DThread& t) const {
+  switch (t.kind) {
+    case core::ThreadKind::kInlet:
+      return program_.block(t.block).app_threads.size() + 1;
+    case core::ThreadKind::kOutlet:
+      return 1;
+    case core::ThreadKind::kApplication:
+      return t.consumers.size() + 1;
+  }
+  return 1;
+}
+
+Cycles CellMachine::dma(Cycles ready_at, std::uint64_t bytes) {
+  ++stats_.dma_transfers;
+  stats_.dma_bytes += bytes;
+  const Cycles occupancy =
+      bytes / std::max<std::uint32_t>(1, config_.dma_bytes_per_cycle);
+  const Cycles start =
+      mem_bw_.acquire(ready_at + config_.dma_setup_cycles, occupancy);
+  return start + occupancy;
+}
+
+void CellMachine::spe_post(std::uint16_t s, const SpeCommand& cmd) {
+  Spe& spe = spes_[s];
+  if (!spe.commands.push(cmd)) {
+    // Buffer full (the push counted the stall): the SPE waits for the
+    // PPE to drain and retries after one poll period.
+    eq_.in(config_.ppe_poll_interval,
+           [this, s, cmd] { spe_post(s, cmd); });
+    return;
+  }
+  // A completion implicitly asks for the next DThread: the SPE is idle
+  // from the moment the command is in flight.
+  if (cmd.kind != SpeCommand::Kind::kFetch) {
+    stats_.spe_busy[s] += eq_.now() - spe.busy_since;
+    if (trace_) {
+      trace_->add_span(s, spe.busy_since, eq_.now(),
+                       program_.thread(cmd.id).label);
+    }
+  }
+  spe.idle = true;
+}
+
+void CellMachine::spe_execute(std::uint16_t s, core::ThreadId tid) {
+  Spe& spe = spes_[s];
+  spe.idle = false;
+  spe.busy_since = eq_.now();
+  const core::DThread& t = program_.thread(tid);
+  const core::Footprint& fp = t.footprint;
+
+  const std::uint64_t need = ls_requirement(fp, config_);
+  stats_.ls_peak_bytes = std::max(stats_.ls_peak_bytes, need);
+  if (need > config_.ls_data_bytes()) {
+    throw core::TFluxError(
+        "TFluxCell: DThread '" + t.label + "' needs " +
+        std::to_string(need) + " LS bytes but only " +
+        std::to_string(config_.ls_data_bytes()) +
+        " are available - restage the algorithm or shrink the problem "
+        "(paper section 6.3)");
+  }
+
+  // Import resident data (DMA from the SharedVariableBuffer), and
+  // reserve bandwidth for the streaming ranges, which move during
+  // execution (double buffering). The export phase runs in its own
+  // event at completion time so its bandwidth reservation does not
+  // block other SPEs' DMA in the meantime.
+  Cycles t_now = eq_.now();
+  for (const core::MemRange& r : fp.ranges) {
+    if (!r.stream && !r.write) t_now = dma(t_now, r.bytes);
+  }
+  Cycles stream_end = t_now;
+  for (const core::MemRange& r : fp.ranges) {
+    if (r.stream) stream_end = dma(stream_end, r.bytes);
+  }
+  const Cycles t_exec = std::max(t_now + fp.compute_cycles, stream_end);
+
+  eq_.at(t_exec, [this, s, tid] {
+    const core::DThread& th = program_.thread(tid);
+    // Export resident results (now-anchored DMA).
+    Cycles t_done = eq_.now();
+    for (const core::MemRange& r : th.footprint.ranges) {
+      if (!r.stream && r.write) t_done = dma(t_done, r.bytes);
+    }
+    eq_.at(t_done, [this, s, tid] {
+      const core::DThread& th2 = program_.thread(tid);
+      if (invoke_bodies_ && th2.body) {
+        th2.body(core::ExecContext{static_cast<core::KernelId>(s), tid});
+      }
+      if (th2.is_application()) ++stats_.threads_executed;
+      SpeCommand cmd;
+      cmd.id = tid;
+      switch (th2.kind) {
+        case core::ThreadKind::kInlet:
+          cmd.kind = SpeCommand::Kind::kLoadBlock;
+          break;
+        case core::ThreadKind::kOutlet:
+          cmd.kind = SpeCommand::Kind::kOutletDone;
+          break;
+        case core::ThreadKind::kApplication:
+          cmd.kind = SpeCommand::Kind::kComplete;
+          break;
+      }
+      eq_.in(config_.command_post_cycles,
+             [this, s, cmd] { spe_post(s, cmd); });
+    });
+  });
+}
+
+void CellMachine::ppe_poll() {
+  ++stats_.poll_sweeps;
+  Cycles ppe_time = std::max(eq_.now(), ppe_free_);
+  const Cycles ppe_start = ppe_time;
+  const std::uint64_t cmds_before = stats_.commands_processed;
+
+  // Drain every CommandBuffer (the emulator's loop, section 4.3).
+  for (std::uint16_t s = 0; s < config_.num_spes && !tsu_->done(); ++s) {
+    while (auto cmd = spes_[s].commands.pop()) {
+      ++stats_.commands_processed;
+      switch (cmd->kind) {
+        case SpeCommand::Kind::kFetch:
+          ppe_time += config_.ppe_op_cycles;
+          break;  // the SPE is already marked idle; dispatch below
+        case SpeCommand::Kind::kComplete:
+        case SpeCommand::Kind::kLoadBlock:
+        case SpeCommand::Kind::kOutletDone: {
+          const auto tid = static_cast<core::ThreadId>(cmd->id);
+          ppe_time += tsu_ops_for(program_.thread(tid)) *
+                      config_.ppe_op_cycles;
+          tsu_->complete(tid);
+          break;
+        }
+      }
+      if (tsu_->done()) break;
+    }
+  }
+
+  if (tsu_->done()) {
+    end_time_ = ppe_time;
+    ppe_free_ = ppe_time;
+    stats_.ppe_busy_cycles += ppe_time - ppe_start;
+    return;  // no more polls; queue drains
+  }
+
+  // Dispatch ready DThreads to idle SPEs through their mailboxes.
+  for (std::uint16_t s = 0; s < config_.num_spes; ++s) {
+    if (!spes_[s].idle) continue;
+    if (tsu_->ready_pool_size() == 0) break;
+    auto tid = tsu_->fetch(static_cast<core::KernelId>(s));
+    if (!tid) break;
+    ppe_time += config_.ppe_op_cycles;
+    ++stats_.mailbox_messages;
+    spes_[s].idle = false;  // committed; message in flight
+    const Cycles start = ppe_time + config_.mailbox_latency;
+    eq_.at(start, [this, s, tid = *tid] { spe_execute(s, tid); });
+  }
+
+  ppe_free_ = ppe_time;
+  stats_.ppe_busy_cycles += ppe_time - ppe_start;
+  if (trace_ && stats_.commands_processed != cmds_before) {
+    trace_->add_span(config_.num_spes, ppe_start, ppe_time, "ppe-sweep");
+  }
+
+  // Deadlock guard: nothing executing, nothing posted, nothing ready,
+  // program unfinished => the graph is malformed. Without this the
+  // poll loop would spin forever.
+  bool any_activity = tsu_->ready_pool_size() > 0;
+  for (const Spe& spe : spes_) {
+    if (!spe.idle || !spe.commands.empty()) any_activity = true;
+  }
+  if (!any_activity && eq_.pending() == 0) {
+    throw core::TFluxError(
+        "CellMachine: deadlock - all SPEs idle with nothing ready");
+  }
+
+  const Cycles next =
+      std::max(eq_.now() + config_.ppe_poll_interval, ppe_time);
+  eq_.at(next, [this] { ppe_poll(); });
+}
+
+CellStats CellMachine::run() {
+  if (ran_) throw core::TFluxError("CellMachine::run may only be called once");
+  ran_ = true;
+
+  tsu_ = std::make_unique<core::TsuState>(program_, config_.num_spes,
+                                          core::PolicyKind::kLocality);
+  stats_.spe_busy.assign(config_.num_spes, 0);
+  if (trace_) {
+    for (std::uint16_t s2 = 0; s2 < config_.num_spes; ++s2) {
+      trace_->set_lane_name(s2, "SPE " + std::to_string(s2));
+    }
+    trace_->set_lane_name(config_.num_spes, "PPE (TSU Emulator)");
+  }
+  tsu_->start();
+
+  // Every SPE boots and asks for work.
+  for (std::uint16_t s = 0; s < config_.num_spes; ++s) {
+    const SpeCommand fetch{SpeCommand::Kind::kFetch, 0};
+    eq_.at(config_.command_post_cycles,
+           [this, s, fetch] { spe_post(s, fetch); });
+  }
+  eq_.at(config_.ppe_poll_interval, [this] { ppe_poll(); });
+
+  eq_.run();
+
+  if (!tsu_->done()) {
+    throw core::TFluxError(
+        "CellMachine: simulation drained before the last Outlet");
+  }
+  stats_.total_cycles = end_time_;
+  stats_.tsu = tsu_->counters();
+  for (const Spe& spe : spes_) {
+    stats_.command_buffer_stalls += spe.commands.stalls();
+  }
+  return stats_;
+}
+
+Cycles simulate_sequential_cell(const CellConfig& config,
+                                const std::vector<core::Footprint>& plan) {
+  sim::SerialResource bw;
+  Cycles now = 0;
+  std::uint64_t dummy_transfers = 0;
+  auto dma = [&](Cycles ready_at, std::uint64_t bytes) {
+    ++dummy_transfers;
+    const Cycles occ =
+        bytes / std::max<std::uint32_t>(1, config.dma_bytes_per_cycle);
+    const Cycles start = bw.acquire(ready_at + config.dma_setup_cycles, occ);
+    return start + occ;
+  };
+  for (const core::Footprint& fp : plan) {
+    for (const core::MemRange& r : fp.ranges) {
+      if (!r.stream && !r.write) now = dma(now, r.bytes);
+    }
+    Cycles stream_end = now;
+    for (const core::MemRange& r : fp.ranges) {
+      if (r.stream) stream_end = dma(stream_end, r.bytes);
+    }
+    now = std::max(now + fp.compute_cycles, stream_end);
+    for (const core::MemRange& r : fp.ranges) {
+      if (!r.stream && r.write) now = dma(now, r.bytes);
+    }
+  }
+  return now;
+}
+
+}  // namespace tflux::cell

@@ -1,0 +1,105 @@
+// The simulated TFluxCell platform (paper section 4.3): DThreads run
+// on SPEs; the TSU Emulator runs on the PPE, looping over the per-TSU
+// CommandBuffers; ready-DThread identifiers travel to the SPEs through
+// their mailboxes; DThread data moves between main memory (the
+// SharedVariableBuffer) and each SPE's Local Store by DMA.
+//
+// Timing model:
+//  - SPE -> TSU: writing a command costs command_post_cycles; the PPE
+//    only notices it on its next polling sweep (ppe_poll_interval) and
+//    spends ppe_op_cycles per TSU operation, serially.
+//  - TSU -> SPE: mailbox_latency.
+//  - Data: resident ranges DMA in before execution and out after it;
+//    streaming ranges overlap with compute (double buffering) but
+//    still occupy the shared memory bandwidth (dma_bytes_per_cycle).
+//  - A DThread whose resident working set exceeds the LS data region
+//    cannot run (TFluxError) - the paper's QSORT size limitation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cell/command_buffer.h"
+#include "cell/config.h"
+#include "cell/local_store.h"
+#include "core/program.h"
+#include "core/tsu_state.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+#include "sim/trace.h"
+
+namespace tflux::cell {
+
+struct CellStats {
+  Cycles total_cycles = 0;
+  std::vector<Cycles> spe_busy;
+  std::uint64_t threads_executed = 0;  ///< application DThreads
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t mailbox_messages = 0;
+  std::uint64_t commands_processed = 0;
+  std::uint64_t command_buffer_stalls = 0;
+  std::uint64_t poll_sweeps = 0;
+  Cycles ppe_busy_cycles = 0;
+  std::uint64_t ls_peak_bytes = 0;  ///< largest resident working set
+  core::TsuCounters tsu;
+
+  double spe_utilization() const {
+    if (spe_busy.empty() || total_cycles == 0) return 0.0;
+    Cycles busy = 0;
+    for (Cycles c : spe_busy) busy += c;
+    return static_cast<double>(busy) /
+           (static_cast<double>(total_cycles) * spe_busy.size());
+  }
+};
+
+class CellMachine {
+ public:
+  CellMachine(const CellConfig& config, const core::Program& program,
+              bool invoke_bodies = true);
+
+  /// Simulate to completion. Call once. Throws TFluxError if any
+  /// DThread's resident footprint exceeds the Local Store.
+  CellStats run();
+
+  /// Record an execution trace (DThread spans per SPE lane, PPE TSU
+  /// sweeps on the lane above). The Trace must outlive run().
+  void attach_trace(sim::Trace* trace) { trace_ = trace; }
+
+ private:
+  struct Spe {
+    bool idle = true;                  ///< waiting for a mailbox message
+    Cycles busy_since = 0;
+    CommandBuffer commands;
+    explicit Spe(std::uint32_t cb_bytes) : commands(cb_bytes) {}
+  };
+
+  void spe_execute(std::uint16_t s, core::ThreadId tid);
+  void spe_post(std::uint16_t s, const SpeCommand& cmd);
+  void ppe_poll();
+  std::uint64_t tsu_ops_for(const core::DThread& t) const;
+  Cycles dma(Cycles ready_at, std::uint64_t bytes);
+
+  CellConfig config_;
+  const core::Program& program_;
+  bool invoke_bodies_;
+
+  sim::EventQueue eq_;
+  std::unique_ptr<core::TsuState> tsu_;
+  std::vector<Spe> spes_;
+  sim::SerialResource mem_bw_;  ///< shared main-memory DMA bandwidth
+  Cycles ppe_free_ = 0;
+  Cycles end_time_ = 0;
+  CellStats stats_;
+  sim::Trace* trace_ = nullptr;
+  bool ran_ = false;
+};
+
+/// Sequential baseline on this platform: the original sequential
+/// program staged through one SPE (same DMA/compute-overlap model, no
+/// TFlux overheads).
+Cycles simulate_sequential_cell(const CellConfig& config,
+                                const std::vector<core::Footprint>& plan);
+
+}  // namespace tflux::cell

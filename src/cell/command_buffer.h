@@ -1,0 +1,77 @@
+// The per-TSU CommandBuffer (paper section 4.3): a 128-byte region in
+// main memory through which a Kernel running on an SPE sends commands
+// to its TSU on the PPE. The TSU Emulator "is in a loop checking the
+// CommandBuffers of all Kernels".
+//
+// Commands are fixed 8-byte records, so a 128-byte buffer holds 16
+// in-flight commands; a full buffer stalls the SPE until the PPE
+// drains (counted in stats - it bounds how far an SPE can run ahead).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "cell/config.h"
+#include "core/types.h"
+
+namespace tflux::cell {
+
+struct SpeCommand {
+  enum class Kind : std::uint8_t {
+    kComplete,    ///< DThread `id` finished (post-processing request)
+    kLoadBlock,   ///< Inlet finished: load block `id`
+    kOutletDone,  ///< Outlet finished: unload block `id`, chain on
+    kFetch,       ///< SPE is idle and requests a DThread
+  };
+  Kind kind = Kind::kFetch;
+  std::uint32_t id = 0;
+
+  friend bool operator==(const SpeCommand&, const SpeCommand&) = default;
+};
+
+/// Fixed-capacity ring holding the encoded commands of one SPE's TSU.
+class CommandBuffer {
+ public:
+  explicit CommandBuffer(std::uint32_t buffer_bytes)
+      : capacity_(buffer_bytes / kCommandBytes) {}
+
+  static constexpr std::uint32_t kCommandBytes = 8;
+
+  bool full() const { return count_ == capacity_; }
+  bool empty() const { return count_ == 0; }
+  std::uint32_t size() const { return count_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// SPE side. Returns false (and counts a stall) when full.
+  bool push(const SpeCommand& cmd) {
+    if (full()) {
+      ++stalls_;
+      return false;
+    }
+    ring_[(head_ + count_) % kMaxSlots] = cmd;
+    ++count_;
+    return true;
+  }
+
+  /// PPE side.
+  std::optional<SpeCommand> pop() {
+    if (empty()) return std::nullopt;
+    const SpeCommand cmd = ring_[head_];
+    head_ = (head_ + 1) % kMaxSlots;
+    --count_;
+    return cmd;
+  }
+
+  std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  static constexpr std::uint32_t kMaxSlots = 64;  // >= 128B/8B
+  std::array<SpeCommand, kMaxSlots> ring_{};
+  std::uint32_t capacity_;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace tflux::cell

@@ -1,0 +1,11 @@
+#include "cell/config.h"
+
+namespace tflux::cell {
+
+CellConfig ps3_cell(std::uint16_t num_spes) {
+  CellConfig c;
+  c.num_spes = num_spes;
+  return c;
+}
+
+}  // namespace tflux::cell

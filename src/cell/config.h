@@ -1,0 +1,58 @@
+// Configuration of the simulated Cell/BE platform (TFluxCell,
+// paper section 4.3 and 6.3): a PS3-like chip - one PPE running the
+// TSU Emulator, 6 programmer-visible SPEs each with a 256KB Local
+// Store, DMA to main (XDR) memory, SPE mailboxes for TSU->Kernel
+// notification, and a 128-byte CommandBuffer per TSU for Kernel->TSU
+// commands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace tflux::cell {
+
+using core::Cycles;
+
+struct CellConfig {
+  std::string name = "ps3-cellbe-tfluxcell";
+  /// SPEs available to the programmer (PS3: 6 of the 8; one fused off
+  /// for yield, one reserved for the hypervisor - section 6.3).
+  std::uint16_t num_spes = 6;
+
+  /// SPE Local Store capacity and the slice taken by code + stack +
+  /// runtime buffers; the remainder holds DThread data.
+  std::uint32_t local_store_bytes = 256 * 1024;
+  std::uint32_t ls_reserved_bytes = 64 * 1024;
+  /// Streaming double-buffer budget (2 x tile) carved from the data
+  /// region when a DThread has streaming ranges.
+  std::uint32_t ls_stream_tile_bytes = 16 * 1024;
+
+  /// DMA: per-transfer setup cost and main-memory bandwidth shared by
+  /// all SPEs (XDR: 25.6 GB/s at 3.2 GHz = 8 bytes/cycle).
+  Cycles dma_setup_cycles = 400;
+  std::uint32_t dma_bytes_per_cycle = 8;
+
+  /// SPE mailbox delivery latency (TSU Emulator -> SPE).
+  Cycles mailbox_latency = 200;
+  /// Writing a command into the CommandBuffer (SPE -> main memory).
+  Cycles command_post_cycles = 150;
+  /// PPE TSU Emulator: polling sweep period over the CommandBuffers,
+  /// and processing cost per command/operation.
+  Cycles ppe_poll_interval = 500;
+  Cycles ppe_op_cycles = 600;
+
+  /// The per-TSU CommandBuffer is 128 bytes (paper section 4.3).
+  std::uint32_t command_buffer_bytes = 128;
+
+  /// Usable Local Store bytes for DThread data.
+  std::uint32_t ls_data_bytes() const {
+    return local_store_bytes - ls_reserved_bytes;
+  }
+};
+
+/// The PS3 machine of section 6.3.
+CellConfig ps3_cell(std::uint16_t num_spes = 6);
+
+}  // namespace tflux::cell

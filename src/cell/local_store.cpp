@@ -1,0 +1,55 @@
+#include "cell/local_store.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tflux::cell {
+
+std::uint64_t ls_requirement(const core::Footprint& footprint,
+                             const CellConfig& config) {
+  // Union length of the resident ranges.
+  std::vector<std::pair<core::SimAddr, core::SimAddr>> intervals;
+  bool has_stream = false;
+  for (const core::MemRange& r : footprint.ranges) {
+    if (r.stream) {
+      has_stream = true;
+      continue;
+    }
+    intervals.emplace_back(r.addr, r.addr + r.bytes);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t resident = 0;
+  core::SimAddr cover_end = 0;
+  bool first = true;
+  for (const auto& [lo, hi] : intervals) {
+    if (first || lo >= cover_end) {
+      resident += hi - lo;
+      cover_end = hi;
+      first = false;
+    } else if (hi > cover_end) {
+      resident += hi - cover_end;
+      cover_end = hi;
+    }
+  }
+  if (has_stream) {
+    resident += 2ull * config.ls_stream_tile_bytes;  // double buffer
+  }
+  return resident;
+}
+
+bool fits_local_store(const core::Footprint& footprint,
+                      const CellConfig& config) {
+  return ls_requirement(footprint, config) <= config.ls_data_bytes();
+}
+
+std::int64_t LocalStoreAllocator::allocate(std::uint32_t bytes) {
+  const std::uint32_t aligned = (bytes + 15u) & ~15u;
+  if (used_ + aligned > capacity_) return -1;
+  const std::uint32_t offset = used_;
+  used_ += aligned;
+  peak_ = std::max(peak_, used_);
+  return offset;
+}
+
+}  // namespace tflux::cell

@@ -1,0 +1,49 @@
+// SPE Local Store capacity accounting (paper section 6.3): a DThread
+// can only run on an SPE if its resident working set fits in the LS
+// data region; streaming ranges need just a double-buffer tile. This
+// is the constraint that forces TFluxCell's smaller QSORT sizes
+// ("larger problem sizes... would not fit in each SPE Local Store").
+#pragma once
+
+#include <cstdint>
+
+#include "cell/config.h"
+#include "core/footprint.h"
+
+namespace tflux::cell {
+
+/// Byte requirement of one DThread in the LS data region: the union of
+/// its resident (non-streaming) ranges, plus one double-buffer
+/// allocation (2 x tile) if it has any streaming ranges. Overlapping
+/// resident ranges (e.g. in-place read+write of the same array) are
+/// counted once.
+std::uint64_t ls_requirement(const core::Footprint& footprint,
+                             const CellConfig& config);
+
+/// True if the DThread fits in the LS data region.
+bool fits_local_store(const core::Footprint& footprint,
+                      const CellConfig& config);
+
+/// Simple bump allocator over the LS data region - the runtime resets
+/// it between DThreads (each DThread's imports are placed afresh).
+class LocalStoreAllocator {
+ public:
+  explicit LocalStoreAllocator(std::uint32_t data_bytes)
+      : capacity_(data_bytes) {}
+
+  /// Allocate `bytes` aligned to 16 (DMA alignment on the Cell).
+  /// Returns the LS offset, or -1 if out of space.
+  std::int64_t allocate(std::uint32_t bytes);
+
+  void reset() { used_ = 0; }
+  std::uint32_t used() const { return used_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t peak() const { return peak_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t used_ = 0;
+  std::uint32_t peak_ = 0;
+};
+
+}  // namespace tflux::cell

@@ -1,0 +1,148 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace tflux::core {
+
+GraphAnalysis analyze(const Program& program) {
+  GraphAnalysis result;
+  const std::uint32_t n = program.num_threads();
+
+  // Per-thread longest path ending at the thread (threads, cycles),
+  // computed per block in topological (Kahn) order; blocks chain.
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<Cycles> cycles_to(n, 0);
+
+  std::uint32_t prev_block_depth = 0;
+  Cycles prev_block_cycles = 0;
+  for (const Block& blk : program.blocks()) {
+    std::vector<std::uint32_t> indeg;
+    indeg.reserve(blk.app_threads.size());
+    for (ThreadId tid : blk.app_threads) {
+      indeg.push_back(program.thread(tid).ready_count_init);
+    }
+    auto block_index = [&blk](ThreadId id) {
+      return static_cast<std::size_t>(
+          std::lower_bound(blk.app_threads.begin(), blk.app_threads.end(),
+                           id) -
+          blk.app_threads.begin());
+    };
+
+    std::vector<ThreadId> current;
+    for (std::size_t i = 0; i < blk.app_threads.size(); ++i) {
+      if (indeg[i] == 0) current.push_back(blk.app_threads[i]);
+    }
+    std::uint32_t block_depth = 0;
+    Cycles block_cycles = 0;
+    while (!current.empty()) {
+      result.level_widths.push_back(
+          static_cast<std::uint32_t>(current.size()));
+      std::vector<ThreadId> next;
+      for (ThreadId tid : current) {
+        const DThread& t = program.thread(tid);
+        depth[tid] = std::max(depth[tid], prev_block_depth) + 1;
+        cycles_to[tid] = std::max(cycles_to[tid], prev_block_cycles) +
+                         t.footprint.compute_cycles;
+        result.total_compute_cycles += t.footprint.compute_cycles;
+        block_depth = std::max(block_depth, depth[tid]);
+        block_cycles = std::max(block_cycles, cycles_to[tid]);
+        for (ThreadId consumer : t.consumers) {
+          if (program.thread(consumer).kind != ThreadKind::kApplication) {
+            continue;  // outlet wiring
+          }
+          depth[consumer] = std::max(depth[consumer], depth[tid]);
+          cycles_to[consumer] =
+              std::max(cycles_to[consumer], cycles_to[tid]);
+          const std::size_t ci = block_index(consumer);
+          if (--indeg[ci] == 0) next.push_back(consumer);
+        }
+      }
+      current = std::move(next);
+    }
+    prev_block_depth = block_depth;
+    prev_block_cycles = block_cycles;
+  }
+
+  result.critical_path_threads = prev_block_depth;
+  result.critical_path_cycles = prev_block_cycles;
+  result.average_parallelism =
+      result.critical_path_cycles == 0
+          ? static_cast<double>(result.critical_path_threads != 0
+                                    ? 1.0
+                                    : 0.0)
+          : static_cast<double>(result.total_compute_cycles) /
+                static_cast<double>(result.critical_path_cycles);
+  return result;
+}
+
+std::string to_dot(const Program& program, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << program.name() << "\" {\n"
+      << "  rankdir=TB;\n"
+      << "  node [shape=box, fontsize=10];\n";
+
+  std::uint32_t emitted = 0;
+  auto capped = [&] {
+    return options.max_threads != 0 && emitted >= options.max_threads;
+  };
+
+  for (const Block& blk : program.blocks()) {
+    if (options.cluster_blocks) {
+      out << "  subgraph cluster_block" << blk.id << " {\n"
+          << "    label=\"DDM Block " << blk.id << "\";\n";
+    }
+    if (options.show_inlet_outlet) {
+      out << "    t" << blk.inlet << " [label=\""
+          << program.thread(blk.inlet).label
+          << "\", shape=invhouse, style=filled, fillcolor=lightgrey];\n";
+      out << "    t" << blk.outlet << " [label=\""
+          << program.thread(blk.outlet).label
+          << "\", shape=house, style=filled, fillcolor=lightgrey];\n";
+    }
+    for (ThreadId tid : blk.app_threads) {
+      if (capped()) break;
+      ++emitted;
+      out << "    t" << tid << " [label=\"" << program.thread(tid).label
+          << "\"];\n";
+    }
+    if (options.cluster_blocks) out << "  }\n";
+  }
+
+  emitted = 0;
+  for (const Block& blk : program.blocks()) {
+    for (ThreadId tid : blk.app_threads) {
+      if (capped()) break;
+      ++emitted;
+      for (ThreadId consumer : program.thread(tid).consumers) {
+        const bool to_outlet =
+            program.thread(consumer).kind == ThreadKind::kOutlet;
+        if (to_outlet && !options.show_inlet_outlet) continue;
+        out << "  t" << tid << " -> t" << consumer << ";\n";
+      }
+    }
+    if (options.show_inlet_outlet) {
+      // Inlet gates the block's sources; outlet chains to next inlet.
+      for (ThreadId tid : blk.app_threads) {
+        if (program.thread(tid).ready_count_init == 0) {
+          out << "  t" << blk.inlet << " -> t" << tid
+              << " [style=dashed];\n";
+        }
+      }
+      const BlockId next = static_cast<BlockId>(blk.id + 1);
+      if (next < program.num_blocks()) {
+        out << "  t" << blk.outlet << " -> t" << program.block(next).inlet
+            << " [style=dashed];\n";
+      }
+    }
+  }
+  for (const CrossBlockArc& arc : program.cross_block_arcs()) {
+    out << "  t" << arc.producer << " -> t" << arc.consumer
+        << " [style=dotted, constraint=false];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,59 @@
+// Static analysis of DDM programs: critical path, parallelism profile,
+// and Graphviz export of the Synchronization Graph. Useful both as a
+// library feature (how much speedup can this graph ever give?) and for
+// debugging DDM decompositions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+
+namespace tflux::core {
+
+struct GraphAnalysis {
+  /// Longest producer->consumer chain, in DThreads (application
+  /// threads only; the inlet/outlet barrier between blocks counts as
+  /// chaining the blocks' paths).
+  std::uint32_t critical_path_threads = 0;
+
+  /// The same path weighted by each DThread's compute_cycles.
+  Cycles critical_path_cycles = 0;
+
+  /// Total compute cycles over all application DThreads.
+  Cycles total_compute_cycles = 0;
+
+  /// total / critical path: the graph's average parallelism - an upper
+  /// bound on achievable speedup regardless of kernel count
+  /// (Brent/work-span bound).
+  double average_parallelism = 0.0;
+
+  /// Width (thread count) of each ASAP level, concatenated over blocks
+  /// in execution order. max element = peak exploitable parallelism.
+  std::vector<std::uint32_t> level_widths;
+
+  std::uint32_t max_width() const {
+    std::uint32_t m = 0;
+    for (std::uint32_t w : level_widths) m = std::max(m, w);
+    return m;
+  }
+};
+
+/// Analyze the program's application DThreads.
+GraphAnalysis analyze(const Program& program);
+
+struct DotOptions {
+  /// Include the Inlet/Outlet DThreads and the block-chaining arcs.
+  bool show_inlet_outlet = false;
+  /// Group each DDM Block in a cluster.
+  bool cluster_blocks = true;
+  /// Cap on emitted application threads (huge unrolled programs would
+  /// produce unreadable graphs); 0 = no cap.
+  std::uint32_t max_threads = 0;
+};
+
+/// Render the Synchronization Graph in Graphviz DOT format.
+std::string to_dot(const Program& program, const DotOptions& options = {});
+
+}  // namespace tflux::core

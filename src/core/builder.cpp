@@ -1,0 +1,224 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "core/error.h"
+
+namespace tflux::core {
+
+BlockId ProgramBuilder::add_block() {
+  if (next_block_ == kInvalidBlock) {
+    throw TFluxError("ProgramBuilder: too many blocks");
+  }
+  return next_block_++;
+}
+
+ThreadId ProgramBuilder::add_thread(BlockId block, std::string label,
+                                    ThreadBody body, Footprint footprint,
+                                    KernelId home) {
+  if (block >= next_block_) {
+    throw TFluxError("ProgramBuilder: add_thread to undeclared block " +
+                     std::to_string(block));
+  }
+  const auto id = static_cast<ThreadId>(pending_.size());
+  pending_.push_back(PendingThread{block, std::move(label), std::move(body),
+                                   std::move(footprint), home});
+  return id;
+}
+
+void ProgramBuilder::add_arc(ThreadId producer, ThreadId consumer) {
+  arcs_.push_back(Arc{producer, consumer});
+}
+
+Program ProgramBuilder::build(const BuildOptions& options) {
+  if (options.num_kernels == 0) {
+    throw TFluxError("BuildOptions: num_kernels must be >= 1");
+  }
+  if (pending_.empty()) {
+    throw TFluxError("ProgramBuilder: program has no DThreads");
+  }
+  const auto num_app = static_cast<ThreadId>(pending_.size());
+
+  Program program;
+  program.name_ = name_;
+  program.num_app_threads_ = num_app;
+
+  // Materialize application DThreads (ids 0..num_app-1, creation order).
+  program.threads_.reserve(num_app + 2u * next_block_);
+  for (ThreadId id = 0; id < num_app; ++id) {
+    PendingThread& p = pending_[id];
+    DThread t;
+    t.id = id;
+    t.block = p.block;
+    t.kind = ThreadKind::kApplication;
+    t.label = std::move(p.label);
+    t.body = std::move(p.body);
+    t.footprint = std::move(p.footprint);
+    t.home_kernel = p.home;
+    program.threads_.push_back(std::move(t));
+  }
+
+  // Validate arcs; split into same-block (TSU-visible) and forward
+  // cross-block (data-transfer only).
+  for (const Arc& a : arcs_) {
+    if (a.producer >= num_app || a.consumer >= num_app) {
+      throw TFluxError("ProgramBuilder: arc references unknown DThread id");
+    }
+    if (a.producer == a.consumer) {
+      throw TFluxError("ProgramBuilder: self-arc on DThread " +
+                       std::to_string(a.producer));
+    }
+    const BlockId pb = program.threads_[a.producer].block;
+    const BlockId cb = program.threads_[a.consumer].block;
+    if (pb > cb) {
+      throw TFluxError(
+          "ProgramBuilder: backward cross-block arc " +
+          std::to_string(a.producer) + " -> " + std::to_string(a.consumer) +
+          " (blocks execute in declaration order; producer must not be in a "
+          "later block than its consumer)");
+    }
+    if (pb < cb) {
+      program.cross_block_arcs_.push_back({a.producer, a.consumer});
+    } else {
+      program.threads_[a.producer].consumers.push_back(a.consumer);
+    }
+  }
+
+  // Deduplicate consumer lists: one completion decrements each distinct
+  // consumer's Ready Count exactly once.
+  for (DThread& t : program.threads_) {
+    auto& c = t.consumers;
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+
+  // Initial Ready Count = number of distinct same-block producers.
+  for (const DThread& t : program.threads_) {
+    for (ThreadId consumer : t.consumers) {
+      ++program.threads_[consumer].ready_count_init;
+    }
+  }
+
+  // Per-block bookkeeping + acyclicity (Kahn's algorithm per block).
+  program.blocks_.resize(next_block_);
+  for (BlockId b = 0; b < next_block_; ++b) {
+    program.blocks_[b].id = b;
+  }
+  for (ThreadId id = 0; id < num_app; ++id) {
+    program.blocks_[program.threads_[id].block].app_threads.push_back(id);
+  }
+  for (const Block& blk : program.blocks_) {
+    if (blk.app_threads.empty()) {
+      throw TFluxError("ProgramBuilder: block " + std::to_string(blk.id) +
+                       " has no DThreads");
+    }
+    const std::uint32_t capacity_needed =
+        static_cast<std::uint32_t>(blk.app_threads.size()) + 2;  // +inlet/outlet
+    if (options.tsu_capacity != 0 && capacity_needed > options.tsu_capacity) {
+      throw TFluxError(
+          "ProgramBuilder: block " + std::to_string(blk.id) + " needs " +
+          std::to_string(capacity_needed) + " TSU slots but capacity is " +
+          std::to_string(options.tsu_capacity) +
+          "; split the program into more DDM Blocks");
+    }
+    // Kahn: count how many threads we can topologically order.
+    std::vector<std::uint32_t> indeg;
+    indeg.reserve(blk.app_threads.size());
+    std::queue<ThreadId> zero;
+    for (ThreadId id : blk.app_threads) {
+      indeg.push_back(program.threads_[id].ready_count_init);
+    }
+    for (std::size_t i = 0; i < blk.app_threads.size(); ++i) {
+      if (indeg[i] == 0) zero.push(blk.app_threads[i]);
+    }
+    // Map ThreadId -> dense index within the block for indeg updates.
+    // Block membership is creation-ordered but ids need not be dense,
+    // so use binary search over the sorted-by-construction id list.
+    auto block_index = [&blk](ThreadId id) {
+      auto it =
+          std::lower_bound(blk.app_threads.begin(), blk.app_threads.end(), id);
+      assert(it != blk.app_threads.end() && *it == id);
+      return static_cast<std::size_t>(it - blk.app_threads.begin());
+    };
+    // app_threads is in creation order == ascending id order (ids are
+    // assigned sequentially), so lower_bound is valid.
+    std::uint32_t ordered = 0;
+    while (!zero.empty()) {
+      const ThreadId id = zero.front();
+      zero.pop();
+      ++ordered;
+      for (ThreadId consumer : program.threads_[id].consumers) {
+        const std::size_t ci = block_index(consumer);
+        assert(indeg[ci] > 0);
+        if (--indeg[ci] == 0) zero.push(consumer);
+      }
+    }
+    if (ordered != blk.app_threads.size()) {
+      throw TFluxError("ProgramBuilder: cyclic dependencies within block " +
+                       std::to_string(blk.id));
+    }
+  }
+
+  // Materialize Inlet/Outlet DThreads (ids after all application ids).
+  for (Block& blk : program.blocks_) {
+    std::uint32_t sinks = 0;
+    for (ThreadId id : blk.app_threads) {
+      if (program.threads_[id].consumers.empty()) ++sinks;
+    }
+    blk.sink_count = sinks;
+
+    DThread inlet;
+    inlet.id = static_cast<ThreadId>(program.threads_.size());
+    inlet.block = blk.id;
+    inlet.kind = ThreadKind::kInlet;
+    inlet.label = "inlet.b" + std::to_string(blk.id);
+    inlet.home_kernel = 0;
+    blk.inlet = inlet.id;
+    program.threads_.push_back(std::move(inlet));
+
+    DThread outlet;
+    outlet.id = static_cast<ThreadId>(program.threads_.size());
+    outlet.block = blk.id;
+    outlet.kind = ThreadKind::kOutlet;
+    outlet.label = "outlet.b" + std::to_string(blk.id);
+    outlet.home_kernel = 0;
+    // The Outlet runs once every DThread of its block has completed.
+    // Sinks (threads with no same-block consumers) completing last in
+    // any legal schedule implies the whole block completed, so the
+    // Outlet's Ready Count counts sinks; each sink gets the Outlet
+    // appended as a consumer.
+    outlet.ready_count_init = sinks;
+    blk.outlet = outlet.id;
+    for (ThreadId id : blk.app_threads) {
+      if (program.threads_[id].consumers.empty()) {
+        program.threads_[id].consumers.push_back(blk.outlet);
+      }
+    }
+    program.threads_.push_back(std::move(outlet));
+  }
+
+  // Assign home kernels: round-robin per block over unpinned threads.
+  std::uint16_t max_kernel_seen = 0;
+  for (Block& blk : program.blocks_) {
+    KernelId next = 0;
+    for (ThreadId id : blk.app_threads) {
+      DThread& t = program.threads_[id];
+      if (t.home_kernel == kInvalidKernel) {
+        t.home_kernel = next;
+        next = static_cast<KernelId>((next + 1) % options.num_kernels);
+      }
+      max_kernel_seen = std::max<std::uint16_t>(max_kernel_seen,
+                                                t.home_kernel);
+    }
+  }
+  program.max_kernels_ = static_cast<std::uint16_t>(max_kernel_seen + 1);
+
+  // Builder is consumed: bodies were moved out.
+  pending_.clear();
+  arcs_.clear();
+  return program;
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,85 @@
+// ProgramBuilder: the API the DDMCPP preprocessor targets. Collects
+// DThreads, blocks, and dependency arcs; build() validates the graph
+// (legality, acyclicity, TSU capacity) and produces an immutable
+// Program with Ready Counts and Inlet/Outlet threads materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/program.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Options governing Program construction.
+struct BuildOptions {
+  /// Maximum number of DThreads the target TSU can hold at once
+  /// (including the block's Inlet and Outlet). 0 means unlimited.
+  /// Programs whose blocks exceed this are rejected - split them into
+  /// more DDM Blocks (the paper's mechanism for arbitrarily large
+  /// synchronization graphs).
+  std::uint32_t tsu_capacity = 0;
+
+  /// Kernel count used to round-robin home kernels for DThreads whose
+  /// creator did not pin one. Must be >= 1.
+  std::uint16_t num_kernels = 1;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name = "program")
+      : name_(std::move(name)) {}
+
+  /// Declare the next DDM Block. Blocks execute in declaration order.
+  /// Returns its BlockId. At least one block is required before adding
+  /// threads.
+  BlockId add_block();
+
+  /// Add an application DThread to `block`. `home` pins the DThread to
+  /// a Kernel (Synchronization Memory placement + locality hint);
+  /// kInvalidKernel lets build() round-robin it.
+  ThreadId add_thread(BlockId block, std::string label, ThreadBody body,
+                      Footprint footprint = {},
+                      KernelId home = kInvalidKernel);
+
+  /// Declare that `consumer` depends on data produced by `producer`.
+  /// Same-block arcs become TSU Ready Count entries; forward
+  /// cross-block arcs are recorded for data-transfer modeling (block
+  /// ordering already enforces them); backward cross-block arcs are
+  /// rejected at build().
+  void add_arc(ThreadId producer, ThreadId consumer);
+
+  std::uint32_t num_threads() const {
+    return static_cast<std::uint32_t>(pending_.size());
+  }
+  std::uint16_t num_blocks() const { return next_block_; }
+
+  /// Validate and produce the immutable Program. Throws TFluxError on:
+  /// unknown thread ids in arcs, self-arcs, backward cross-block arcs,
+  /// cyclic same-block dependencies, blocks exceeding tsu_capacity,
+  /// or empty programs/blocks.
+  Program build(const BuildOptions& options = {});
+
+ private:
+  struct PendingThread {
+    BlockId block;
+    std::string label;
+    ThreadBody body;
+    Footprint footprint;
+    KernelId home;
+  };
+  struct Arc {
+    ThreadId producer;
+    ThreadId consumer;
+  };
+
+  std::string name_;
+  BlockId next_block_ = 0;
+  std::vector<PendingThread> pending_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace tflux::core

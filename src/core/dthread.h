@@ -1,0 +1,49 @@
+// The DThread descriptor: everything the TSU needs to schedule one
+// Data-Driven Thread, plus the body (functional plane) and footprint
+// (timing plane).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/exec.h"
+#include "core/footprint.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Immutable per-DThread metadata. Built once by ProgramBuilder; the
+/// mutable scheduling state (current Ready Count) lives in the TSU's
+/// Synchronization Memory, not here.
+struct DThread {
+  ThreadId id = kInvalidThread;
+  BlockId block = kInvalidBlock;
+  ThreadKind kind = ThreadKind::kApplication;
+  std::string label;
+
+  /// Real work to run on the functional plane. May be empty (e.g. for
+  /// timing-only studies); platforms skip invocation in that case.
+  ThreadBody body;
+
+  /// Cost description for the timing plane.
+  Footprint footprint;
+
+  /// Preferred Kernel. Determines which Synchronization Memory holds
+  /// this DThread's Ready Count (Thread Indexing / TKT) and is the
+  /// locality hint used by TSU scheduling policies.
+  KernelId home_kernel = kInvalidKernel;
+
+  /// Same-block consumers, sorted ascending, deduplicated. When this
+  /// DThread completes, the TSU decrements each consumer's Ready Count.
+  std::vector<ThreadId> consumers;
+
+  /// Number of same-block producers. The TSU initializes this DThread's
+  /// Ready Count to this value when its block is loaded; the DThread
+  /// becomes executable when the count reaches zero.
+  std::uint32_t ready_count_init = 0;
+
+  bool is_application() const { return kind == ThreadKind::kApplication; }
+};
+
+}  // namespace tflux::core

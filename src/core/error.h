@@ -1,0 +1,16 @@
+// Error type thrown by TFlux components on programmer/program errors
+// (malformed synchronization graphs, capacity violations, protocol
+// misuse). Runtime-internal invariants use assert() instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tflux::core {
+
+class TFluxError : public std::runtime_error {
+ public:
+  explicit TFluxError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace tflux::core

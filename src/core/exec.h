@@ -1,0 +1,23 @@
+// Execution context handed to a DThread body by whichever platform
+// (native runtime, machine simulator, reference scheduler) runs it.
+#pragma once
+
+#include <functional>
+
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Information available to a DThread body while it executes.
+struct ExecContext {
+  KernelId kernel = 0;          ///< the Kernel executing this DThread
+  ThreadId thread = kInvalidThread;  ///< the DThread's own id
+};
+
+/// A DThread body. Bodies must be self-contained: they may only touch
+/// data reachable from their captures, they run to completion without
+/// blocking, and they synchronize with other DThreads *only* through
+/// the synchronization graph (the DDM contract).
+using ThreadBody = std::function<void(const ExecContext&)>;
+
+}  // namespace tflux::core

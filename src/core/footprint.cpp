@@ -1,0 +1,33 @@
+#include "core/footprint.h"
+
+namespace tflux::core {
+
+std::uint64_t Footprint::bytes_read() const {
+  std::uint64_t total = 0;
+  for (const MemRange& r : ranges) {
+    if (!r.write) total += r.bytes;
+  }
+  return total;
+}
+
+std::uint64_t Footprint::bytes_written() const {
+  std::uint64_t total = 0;
+  for (const MemRange& r : ranges) {
+    if (r.write) total += r.bytes;
+  }
+  return total;
+}
+
+const char* to_string(ThreadKind kind) {
+  switch (kind) {
+    case ThreadKind::kApplication:
+      return "application";
+    case ThreadKind::kInlet:
+      return "inlet";
+    case ThreadKind::kOutlet:
+      return "outlet";
+  }
+  return "?";
+}
+
+}  // namespace tflux::core

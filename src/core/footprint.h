@@ -1,0 +1,58 @@
+// Memory/compute footprint of a DThread: the timing plane's description
+// of what the thread does. The functional plane runs the DThread body
+// (a real C++ closure); the machine simulators instead replay the
+// footprint through their cache/DMA cost models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// One contiguous simulated-memory access range.
+struct MemRange {
+  SimAddr addr = 0;         ///< first byte accessed
+  std::uint32_t bytes = 0;  ///< length of the range
+  bool write = false;       ///< true: store; false: load
+  /// Access pattern: true = a single sequential pass (a local-store
+  /// platform can stream it through double buffers); false = random
+  /// access (the whole range must be resident, e.g. quicksort's
+  /// working set - the property that caps QSORT sizes on TFluxCell).
+  /// Cache-based platforms ignore this flag.
+  bool stream = false;
+
+  friend bool operator==(const MemRange&, const MemRange&) = default;
+};
+
+/// Cost description of a DThread for the timing plane.
+///
+/// `compute_cycles` is pure ALU work; `ranges` are replayed through the
+/// simulated memory hierarchy at cache-line granularity in order.
+struct Footprint {
+  Cycles compute_cycles = 0;
+  std::vector<MemRange> ranges;
+
+  Footprint& compute(Cycles c) {
+    compute_cycles += c;
+    return *this;
+  }
+  Footprint& read(SimAddr addr, std::uint32_t bytes, bool stream = false) {
+    if (bytes > 0) ranges.push_back({addr, bytes, false, stream});
+    return *this;
+  }
+  Footprint& write(SimAddr addr, std::uint32_t bytes, bool stream = false) {
+    if (bytes > 0) ranges.push_back({addr, bytes, true, stream});
+    return *this;
+  }
+
+  /// Total bytes read (loads only).
+  std::uint64_t bytes_read() const;
+  /// Total bytes written (stores only).
+  std::uint64_t bytes_written() const;
+  /// Total bytes accessed.
+  std::uint64_t bytes_total() const { return bytes_read() + bytes_written(); }
+};
+
+}  // namespace tflux::core

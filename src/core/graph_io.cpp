@@ -1,0 +1,175 @@
+#include "core/graph_io.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/error.h"
+
+namespace tflux::core {
+
+std::string save_graph(const Program& program) {
+  std::ostringstream out;
+  out << "ddmgraph 1\n";
+  out << "program " << program.name() << "\n";
+
+  // Map ThreadId -> declaration index (app threads in block order).
+  std::map<ThreadId, std::size_t> index;
+  std::size_t next = 0;
+  for (const Block& blk : program.blocks()) {
+    for (ThreadId tid : blk.app_threads) index[tid] = next++;
+  }
+
+  for (const Block& blk : program.blocks()) {
+    out << "block\n";
+    for (ThreadId tid : blk.app_threads) {
+      const DThread& t = program.thread(tid);
+      out << "thread " << (t.label.empty() ? "t" : t.label);
+      if (t.footprint.compute_cycles != 0) {
+        out << " compute " << t.footprint.compute_cycles;
+      }
+      if (t.home_kernel != kInvalidKernel) {
+        out << " home " << t.home_kernel;
+      }
+      out << "\n";
+      for (const MemRange& r : t.footprint.ranges) {
+        out << (r.write ? "write " : "read ") << r.addr << " " << r.bytes;
+        if (r.stream) out << " stream";
+        out << "\n";
+      }
+    }
+  }
+  for (const Block& blk : program.blocks()) {
+    for (ThreadId tid : blk.app_threads) {
+      for (ThreadId consumer : program.thread(tid).consumers) {
+        if (!program.thread(consumer).is_application()) continue;
+        out << "arc " << index.at(tid) << " " << index.at(consumer)
+            << "\n";
+      }
+    }
+  }
+  for (const CrossBlockArc& arc : program.cross_block_arcs()) {
+    out << "arc " << index.at(arc.producer) << " " << index.at(arc.consumer)
+        << "\n";
+  }
+  return out.str();
+}
+
+Program load_graph(const std::string& text, const BuildOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&line_no](const std::string& message) -> void {
+    throw TFluxError("load_graph: line " + std::to_string(line_no) + ": " +
+                     message);
+  };
+
+  bool saw_magic = false;
+  std::uint32_t block_count = 0;  // blocks seen so far
+  BlockId current_block = kInvalidBlock;
+  std::vector<ThreadId> threads;          // by declaration index
+  std::vector<Footprint> footprints;      // parallel to `threads`
+  std::vector<std::string> labels;
+  std::vector<KernelId> homes;
+  std::vector<BlockId> thread_blocks;
+  std::vector<std::pair<std::size_t, std::size_t>> arcs;
+  std::string program_name = "loaded";
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank
+
+    if (word == "ddmgraph") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) {
+        fail("unsupported ddmgraph version");
+      }
+      saw_magic = true;
+    } else if (!saw_magic) {
+      fail("file must start with 'ddmgraph 1'");
+    } else if (word == "program") {
+      if (!(ls >> program_name)) fail("program needs a name");
+    } else if (word == "block") {
+      current_block = static_cast<BlockId>(block_count++);
+    } else if (word == "thread") {
+      if (current_block == kInvalidBlock) {
+        fail("thread before any block");
+      }
+      std::string label;
+      if (!(ls >> label)) fail("thread needs a label");
+      Cycles compute = 0;
+      KernelId home = kInvalidKernel;
+      std::string clause;
+      while (ls >> clause) {
+        if (clause == "compute") {
+          if (!(ls >> compute)) fail("compute needs a cycle count");
+        } else if (clause == "home") {
+          unsigned h = 0;
+          if (!(ls >> h)) fail("home needs a kernel id");
+          home = static_cast<KernelId>(h);
+        } else {
+          fail("unknown thread clause '" + clause + "'");
+        }
+      }
+      labels.push_back(label);
+      homes.push_back(home);
+      thread_blocks.push_back(current_block);
+      Footprint fp;
+      fp.compute(compute);
+      footprints.push_back(std::move(fp));
+    } else if (word == "read" || word == "write") {
+      if (footprints.empty()) fail(word + " before any thread");
+      SimAddr addr = 0;
+      std::uint32_t bytes = 0;
+      if (!(ls >> addr >> bytes)) fail(word + " needs <addr> <bytes>");
+      bool stream = false;
+      std::string mode;
+      if (ls >> mode) {
+        if (mode != "stream") fail("expected 'stream', got '" + mode + "'");
+        stream = true;
+      }
+      if (word == "read") {
+        footprints.back().read(addr, bytes, stream);
+      } else {
+        footprints.back().write(addr, bytes, stream);
+      }
+    } else if (word == "arc") {
+      std::size_t p = 0, c = 0;
+      if (!(ls >> p >> c)) fail("arc needs <producer> <consumer>");
+      arcs.emplace_back(p, c);
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_magic) {
+    ++line_no;
+    fail("empty input (missing 'ddmgraph 1' header)");
+  }
+
+  // Materialize threads now that footprints are complete.
+  ProgramBuilder real(program_name);
+  std::vector<BlockId> block_map;  // declaration order of blocks
+  BlockId last_decl = kInvalidBlock;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (thread_blocks[i] != last_decl) {
+      block_map.push_back(real.add_block());
+      last_decl = thread_blocks[i];
+    }
+    threads.push_back(real.add_thread(block_map.back(), labels[i], {},
+                                      std::move(footprints[i]), homes[i]));
+  }
+  for (const auto& [p, c] : arcs) {
+    if (p >= threads.size() || c >= threads.size()) {
+      throw TFluxError("load_graph: arc references unknown thread index");
+    }
+    real.add_arc(threads[p], threads[c]);
+  }
+  return real.build(options);
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,34 @@
+// Text serialization of synchronization-graph *structure* (threads,
+// blocks, arcs, footprints - not bodies). Lets graphs be saved from
+// one tool and replayed in another (e.g. `tflux_run --graph=f.ddmg`
+// simulates a hand-written or generated graph on any machine model).
+//
+// Format (line oriented, '#' comments):
+//   ddmgraph 1
+//   program <name>
+//   block                     # starts a new DDM Block
+//   thread <label> [compute <cycles>] [home <kernel>]
+//   read <addr> <bytes> [stream]     # footprint of the last thread
+//   write <addr> <bytes> [stream]
+//   arc <producer-index> <consumer-index>   # 0-based declaration order
+#pragma once
+
+#include <string>
+
+#include "core/builder.h"
+#include "core/program.h"
+
+namespace tflux::core {
+
+/// Serialize the program's application threads, blocks, footprints and
+/// same-block arcs. (Bodies are code and cannot be serialized; loaded
+/// programs get empty bodies - they are timing-plane graphs.)
+std::string save_graph(const Program& program);
+
+/// Parse the format back into a Program (built through ProgramBuilder,
+/// so all its validation applies). Throws TFluxError with a line
+/// number on malformed input.
+Program load_graph(const std::string& text,
+                   const BuildOptions& options = {});
+
+}  // namespace tflux::core

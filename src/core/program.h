@@ -1,0 +1,85 @@
+// A DDM program: DThreads partitioned into DDM Blocks, with the
+// synchronization graph baked into per-thread consumer lists and
+// initial Ready Counts. Programs are immutable after ProgramBuilder
+// validation; every platform (native runtime, TFluxHard/TFluxSoft
+// machine simulators, Cell simulator) executes the same Program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dthread.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// A dependency arc between two DThreads in *different* blocks. Such
+/// arcs never reach the TSU: block ordering (the Inlet/Outlet chain is
+/// a barrier) already enforces them. They are retained because the
+/// timing plane models the data transfer they imply.
+struct CrossBlockArc {
+  ThreadId producer = kInvalidThread;
+  ThreadId consumer = kInvalidThread;
+
+  friend bool operator==(const CrossBlockArc&, const CrossBlockArc&) = default;
+};
+
+/// One DDM Block: a TSU-capacity-bounded subset of the program.
+struct Block {
+  BlockId id = kInvalidBlock;
+  /// Application DThreads belonging to this block, in creation order.
+  std::vector<ThreadId> app_threads;
+  /// The Inlet DThread: loads this block's metadata into the TSU.
+  ThreadId inlet = kInvalidThread;
+  /// The Outlet DThread: frees TSU resources and chains to the next
+  /// block's inlet (or exits the Kernels if this is the last block).
+  ThreadId outlet = kInvalidThread;
+  /// Number of sink application threads (threads with no same-block
+  /// consumers); this is the Outlet's initial Ready Count.
+  std::uint32_t sink_count = 0;
+};
+
+class Program {
+ public:
+  /// An empty Program (no blocks/threads); populated via ProgramBuilder.
+  Program() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// All DThreads, indexed densely by ThreadId (application threads
+  /// first in creation order, then per-block inlets/outlets).
+  const DThread& thread(ThreadId id) const { return threads_[id]; }
+  std::uint32_t num_threads() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+  const std::vector<DThread>& threads() const { return threads_; }
+
+  const Block& block(BlockId id) const { return blocks_[id]; }
+  std::uint16_t num_blocks() const {
+    return static_cast<std::uint16_t>(blocks_.size());
+  }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  const std::vector<CrossBlockArc>& cross_block_arcs() const {
+    return cross_block_arcs_;
+  }
+
+  /// Number of application (non inlet/outlet) DThreads.
+  std::uint32_t num_app_threads() const { return num_app_threads_; }
+
+  /// Highest home KernelId referenced by any DThread, plus one.
+  std::uint16_t max_kernels() const { return max_kernels_; }
+
+ private:
+  friend class ProgramBuilder;
+
+  std::string name_;
+  std::vector<DThread> threads_;
+  std::vector<Block> blocks_;
+  std::vector<CrossBlockArc> cross_block_arcs_;
+  std::uint32_t num_app_threads_ = 0;
+  std::uint16_t max_kernels_ = 1;
+};
+
+}  // namespace tflux::core

@@ -1,0 +1,59 @@
+#include "core/ready_set.h"
+
+#include <cassert>
+
+namespace tflux::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kLocality:
+      return "locality";
+  }
+  return "?";
+}
+
+ReadySet::ReadySet(std::uint16_t num_kernels, PolicyKind policy)
+    : policy_(policy),
+      queues_(policy == PolicyKind::kFifo ? 1u
+                                          : (num_kernels == 0 ? 1u
+                                                              : num_kernels)) {
+  assert(num_kernels >= 1);
+}
+
+void ReadySet::push(ThreadId tid, KernelId home) {
+  if (policy_ == PolicyKind::kFifo) {
+    queues_[0].push_back(tid);
+  } else {
+    const std::size_t q = home < queues_.size() ? home : 0u;
+    queues_[q].push_back(tid);
+  }
+  ++size_;
+}
+
+std::optional<ThreadId> ReadySet::pop(KernelId requester) {
+  if (size_ == 0) return std::nullopt;
+  if (policy_ == PolicyKind::kFifo) {
+    const ThreadId tid = queues_[0].front();
+    queues_[0].pop_front();
+    --size_;
+    return tid;
+  }
+  const std::size_t n = queues_.size();
+  const std::size_t start = requester < n ? requester : 0u;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = (start + i) % n;
+    if (!queues_[q].empty()) {
+      const ThreadId tid = queues_[q].front();
+      queues_[q].pop_front();
+      --size_;
+      if (i != 0) ++steals_;
+      return tid;
+    }
+  }
+  assert(false && "size_ out of sync with queues");
+  return std::nullopt;
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,56 @@
+// The TSU's pool of executable DThreads, with the selection policy the
+// paper describes: "If more than one ready DThreads exist the TSU
+// returns the one which, based on its internal policy, is most likely
+// to maximize the spatial locality."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// How the TSU picks among multiple ready DThreads.
+enum class PolicyKind : std::uint8_t {
+  kFifo,      ///< single global FIFO, ignores locality
+  kLocality,  ///< per-kernel queues keyed by home kernel; steal on empty
+};
+
+const char* to_string(PolicyKind kind);
+
+/// Deterministic ready-DThread pool. Not thread-safe: platform TSUs
+/// serialize access (the TSU Group is a single unit in the paper).
+class ReadySet {
+ public:
+  ReadySet(std::uint16_t num_kernels, PolicyKind policy);
+
+  /// Make `tid` (whose home kernel is `home`) available for execution.
+  void push(ThreadId tid, KernelId home);
+
+  /// Fetch a ready DThread for `requester`. Locality policy prefers
+  /// the requester's own queue, then steals round-robin from others.
+  std::optional<ThreadId> pop(KernelId requester);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  std::uint16_t num_kernels() const {
+    return static_cast<std::uint16_t>(queues_.size());
+  }
+  PolicyKind policy() const { return policy_; }
+
+  /// Number of pops served from a queue other than the requester's
+  /// home queue (i.e. steals). Always 0 under kFifo.
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  PolicyKind policy_;
+  std::vector<std::deque<ThreadId>> queues_;  // kFifo uses queues_[0] only
+  std::size_t size_ = 0;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace tflux::core

@@ -1,0 +1,51 @@
+#include "core/scheduler.h"
+
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::core {
+
+ReferenceScheduler::ReferenceScheduler(const Program& program,
+                                       std::uint16_t num_kernels,
+                                       PolicyKind policy)
+    : program_(program), num_kernels_(num_kernels), policy_(policy) {
+  if (num_kernels_ == 0) {
+    throw TFluxError("ReferenceScheduler: num_kernels must be >= 1");
+  }
+}
+
+ScheduleResult ReferenceScheduler::run() {
+  TsuState tsu(program_, num_kernels_, policy_);
+  tsu.start();
+
+  ScheduleResult result;
+  result.records.reserve(program_.num_threads());
+  std::uint64_t step = 0;
+  KernelId kernel = 0;
+  // Each fetch miss advances to the next kernel; since a body runs to
+  // completion synchronously, the pool can only be empty when the
+  // program is done (no thread is ever left half-executed).
+  while (!tsu.done()) {
+    auto tid = tsu.fetch(kernel);
+    if (tid) {
+      const DThread& t = program_.thread(*tid);
+      if (t.body) {
+        t.body(ExecContext{kernel, *tid});
+      }
+      tsu.complete(*tid);
+      result.records.push_back(ScheduleRecord{*tid, kernel, step++});
+    } else if (!tsu.done()) {
+      // With synchronous execution an empty pool and an unfinished
+      // program is a deadlock => malformed graph (builder bug).
+      throw TFluxError(
+          "ReferenceScheduler: deadlock - empty ready pool before the "
+          "last Outlet completed");
+    }
+    kernel = static_cast<KernelId>((kernel + 1) % num_kernels_);
+  }
+  result.counters = tsu.counters();
+  return result;
+}
+
+}  // namespace tflux::core

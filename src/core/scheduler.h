@@ -1,0 +1,48 @@
+// ReferenceScheduler: a deterministic, single-host-thread executor of
+// DDM programs on K *virtual* Kernels. It is the functional oracle:
+// the native runtime and both machine simulators must produce results
+// identical to it (and to the sequential reference of each app).
+//
+// It also doubles as the simplest possible TFlux platform - useful for
+// debugging programs and for property tests over the DDM protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/ready_set.h"
+#include "core/tsu_state.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// One executed DThread in schedule order.
+struct ScheduleRecord {
+  ThreadId thread = kInvalidThread;
+  KernelId kernel = kInvalidKernel;
+  std::uint64_t step = 0;  ///< global execution index (0-based)
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleRecord> records;
+  TsuCounters counters;
+};
+
+class ReferenceScheduler {
+ public:
+  ReferenceScheduler(const Program& program, std::uint16_t num_kernels,
+                     PolicyKind policy = PolicyKind::kLocality);
+
+  /// Execute the whole program: round-robin over virtual kernels, each
+  /// fetching and synchronously running one DThread per turn. Bodies
+  /// are invoked (functional plane). Returns the full schedule.
+  ScheduleResult run();
+
+ private:
+  const Program& program_;
+  std::uint16_t num_kernels_;
+  PolicyKind policy_;
+};
+
+}  // namespace tflux::core

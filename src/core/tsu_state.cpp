@@ -1,0 +1,102 @@
+#include "core/tsu_state.h"
+
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::core {
+
+TsuState::TsuState(const Program& program, std::uint16_t num_kernels,
+                   PolicyKind policy)
+    : program_(program),
+      ready_(num_kernels, policy),
+      ready_counts_(program.num_threads(), 0),
+      states_(program.num_threads(), ThreadState::kNotLoaded) {}
+
+void TsuState::start() {
+  if (started_) throw TFluxError("TsuState::start called twice");
+  started_ = true;
+  make_ready(program_.block(0).inlet);
+}
+
+std::optional<ThreadId> TsuState::fetch(KernelId kernel) {
+  assert(started_);
+  ++counters_.fetch_requests;
+  std::optional<ThreadId> tid = ready_.pop(kernel);
+  if (!tid) {
+    ++counters_.fetch_misses;
+    return std::nullopt;
+  }
+  assert(states_[*tid] == ThreadState::kReady);
+  states_[*tid] = ThreadState::kRunning;
+  counters_.steals = ready_.steals();
+  return tid;
+}
+
+void TsuState::complete(ThreadId tid) {
+  assert(started_);
+  if (tid >= program_.num_threads() ||
+      states_[tid] != ThreadState::kRunning) {
+    throw TFluxError("TsuState::complete on DThread that is not running");
+  }
+  states_[tid] = ThreadState::kCompleted;
+  const DThread& t = program_.thread(tid);
+
+  switch (t.kind) {
+    case ThreadKind::kInlet: {
+      // Load the block: initialize Ready Counts for its application
+      // threads and its Outlet; zero-count threads become ready.
+      const Block& blk = program_.block(t.block);
+      current_block_ = blk.id;
+      ++counters_.blocks_loaded;
+      for (ThreadId id : blk.app_threads) {
+        assert(states_[id] == ThreadState::kNotLoaded);
+        ready_counts_[id] = program_.thread(id).ready_count_init;
+        if (ready_counts_[id] == 0) {
+          make_ready(id);
+        } else {
+          states_[id] = ThreadState::kWaiting;
+        }
+      }
+      // Every non-empty DAG has at least one sink, so the Outlet always
+      // starts with a positive Ready Count.
+      ready_counts_[blk.outlet] = program_.thread(blk.outlet).ready_count_init;
+      assert(ready_counts_[blk.outlet] > 0);
+      states_[blk.outlet] = ThreadState::kWaiting;
+      break;
+    }
+    case ThreadKind::kApplication: {
+      ++counters_.threads_completed;
+      for (ThreadId consumer : t.consumers) {
+        decrement(consumer);
+      }
+      break;
+    }
+    case ThreadKind::kOutlet: {
+      // Free this block's TSU resources and chain to the next block.
+      const BlockId next = static_cast<BlockId>(t.block + 1);
+      if (next < program_.num_blocks()) {
+        make_ready(program_.block(next).inlet);
+      } else {
+        done_ = true;
+      }
+      break;
+    }
+  }
+}
+
+void TsuState::make_ready(ThreadId tid) {
+  states_[tid] = ThreadState::kReady;
+  ready_.push(tid, program_.thread(tid).home_kernel);
+}
+
+void TsuState::decrement(ThreadId consumer) {
+  ++counters_.consumer_updates;
+  assert(states_[consumer] == ThreadState::kWaiting);
+  assert(ready_counts_[consumer] > 0);
+  if (--ready_counts_[consumer] == 0) {
+    make_ready(consumer);
+  }
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,96 @@
+// TsuState: the platform-independent state machine of the Thread
+// Synchronization Unit. It owns the Ready Count algebra, the ready
+// pool, and the DDM Block protocol (Inlet loads a block's metadata,
+// Outlet frees it and chains to the next block; the last Outlet ends
+// the program).
+//
+// Every platform TSU wraps this class:
+//   runtime::TsuEmulator  - software TSU thread fed by the TUB
+//   machine::HardTsu      - memory-mapped hardware device (TFluxHard)
+//   cell::PpeTsu          - command-buffer/mailbox protocol on the PPE
+//
+// TsuState itself is single-threaded; wrappers serialize access (the
+// paper's TSU Group is one unit precisely so TSU-to-TSU traffic stays
+// internal).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/program.h"
+#include "core/ready_set.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Lifecycle of a DThread as seen by the TSU.
+enum class ThreadState : std::uint8_t {
+  kNotLoaded,  ///< block not yet loaded into the TSU
+  kWaiting,    ///< loaded; Ready Count > 0
+  kReady,      ///< Ready Count == 0; in the ready pool
+  kRunning,    ///< fetched by a Kernel
+  kCompleted,  ///< post-processing done
+};
+
+/// Counters the TSU maintains (exported by every platform's stats).
+struct TsuCounters {
+  std::uint64_t threads_completed = 0;   ///< application threads only
+  std::uint64_t consumer_updates = 0;    ///< Ready Count decrements
+  std::uint64_t fetch_requests = 0;      ///< fetch() calls
+  std::uint64_t fetch_misses = 0;        ///< fetch() with empty pool
+  std::uint64_t blocks_loaded = 0;
+  std::uint64_t steals = 0;              ///< non-home-queue dispatches
+};
+
+class TsuState {
+ public:
+  /// `num_kernels` is the number of worker Kernels the program will run
+  /// on; it sizes the per-kernel ready queues of the locality policy.
+  TsuState(const Program& program, std::uint16_t num_kernels,
+           PolicyKind policy = PolicyKind::kLocality);
+
+  /// Arm the TSU: the first block's Inlet becomes the only ready
+  /// DThread. Must be called exactly once before any fetch().
+  void start();
+
+  /// A Kernel requests its next DThread. Returns nullopt when nothing
+  /// is ready (the Kernel must retry) - including after the program is
+  /// done (check done() to distinguish).
+  std::optional<ThreadId> fetch(KernelId kernel);
+
+  /// Post-processing phase for a completed DThread:
+  ///  - Inlet: load its block (initialize Ready Counts; threads with a
+  ///    zero count enter the ready pool).
+  ///  - Application: decrement each consumer's Ready Count; consumers
+  ///    reaching zero enter the ready pool.
+  ///  - Outlet: unload the block; make the next block's Inlet ready,
+  ///    or mark the program done if this was the last block.
+  void complete(ThreadId tid);
+
+  /// True once the last block's Outlet has completed.
+  bool done() const { return done_; }
+
+  ThreadState state(ThreadId tid) const { return states_[tid]; }
+  std::uint32_t ready_count(ThreadId tid) const { return ready_counts_[tid]; }
+  std::size_t ready_pool_size() const { return ready_.size(); }
+  BlockId current_block() const { return current_block_; }
+
+  const TsuCounters& counters() const { return counters_; }
+  const Program& program() const { return program_; }
+
+ private:
+  void make_ready(ThreadId tid);
+  void decrement(ThreadId consumer);
+
+  const Program& program_;
+  ReadySet ready_;
+  std::vector<std::uint32_t> ready_counts_;
+  std::vector<ThreadState> states_;
+  BlockId current_block_ = kInvalidBlock;
+  bool started_ = false;
+  bool done_ = false;
+  TsuCounters counters_;
+};
+
+}  // namespace tflux::core

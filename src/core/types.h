@@ -1,0 +1,52 @@
+// Core identifier types and constants shared by every TFlux component.
+//
+// Terminology follows the TFlux paper (ICPP 2008):
+//   DThread  - a Data-Driven Thread: a non-overlapping section of code
+//              scheduled only when all of its producers have completed.
+//   Kernel   - the per-CPU worker loop that fetches ready DThreads from
+//              the TSU and runs them to completion.
+//   TSU      - Thread Synchronization Unit: tracks Ready Counts and
+//              consumer lists, and hands ready DThreads to Kernels.
+//   Block    - a DDM Block: a TSU-capacity-bounded subset of a program's
+//              DThreads, bracketed by Inlet/Outlet DThreads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tflux::core {
+
+/// Program-unique identifier of a DThread instance.
+using ThreadId = std::uint32_t;
+
+/// Identifier of a worker Kernel (one per compute node/CPU).
+using KernelId = std::uint16_t;
+
+/// Identifier of a DDM Block within a program. Blocks execute in
+/// ascending BlockId order, chained by the Inlet/Outlet protocol.
+using BlockId = std::uint16_t;
+
+/// Simulated byte address in a program's synthetic address space
+/// (used by the timing plane; the functional plane uses real memory).
+using SimAddr = std::uint64_t;
+
+/// Simulated clock cycles.
+using Cycles = std::uint64_t;
+
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+inline constexpr KernelId kInvalidKernel =
+    std::numeric_limits<KernelId>::max();
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// Role of a DThread within its DDM Block.
+enum class ThreadKind : std::uint8_t {
+  kApplication,  ///< user code produced by the preprocessor
+  kInlet,        ///< loads the block's DThread metadata into the TSU
+  kOutlet,       ///< frees TSU resources; chains to the next block's inlet
+};
+
+/// Human-readable name of a ThreadKind (for traces and error messages).
+const char* to_string(ThreadKind kind);
+
+}  // namespace tflux::core

@@ -1,0 +1,74 @@
+#include "core/unroll.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace tflux::core {
+
+std::vector<LoopChunk> chunk_iterations(std::int64_t begin, std::int64_t end,
+                                        std::uint32_t unroll) {
+  if (unroll == 0) throw TFluxError("chunk_iterations: unroll must be >= 1");
+  std::vector<LoopChunk> chunks;
+  if (end <= begin) return chunks;
+  chunks.reserve(
+      static_cast<std::size_t>((end - begin + unroll - 1) / unroll));
+  for (std::int64_t lo = begin; lo < end;
+       lo += static_cast<std::int64_t>(unroll)) {
+    chunks.push_back(
+        LoopChunk{lo, std::min<std::int64_t>(end, lo + unroll)});
+  }
+  return chunks;
+}
+
+std::vector<ThreadId> add_loop_threads(
+    ProgramBuilder& builder, std::int64_t begin, std::int64_t end,
+    std::uint32_t unroll,
+    const std::function<ThreadId(LoopChunk, std::size_t)>& make_thread) {
+  (void)builder;  // the callback adds to the builder; kept for call-site
+                  // clarity and future bookkeeping
+  std::vector<ThreadId> ids;
+  const auto chunks = chunk_iterations(begin, end, unroll);
+  ids.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    ids.push_back(make_thread(chunks[i], i));
+  }
+  return ids;
+}
+
+ThreadId add_reduction_tree(
+    ProgramBuilder& builder, const std::vector<ThreadId>& leaves,
+    std::uint32_t fanin,
+    const std::function<ThreadId(std::uint32_t, std::size_t,
+                                 const std::vector<ThreadId>&)>& make_node) {
+  if (fanin < 2) throw TFluxError("add_reduction_tree: fanin must be >= 2");
+  if (leaves.empty()) {
+    throw TFluxError("add_reduction_tree: no leaves");
+  }
+  std::vector<ThreadId> level = leaves;
+  std::uint32_t depth = 0;
+  while (level.size() > 1) {
+    ++depth;
+    std::vector<ThreadId> next;
+    next.reserve((level.size() + fanin - 1) / fanin);
+    for (std::size_t i = 0; i < level.size();
+         i += static_cast<std::size_t>(fanin)) {
+      const std::size_t hi = std::min(level.size(), i + fanin);
+      std::vector<ThreadId> children(level.begin() + i, level.begin() + hi);
+      if (children.size() == 1) {
+        // A lone child needs no merge node; it flows up unchanged.
+        next.push_back(children[0]);
+        continue;
+      }
+      const ThreadId node = make_node(depth, i / fanin, children);
+      for (ThreadId child : children) {
+        builder.add_arc(child, node);
+      }
+      next.push_back(node);
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace tflux::core

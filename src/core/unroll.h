@@ -1,0 +1,55 @@
+// Loop-unrolling and reduction-tree helpers.
+//
+// The paper evaluates every benchmark "with the basic loops being
+// unrolled from 1 to 64 times": a parallel loop becomes one DThread
+// per chunk of `unroll` consecutive iterations. Coarser chunks amortize
+// the per-DThread TSU overhead (TFluxHard peaks at unroll 2-4, TFluxSoft
+// needs >16, TFluxCell needs 64 - reproduced by bench/ablation_unroll).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Half-open iteration range [begin, end) covered by one DThread.
+struct LoopChunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t size() const { return end - begin; }
+  friend bool operator==(const LoopChunk&, const LoopChunk&) = default;
+};
+
+/// Split [begin, end) into chunks of `unroll` iterations (the last
+/// chunk may be short). unroll == 0 is rejected.
+std::vector<LoopChunk> chunk_iterations(std::int64_t begin, std::int64_t end,
+                                        std::uint32_t unroll);
+
+/// Convenience: create one DThread per chunk of a parallel loop.
+/// `make_thread(chunk, chunk_index)` must add the DThread via the
+/// builder and return its id. Returns the ids in chunk order.
+std::vector<ThreadId> add_loop_threads(
+    ProgramBuilder& builder, std::int64_t begin, std::int64_t end,
+    std::uint32_t unroll,
+    const std::function<ThreadId(LoopChunk, std::size_t)>& make_thread);
+
+/// Build a reduction (merge) tree over `leaves` with the given fan-in.
+/// For each internal node, `make_node(level, index, children)` adds a
+/// DThread combining the children's results and returns its id; this
+/// helper wires child -> node arcs. Returns the root's id. With
+/// fanin == 2 and two levels over P leaves this is exactly the paper's
+/// QSORT "two-level tree" merge. Throws on fanin < 2 or empty leaves.
+ThreadId add_reduction_tree(
+    ProgramBuilder& builder, const std::vector<ThreadId>& leaves,
+    std::uint32_t fanin,
+    const std::function<ThreadId(std::uint32_t level, std::size_t index,
+                                 const std::vector<ThreadId>& children)>&
+        make_node);
+
+}  // namespace tflux::core

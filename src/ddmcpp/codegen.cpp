@@ -1,0 +1,255 @@
+#include "ddmcpp/codegen.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace tflux::ddmcpp {
+
+const char* to_string(Target target) {
+  switch (target) {
+    case Target::kSoft:
+      return "soft";
+    case Target::kHard:
+      return "hard";
+    case Target::kCell:
+      return "cell";
+  }
+  return "?";
+}
+
+Target parse_target(const std::string& name) {
+  if (name == "soft") return Target::kSoft;
+  if (name == "hard") return Target::kHard;
+  if (name == "cell") return Target::kCell;
+  throw core::TFluxError("ddmcpp: unknown target '" + name +
+                         "' (expected soft, hard or cell)");
+}
+
+namespace {
+
+std::string body_fn_name(const ThreadIR& t) {
+  return "ddm_thread_" + std::to_string(t.id);
+}
+
+void emit_thread_functions(const ProgramIR& ir, std::ostringstream& out) {
+  for (const BlockIR& block : ir.blocks) {
+    for (const ThreadIR& t : block.threads) {
+      if (t.is_loop) {
+        // Chunk body: runs `unroll`-sized slices of the iteration
+        // space; the original induction variable is rebuilt from the
+        // iteration index so arbitrary begin/step expressions work.
+        out << "// for thread " << t.id << " (loop over " << t.loop_var
+            << ")\n";
+        out << "void " << body_fn_name(t)
+            << "(long long ddm_iter_begin, long long ddm_iter_end,\n"
+            << "     const tflux::core::ExecContext& ddm_ctx) {\n"
+            << "  (void)ddm_ctx;\n"
+            << "  for (long long ddm_it = ddm_iter_begin; "
+               "ddm_it < ddm_iter_end; ++ddm_it) {\n"
+            << "    " << t.loop_var_type << " " << t.loop_var
+            << " = static_cast<" << t.loop_var_type << ">((" << t.begin_expr
+            << ") + ddm_it * (" << t.step_expr << "));\n"
+            << "    " << t.body << "\n"
+            << "  }\n"
+            << "}\n\n";
+      } else {
+        out << "// thread " << t.id << "\n";
+        out << "void " << body_fn_name(t)
+            << "(const tflux::core::ExecContext& ddm_ctx) {\n"
+            << "  (void)ddm_ctx;\n"
+            << t.body << "}\n\n";
+      }
+    }
+  }
+}
+
+void emit_builder(const ProgramIR& ir, std::ostringstream& out) {
+  std::uint32_t max_id = 0;
+  for (const BlockIR& block : ir.blocks) {
+    for (const ThreadIR& t : block.threads) max_id = std::max(max_id, t.id);
+  }
+
+  out << "tflux::core::Program ddm_build_program(std::uint16_t "
+         "ddm_kernels) {\n"
+      << "  tflux::core::ProgramBuilder ddm_builder(\"" << ir.name
+      << "\");\n"
+      << "  std::vector<std::vector<tflux::core::ThreadId>> ddm_ids("
+      << max_id + 1 << ");\n";
+
+  for (const BlockIR& block : ir.blocks) {
+    out << "  {\n"
+        << "    const tflux::core::BlockId ddm_block = "
+           "ddm_builder.add_block();\n";
+    for (const ThreadIR& t : block.threads) {
+      const std::string kernel =
+          t.kernel == core::kInvalidKernel
+              ? "tflux::core::kInvalidKernel"
+              : std::to_string(t.kernel);
+      // Timing-plane footprint from the cycles/reads/writes clauses.
+      auto footprint_expr = [&t](const std::string& compute) {
+        std::ostringstream fp;
+        fp << "[&] { tflux::core::Footprint ddm_fp; ddm_fp.compute("
+           << compute << ");";
+        for (const ThreadIR::Range& r : t.ranges) {
+          fp << " ddm_fp." << (r.write ? "write" : "read") << "(" << r.addr
+             << "ull, " << r.bytes << "u, " << (r.stream ? "true" : "false")
+             << ");";
+        }
+        fp << " return ddm_fp; }()";
+        return fp.str();
+      };
+      if (t.is_loop) {
+        out << "    {\n"
+            << "      const long long ddm_begin = 0;\n"
+            << "      const long long ddm_total =\n"
+            << "          (static_cast<long long>(" << t.end_expr
+            << ") - static_cast<long long>(" << t.begin_expr << ")\n"
+            << "           + static_cast<long long>(" << t.step_expr
+            << ") - 1) / static_cast<long long>(" << t.step_expr << ");\n"
+            << "      for (const tflux::core::LoopChunk ddm_chunk :\n"
+            << "           tflux::core::chunk_iterations(ddm_begin, "
+               "ddm_total, " << t.unroll << "u)) {\n"
+            << "        ddm_ids[" << t.id
+            << "].push_back(ddm_builder.add_thread(\n"
+            << "            ddm_block, \"t" << t.id << "\",\n"
+            << "            [ddm_chunk](const tflux::core::ExecContext& c) "
+               "{\n"
+            << "              " << body_fn_name(t)
+            << "(ddm_chunk.begin, ddm_chunk.end, c);\n"
+            << "            },\n"
+            << "            "
+            << footprint_expr("ddm_chunk.size() * " +
+                              std::to_string(t.cycles) + "ull")
+            << ", " << kernel << "));\n"
+            << "      }\n"
+            << "    }\n";
+      } else {
+        out << "    ddm_ids[" << t.id
+            << "].push_back(ddm_builder.add_thread(\n"
+            << "        ddm_block, \"t" << t.id << "\", "
+            << "[](const tflux::core::ExecContext& c) { " << body_fn_name(t)
+            << "(c); },\n        "
+            << footprint_expr(std::to_string(t.cycles) + "ull") << ", "
+            << kernel << "));\n";
+      }
+      for (std::uint32_t dep : t.depends) {
+        out << "    for (tflux::core::ThreadId ddm_p : ddm_ids[" << dep
+            << "])\n"
+            << "      for (tflux::core::ThreadId ddm_c : ddm_ids[" << t.id
+            << "])\n"
+            << "        ddm_builder.add_arc(ddm_p, ddm_c);\n";
+      }
+    }
+    out << "  }\n";
+  }
+  out << "  tflux::core::BuildOptions ddm_options;\n"
+      << "  ddm_options.num_kernels = ddm_kernels;\n"
+      << "  return ddm_builder.build(ddm_options);\n"
+      << "}\n\n";
+}
+
+void emit_main(const ProgramIR& ir, const CodegenOptions& options,
+               std::ostringstream& out) {
+  const Target target = options.target;
+  const std::uint16_t kernels =
+      options.kernels_override != 0 ? options.kernels_override : ir.kernels;
+  out << "int main() {\n"
+      << "  const std::uint16_t ddm_kernels = " << kernels << ";\n"
+      << "  tflux::core::Program ddm_program = "
+         "ddm_build_program(ddm_kernels);\n";
+  switch (target) {
+    case Target::kSoft:
+      out << "  tflux::runtime::RuntimeOptions ddm_rt_options;\n"
+          << "  ddm_rt_options.num_kernels = ddm_kernels;\n"
+          << "  tflux::runtime::Runtime ddm_runtime(ddm_program, "
+             "ddm_rt_options);\n"
+          << "  const tflux::runtime::RuntimeStats ddm_stats = "
+             "ddm_runtime.run();\n"
+          << "  std::printf(\"[ddmcpp:soft] %llu DThreads on %u kernels "
+             "in %.6fs\\n\",\n"
+          << "              (unsigned long long)"
+             "ddm_stats.total_app_threads_executed(),\n"
+          << "              ddm_kernels, ddm_stats.wall_seconds);\n";
+      break;
+    case Target::kHard:
+      out << "  tflux::machine::Machine ddm_machine(\n"
+          << "      tflux::machine::bagle_sparc(ddm_kernels), "
+             "ddm_program);\n"
+          << "  const tflux::machine::MachineStats ddm_stats = "
+             "ddm_machine.run();\n"
+          << "  std::printf(\"[ddmcpp:hard] %llu DThreads on %u kernels "
+             "in %llu cycles\\n\",\n"
+          << "              (unsigned long long)ddm_stats.threads_executed,"
+             "\n"
+          << "              ddm_kernels,\n"
+          << "              (unsigned long long)ddm_stats.total_cycles);\n";
+      break;
+    case Target::kCell:
+      out << "  tflux::cell::CellMachine ddm_machine(\n"
+          << "      tflux::cell::ps3_cell(ddm_kernels), ddm_program);\n"
+          << "  const tflux::cell::CellStats ddm_stats = "
+             "ddm_machine.run();\n"
+          << "  std::printf(\"[ddmcpp:cell] %llu DThreads on %u SPEs "
+             "in %llu cycles\\n\",\n"
+          << "              (unsigned long long)ddm_stats.threads_executed,"
+             "\n"
+          << "              ddm_kernels,\n"
+          << "              (unsigned long long)ddm_stats.total_cycles);\n";
+      break;
+  }
+  out << "  return 0;\n"
+      << "}\n";
+}
+
+}  // namespace
+
+std::string generate(const ProgramIR& ir, const CodegenOptions& options) {
+  std::ostringstream out;
+  out << "// Generated by DDMCPP (TFlux preprocessor) - target: "
+      << to_string(options.target) << ". Do not edit.\n"
+      << "#include <cstdint>\n"
+      << "#include <cstdio>\n"
+      << "#include <vector>\n"
+      << "#include \"core/builder.h\"\n"
+      << "#include \"core/unroll.h\"\n";
+  switch (options.target) {
+    case Target::kSoft:
+      out << "#include \"runtime/runtime.h\"\n";
+      break;
+    case Target::kHard:
+      out << "#include \"machine/config.h\"\n"
+          << "#include \"machine/machine.h\"\n";
+      break;
+    case Target::kCell:
+      out << "#include \"cell/cell_machine.h\"\n"
+          << "#include \"cell/config.h\"\n";
+      break;
+  }
+  out << "\n// --- user prelude "
+         "---------------------------------------------\n"
+      << ir.prelude
+      << "\n// --- user program globals "
+         "-------------------------------------\n"
+      << ir.globals << "\n";
+  if (!ir.shared_vars.empty()) {
+    out << "// DDM shared variables: ";
+    for (std::size_t i = 0; i < ir.shared_vars.size(); ++i) {
+      out << (i ? ", " : "") << ir.shared_vars[i];
+    }
+    out << "\n";
+  }
+  out << "\n// --- DThread bodies "
+         "-------------------------------------------\n";
+  emit_thread_functions(ir, out);
+  out << "// --- synchronization graph construction "
+         "-----------------------\n";
+  emit_builder(ir, out);
+  if (options.emit_main) {
+    emit_main(ir, options, out);
+  }
+  return out.str();
+}
+
+}  // namespace tflux::ddmcpp

@@ -1,0 +1,38 @@
+// DDMCPP back-ends: lower the target-independent ProgramIR to C++
+// source against the TFlux runtime of the chosen target. The graph
+// construction is shared; only the driver (main) differs per target -
+// the paper's front-end/back-end split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ddmcpp/ir.h"
+
+namespace tflux::ddmcpp {
+
+enum class Target : std::uint8_t {
+  kSoft,  ///< native TFluxSoft runtime (std::threads + TSU Emulator)
+  kHard,  ///< simulated TFluxHard machine (Bagle-like, hardware TSU)
+  kCell,  ///< simulated TFluxCell machine (PS3-like)
+};
+
+const char* to_string(Target target);
+
+/// Parse a target name ("soft" / "hard" / "cell"); throws TFluxError.
+Target parse_target(const std::string& name);
+
+struct CodegenOptions {
+  Target target = Target::kSoft;
+  /// Emit a main() driver; disable to embed the generated builder
+  /// (ddm_build_program) into another program.
+  bool emit_main = true;
+  /// Override the program's `startprogram kernels <n>` clause
+  /// (the tool's --kernels flag); 0 keeps the source's value.
+  std::uint16_t kernels_override = 0;
+};
+
+/// Generate a complete C++ translation unit.
+std::string generate(const ProgramIR& ir, const CodegenOptions& options);
+
+}  // namespace tflux::ddmcpp

@@ -1,0 +1,102 @@
+// The DDMCPP command-line tool: C + DDM pragma directives in,
+// TFlux-runtime C++ out.
+//
+//   ddmcpp [--target=soft|hard|cell] [-o out.cpp] input.ddm.c
+//
+// The emitted file compiles against this repository's headers and
+// libraries (tflux_runtime for soft; tflux_machine / tflux_cell for
+// the simulated targets).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/error.h"
+#include "ddmcpp/codegen.h"
+#include "ddmcpp/parser.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ddmcpp [--target=soft|hard|cell] [--kernels=N] "
+               "[-o out.cpp] input.ddm.c\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  tflux::ddmcpp::CodegenOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--target=", 0) == 0) {
+      try {
+        options.target = tflux::ddmcpp::parse_target(arg.substr(9));
+      } catch (const tflux::core::TFluxError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "-o") {
+      if (++i >= argc) {
+        usage();
+        return 2;
+      }
+      output = argv[i];
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      options.kernels_override =
+          static_cast<std::uint16_t>(std::stoul(arg.substr(10)));
+    } else if (arg == "--no-main") {
+      options.emit_main = false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ddmcpp: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "ddmcpp: multiple input files\n");
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "ddmcpp: cannot open '%s'\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  std::string generated;
+  try {
+    const tflux::ddmcpp::ProgramIR ir =
+        tflux::ddmcpp::parse(source.str(), input);
+    generated = tflux::ddmcpp::generate(ir, options);
+  } catch (const tflux::core::TFluxError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  if (output.empty()) {
+    std::cout << generated;
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "ddmcpp: cannot write '%s'\n", output.c_str());
+      return 1;
+    }
+    out << generated;
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Target-independent intermediate representation produced by the
+// DDMCPP front-end (the paper's "parser tool which is independent of
+// the TFlux implementation"). The back-ends lower this IR to C++
+// against the TFlux runtime of the chosen target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::ddmcpp {
+
+/// One `#pragma ddm thread` or `#pragma ddm for thread` region.
+struct ThreadIR {
+  std::uint32_t id = 0;          ///< user-chosen DThread id
+  bool is_loop = false;          ///< `for thread` vs plain `thread`
+  std::string body;              ///< raw statement text (C/C++)
+  std::vector<std::uint32_t> depends;  ///< producer thread ids
+  /// Pinned kernel from `kernel <k>`; kInvalidKernel = unpinned.
+  core::KernelId kernel = core::kInvalidKernel;
+
+  /// Timing-plane clauses. `cycles(<n>)` gives the DThread's compute
+  /// cost (for loop threads: per iteration); reads(<addr>:<bytes>) and
+  /// writes(<addr>:<bytes>) add memory ranges (plain threads only;
+  /// append ":stream" for single-pass ranges).
+  std::uint64_t cycles = 0;
+  struct Range {
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 0;
+    bool write = false;
+    bool stream = false;
+  };
+  std::vector<Range> ranges;
+
+  // Loop threads only: the parsed for-header and the unroll factor.
+  std::string loop_var;        ///< induction variable name
+  std::string loop_var_type;   ///< declared type ("int", "long", ...)
+  std::string begin_expr;      ///< initial value expression
+  std::string end_expr;        ///< exclusive upper bound expression
+  std::string step_expr;       ///< step (default "1")
+  std::uint32_t unroll = 1;    ///< iterations per DThread
+};
+
+/// One `#pragma ddm block` region (or the implicit default block).
+struct BlockIR {
+  std::uint32_t id = 0;
+  std::vector<ThreadIR> threads;
+};
+
+/// A whole translated compilation unit.
+struct ProgramIR {
+  std::string name = "ddm_program";
+  std::uint16_t kernels = 4;   ///< from `startprogram kernels <n>`
+  /// Verbatim text before `startprogram` (includes, globals).
+  std::string prelude;
+  /// Verbatim non-thread text inside the program region (shared
+  /// variables and helper functions).
+  std::string globals;
+  std::vector<BlockIR> blocks;
+  /// Names declared with `#pragma ddm shared` (documentation +
+  /// validation; the generated code accesses them as globals).
+  std::vector<std::string> shared_vars;
+};
+
+}  // namespace tflux::ddmcpp

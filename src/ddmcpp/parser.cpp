@@ -1,0 +1,421 @@
+#include "ddmcpp/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+
+namespace tflux::ddmcpp {
+namespace {
+
+using core::TFluxError;
+
+[[noreturn]] void fail(const std::string& filename, std::size_t line,
+                       const std::string& message) {
+  throw TFluxError("ddmcpp: " + filename + ":" + std::to_string(line) +
+                   ": " + message);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Tokenizer for directive tails: identifiers, integers, ( ) , .
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(text.substr(i, j - i));
+      i = j;
+    } else {
+      tokens.push_back(std::string(1, c));
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+bool is_number(const std::string& t) {
+  return !t.empty() &&
+         std::all_of(t.begin(), t.end(), [](unsigned char c) {
+           return std::isdigit(c) != 0;
+         });
+}
+
+/// Cursor over directive tokens with contextual error reporting.
+class TokenCursor {
+ public:
+  TokenCursor(std::vector<std::string> tokens, const std::string& filename,
+              std::size_t line)
+      : tokens_(std::move(tokens)), filename_(filename), line_(line) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const {
+    static const std::string kEmpty;
+    return done() ? kEmpty : tokens_[pos_];
+  }
+  std::string next() {
+    if (done()) fail(filename_, line_, "unexpected end of directive");
+    return tokens_[pos_++];
+  }
+  bool accept(const std::string& t) {
+    if (!done() && tokens_[pos_] == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(const std::string& t) {
+    if (!accept(t)) {
+      fail(filename_, line_, "expected '" + t + "' but found '" + peek() +
+                                 "'");
+    }
+  }
+  std::uint64_t expect_number(const std::string& what) {
+    const std::string t = next();
+    if (!is_number(t)) {
+      fail(filename_, line_, "expected " + what + " but found '" + t + "'");
+    }
+    return std::stoull(t);
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::string filename_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses the restricted canonical for-header:
+///   for (<type> <var> = <begin>; <var> < <end>; <var>++ | <var> += <s>)
+/// Returns the index just past the closing ')'.
+std::size_t parse_for_header(const std::string& text, std::size_t line,
+                             const std::string& filename, ThreadIR* out) {
+  std::size_t i = text.find("for");
+  if (i == std::string::npos) {
+    fail(filename, line, "expected a for loop after '#pragma ddm for'");
+  }
+  i = text.find('(', i);
+  if (i == std::string::npos) fail(filename, line, "malformed for header");
+  // Find the balanced closing ')'.
+  int depth = 0;
+  std::size_t close = std::string::npos;
+  std::vector<std::size_t> semis;
+  for (std::size_t j = i; j < text.size(); ++j) {
+    if (text[j] == '(') ++depth;
+    if (text[j] == ')') {
+      if (--depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (text[j] == ';' && depth == 1) semis.push_back(j);
+  }
+  if (close == std::string::npos || semis.size() != 2) {
+    fail(filename, line, "malformed for header (need 'init; cond; incr')");
+  }
+  const std::string init = trim(text.substr(i + 1, semis[0] - i - 1));
+  const std::string cond = trim(text.substr(semis[0] + 1,
+                                            semis[1] - semis[0] - 1));
+  const std::string incr = trim(text.substr(semis[1] + 1,
+                                            close - semis[1] - 1));
+
+  // init: "<type...> <var> = <expr>".
+  const std::size_t eq = init.find('=');
+  if (eq == std::string::npos) {
+    fail(filename, line, "for init must be '<type> <var> = <expr>'");
+  }
+  const std::string decl = trim(init.substr(0, eq));
+  out->begin_expr = trim(init.substr(eq + 1));
+  const std::size_t last_space = decl.find_last_of(" \t");
+  if (last_space == std::string::npos) {
+    fail(filename, line, "for init must declare its induction variable");
+  }
+  out->loop_var = trim(decl.substr(last_space + 1));
+  out->loop_var_type = trim(decl.substr(0, last_space));
+
+  // cond: "<var> < <expr>".
+  const std::size_t lt = cond.find('<');
+  if (lt == std::string::npos || (lt + 1 < cond.size() && cond[lt + 1] == '=')) {
+    fail(filename, line, "for condition must be '" + out->loop_var +
+                             " < <bound>' (strict less-than)");
+  }
+  if (trim(cond.substr(0, lt)) != out->loop_var) {
+    fail(filename, line, "for condition must test the induction variable");
+  }
+  out->end_expr = trim(cond.substr(lt + 1));
+
+  // incr: "<var>++" | "++<var>" | "<var> += <step>".
+  if (incr == out->loop_var + "++" || incr == "++" + out->loop_var) {
+    out->step_expr = "1";
+  } else {
+    const std::size_t pe = incr.find("+=");
+    if (pe == std::string::npos ||
+        trim(incr.substr(0, pe)) != out->loop_var) {
+      fail(filename, line,
+           "for increment must be '" + out->loop_var + "++' or '" +
+               out->loop_var + " += <step>'");
+    }
+    out->step_expr = trim(incr.substr(pe + 2));
+    if (out->step_expr.empty()) fail(filename, line, "empty for step");
+  }
+  return close + 1;
+}
+
+struct ParserState {
+  enum Region { kOutside, kProgram, kThread, kForAwaitHeader, kForBody,
+                kAfterProgram };
+  Region region = kOutside;
+  bool saw_program = false;
+  bool in_explicit_block = false;
+  std::set<std::uint32_t> thread_ids;
+  ThreadIR current;
+  std::string filename;
+};
+
+}  // namespace
+
+ProgramIR parse(const std::string& source, const std::string& filename) {
+  ProgramIR ir;
+  ParserState st;
+  st.filename = filename;
+
+  auto ensure_block = [&ir] {
+    if (ir.blocks.empty()) {
+      ir.blocks.push_back(BlockIR{0, {}});
+    }
+  };
+
+  auto parse_clauses = [&](TokenCursor& cur, std::size_t line) {
+    while (!cur.done()) {
+      const std::string clause = cur.next();
+      if (clause == "kernel") {
+        st.current.kernel =
+            static_cast<core::KernelId>(cur.expect_number("kernel id"));
+      } else if (clause == "unroll") {
+        if (!st.current.is_loop) {
+          fail(filename, line, "'unroll' is only valid on 'for thread'");
+        }
+        st.current.unroll =
+            static_cast<std::uint32_t>(cur.expect_number("unroll factor"));
+        if (st.current.unroll == 0) {
+          fail(filename, line, "unroll must be >= 1");
+        }
+      } else if (clause == "cycles") {
+        cur.expect("(");
+        st.current.cycles = cur.expect_number("cycle count");
+        cur.expect(")");
+      } else if (clause == "reads" || clause == "writes") {
+        if (st.current.is_loop) {
+          fail(filename, line,
+               "'" + clause + "' is only valid on plain threads (loop "
+               "footprints come from cycles-per-iteration)");
+        }
+        cur.expect("(");
+        ThreadIR::Range range;
+        range.write = clause == "writes";
+        range.addr = cur.expect_number("address");
+        cur.expect(":");
+        range.bytes =
+            static_cast<std::uint32_t>(cur.expect_number("byte count"));
+        if (cur.accept(":")) {
+          const std::string mode = cur.next();
+          if (mode != "stream") {
+            fail(filename, line, "expected 'stream', found '" + mode + "'");
+          }
+          range.stream = true;
+        }
+        cur.expect(")");
+        st.current.ranges.push_back(range);
+      } else if (clause == "depends") {
+        cur.expect("(");
+        for (;;) {
+          const auto dep =
+              static_cast<std::uint32_t>(cur.expect_number("thread id"));
+          if (!st.thread_ids.count(dep)) {
+            fail(filename, line,
+                 "depends(" + std::to_string(dep) +
+                     ") refers to an undeclared thread (producers must "
+                     "appear before their consumers)");
+          }
+          st.current.depends.push_back(dep);
+          if (cur.accept(")")) break;
+          cur.expect(",");
+        }
+      } else {
+        fail(filename, line, "unknown clause '" + clause + "'");
+      }
+    }
+  };
+
+  std::istringstream in(source);
+  std::string raw_line;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    const std::string stripped = trim(raw_line);
+    // A directive line tokenizes as {"#", "pragma", "ddm", ...}.
+    const auto head = tokenize(stripped);
+    const bool is_directive = head.size() >= 3 && head[0] == "#" &&
+                              head[1] == "pragma" && head[2] == "ddm";
+    if (!is_directive) {
+      switch (st.region) {
+        case ParserState::kOutside:
+          ir.prelude += raw_line + "\n";
+          break;
+        case ParserState::kAfterProgram:
+          ir.prelude += raw_line + "\n";
+          break;
+        case ParserState::kProgram:
+          ir.globals += raw_line + "\n";
+          break;
+        case ParserState::kThread:
+          st.current.body += raw_line + "\n";
+          break;
+        case ParserState::kForAwaitHeader: {
+          if (stripped.empty()) break;
+          const std::size_t after =
+              parse_for_header(raw_line, line_no, filename, &st.current);
+          const std::string rest = trim(raw_line.substr(after));
+          if (!rest.empty()) st.current.body += rest + "\n";
+          st.region = ParserState::kForBody;
+          break;
+        }
+        case ParserState::kForBody:
+          st.current.body += raw_line + "\n";
+          break;
+      }
+      continue;
+    }
+
+    // Directive line.
+    auto tokens = tokenize(stripped);
+    tokens.erase(tokens.begin(), tokens.begin() + 2);  // "#", "pragma"
+    // tokenize produced {"#", "pragma", "ddm", ...}; drop "ddm" too.
+    if (!tokens.empty() && tokens[0] == "ddm") {
+      tokens.erase(tokens.begin());
+    }
+    TokenCursor cur(std::move(tokens), filename, line_no);
+    const std::string kind = cur.next();
+
+    if (kind == "startprogram") {
+      if (st.saw_program) fail(filename, line_no, "duplicate startprogram");
+      if (st.region != ParserState::kOutside) {
+        fail(filename, line_no, "startprogram inside another region");
+      }
+      st.saw_program = true;
+      st.region = ParserState::kProgram;
+      while (!cur.done()) {
+        const std::string clause = cur.next();
+        if (clause == "kernels") {
+          ir.kernels =
+              static_cast<std::uint16_t>(cur.expect_number("kernel count"));
+          if (ir.kernels == 0) fail(filename, line_no, "kernels must be >=1");
+        } else if (clause == "name") {
+          ir.name = cur.next();
+        } else {
+          fail(filename, line_no, "unknown clause '" + clause + "'");
+        }
+      }
+    } else if (kind == "endprogram") {
+      if (st.region != ParserState::kProgram || st.in_explicit_block) {
+        fail(filename, line_no, "endprogram outside the program region");
+      }
+      st.region = ParserState::kAfterProgram;
+    } else if (kind == "block") {
+      if (st.region != ParserState::kProgram) {
+        fail(filename, line_no, "block directive outside the program");
+      }
+      if (st.in_explicit_block) {
+        fail(filename, line_no, "nested blocks are not allowed");
+      }
+      const auto id = static_cast<std::uint32_t>(
+          cur.done() ? ir.blocks.size() : cur.expect_number("block id"));
+      ir.blocks.push_back(BlockIR{id, {}});
+      st.in_explicit_block = true;
+    } else if (kind == "endblock") {
+      if (!st.in_explicit_block) {
+        fail(filename, line_no, "endblock without a block");
+      }
+      st.in_explicit_block = false;
+    } else if (kind == "thread" || kind == "for") {
+      if (st.region != ParserState::kProgram) {
+        fail(filename, line_no,
+             "thread directive outside the program (or inside another "
+             "thread)");
+      }
+      st.current = ThreadIR{};
+      if (kind == "for") {
+        cur.expect("thread");
+        st.current.is_loop = true;
+      }
+      st.current.id =
+          static_cast<std::uint32_t>(cur.expect_number("thread id"));
+      if (st.thread_ids.count(st.current.id)) {
+        fail(filename, line_no,
+             "duplicate thread id " + std::to_string(st.current.id));
+      }
+      parse_clauses(cur, line_no);
+      st.region = st.current.is_loop ? ParserState::kForAwaitHeader
+                                     : ParserState::kThread;
+    } else if (kind == "endthread" || kind == "endfor") {
+      const bool want_for = kind == "endfor";
+      if (want_for && st.region != ParserState::kForBody) {
+        fail(filename, line_no, "endfor without a for-loop body");
+      }
+      if (!want_for && st.region != ParserState::kThread) {
+        fail(filename, line_no, "endthread without a thread region");
+      }
+      ensure_block();
+      st.thread_ids.insert(st.current.id);
+      ir.blocks.back().threads.push_back(std::move(st.current));
+      st.current = ThreadIR{};
+      st.region = ParserState::kProgram;
+    } else if (kind == "shared") {
+      if (st.region != ParserState::kProgram) {
+        fail(filename, line_no, "shared directive outside the program");
+      }
+      for (;;) {
+        ir.shared_vars.push_back(cur.next());
+        if (cur.done()) break;
+        cur.expect(",");
+      }
+    } else {
+      fail(filename, line_no, "unknown DDM directive '" + kind + "'");
+    }
+  }
+
+  if (st.region == ParserState::kThread ||
+      st.region == ParserState::kForBody ||
+      st.region == ParserState::kForAwaitHeader) {
+    fail(filename, line_no, "unterminated thread region at end of file");
+  }
+  if (!st.saw_program) {
+    fail(filename, line_no, "no '#pragma ddm startprogram' found");
+  }
+  if (st.region == ParserState::kProgram) {
+    fail(filename, line_no, "missing '#pragma ddm endprogram'");
+  }
+  bool any_thread = false;
+  for (const BlockIR& b : ir.blocks) any_thread |= !b.threads.empty();
+  if (!any_thread) fail(filename, line_no, "program declares no threads");
+  return ir;
+}
+
+}  // namespace tflux::ddmcpp

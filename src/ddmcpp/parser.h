@@ -1,0 +1,35 @@
+// DDMCPP front-end: parses ANSI C/C++ augmented with DDM pragma
+// directives into the target-independent ProgramIR.
+//
+// Directive grammar (one directive per line):
+//   #pragma ddm startprogram [kernels <n>] [name <ident>]
+//   #pragma ddm endprogram
+//   #pragma ddm block <id>
+//   #pragma ddm endblock
+//   #pragma ddm thread <id> [kernel <k>] [depends(<id>[, <id>]...)]
+//   #pragma ddm endthread
+//   #pragma ddm for thread <id> [unroll <u>] [kernel <k>] [depends(...)]
+//     for (<type> <var> = <begin>; <var> < <end>; <var>++ | <var> += <s>)
+//     { ... }   // or a single statement
+//   #pragma ddm endfor
+//   #pragma ddm shared <name> [, <name>]...
+//
+// Non-directive lines pass through verbatim: outside the program
+// region into the prelude, inside it (outside threads) into the
+// globals section, inside a thread region into that thread's body.
+#pragma once
+
+#include <string>
+
+#include "ddmcpp/ir.h"
+
+namespace tflux::ddmcpp {
+
+/// Parse `source`. Throws core::TFluxError with a line-numbered
+/// message on malformed input (unknown directive, duplicate thread id,
+/// depends on an undeclared or later-block thread, unclosed regions,
+/// unparsable for-header, ...).
+ProgramIR parse(const std::string& source,
+                const std::string& filename = "<input>");
+
+}  // namespace tflux::ddmcpp

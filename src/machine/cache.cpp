@@ -1,0 +1,113 @@
+#include "machine/cache.h"
+
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::machine {
+
+const char* to_string(Mesi state) {
+  switch (state) {
+    case Mesi::kInvalid:
+      return "I";
+    case Mesi::kShared:
+      return "S";
+    case Mesi::kExclusive:
+      return "E";
+    case Mesi::kModified:
+      return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheGeometry& geometry)
+    : geometry_(geometry), num_sets_(geometry.num_sets()) {
+  if (geometry_.line_bytes == 0 ||
+      (geometry_.line_bytes & (geometry_.line_bytes - 1)) != 0) {
+    throw core::TFluxError("Cache: line size must be a power of two");
+  }
+  if (num_sets_ == 0) {
+    throw core::TFluxError("Cache: size/(line*ways) must be >= 1 set");
+  }
+  lines_.resize(static_cast<std::size_t>(num_sets_) * geometry_.ways);
+}
+
+Cache::Line* Cache::find(SimAddr line_addr) {
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].state != Mesi::kInvalid && base[w].tag == line_addr) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(SimAddr line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+Mesi Cache::peek(SimAddr line_addr) const {
+  const Line* line = find(line_addr);
+  return line ? line->state : Mesi::kInvalid;
+}
+
+Mesi Cache::lookup(SimAddr line_addr) {
+  Line* line = find(line_addr);
+  if (!line) return Mesi::kInvalid;
+  line->lru = ++lru_clock_;
+  return line->state;
+}
+
+void Cache::set_state(SimAddr line_addr, Mesi state) {
+  Line* line = find(line_addr);
+  assert(line && "set_state on non-resident line");
+  assert(state != Mesi::kInvalid && "use invalidate()");
+  line->state = state;
+}
+
+Mesi Cache::invalidate(SimAddr line_addr) {
+  Line* line = find(line_addr);
+  if (!line) return Mesi::kInvalid;
+  const Mesi prev = line->state;
+  line->state = Mesi::kInvalid;
+  return prev;
+}
+
+std::optional<Cache::Victim> Cache::insert(SimAddr line_addr, Mesi state) {
+  assert(state != Mesi::kInvalid);
+  assert(line_of(line_addr) == line_addr && "insert of unaligned line");
+  if (Line* line = find(line_addr)) {
+    line->state = state;
+    line->lru = ++lru_clock_;
+    return std::nullopt;
+  }
+  const std::uint32_t set = set_index(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+  Line* slot = nullptr;
+  for (std::uint32_t w = 0; w < geometry_.ways; ++w) {
+    if (base[w].state == Mesi::kInvalid) {
+      slot = &base[w];
+      break;
+    }
+    if (!slot || base[w].lru < slot->lru) slot = &base[w];
+  }
+  std::optional<Victim> victim;
+  if (slot->state != Mesi::kInvalid) {
+    victim = Victim{slot->tag, slot->state};
+  }
+  slot->tag = line_addr;
+  slot->state = state;
+  slot->lru = ++lru_clock_;
+  return victim;
+}
+
+std::size_t Cache::valid_lines() const {
+  std::size_t n = 0;
+  for (const Line& l : lines_) {
+    if (l.state != Mesi::kInvalid) ++n;
+  }
+  return n;
+}
+
+}  // namespace tflux::machine

@@ -1,0 +1,81 @@
+// One set-associative cache level with per-line MESI state and LRU
+// replacement. Used for both the private L1s and private L2s of the
+// simulated multicores. Timing lives in MemorySystem; this class is
+// pure state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "machine/config.h"
+
+namespace tflux::machine {
+
+using core::SimAddr;
+
+enum class Mesi : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+const char* to_string(Mesi state);
+
+class Cache {
+ public:
+  explicit Cache(const CacheGeometry& geometry);
+
+  std::uint32_t line_bytes() const { return geometry_.line_bytes; }
+
+  /// Align `addr` down to this cache's line granularity.
+  SimAddr line_of(SimAddr addr) const {
+    return addr & ~static_cast<SimAddr>(geometry_.line_bytes - 1);
+  }
+
+  /// State of `line_addr` (kInvalid if absent). Does not touch LRU.
+  Mesi peek(SimAddr line_addr) const;
+
+  /// Lookup with LRU update. Returns kInvalid on miss.
+  Mesi lookup(SimAddr line_addr);
+
+  /// Change the state of a resident line (must be resident).
+  void set_state(SimAddr line_addr, Mesi state);
+
+  /// Remove the line if resident. Returns its previous state.
+  Mesi invalidate(SimAddr line_addr);
+
+  /// Insert (or overwrite) a line in `state`, evicting the set's LRU
+  /// victim if needed. Returns the victim's (line_addr, state) when a
+  /// valid line was displaced.
+  struct Victim {
+    SimAddr line_addr = 0;
+    Mesi state = Mesi::kInvalid;
+  };
+  std::optional<Victim> insert(SimAddr line_addr, Mesi state);
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return geometry_.ways; }
+
+  /// Number of currently valid lines (for tests).
+  std::size_t valid_lines() const;
+
+ private:
+  struct Line {
+    SimAddr tag = 0;
+    Mesi state = Mesi::kInvalid;
+    std::uint64_t lru = 0;  // higher == more recently used
+  };
+
+  std::uint32_t set_index(SimAddr line_addr) const {
+    return static_cast<std::uint32_t>((line_addr / geometry_.line_bytes) %
+                                      num_sets_);
+  }
+
+  Line* find(SimAddr line_addr);
+  const Line* find(SimAddr line_addr) const;
+
+  CacheGeometry geometry_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, row-major by set
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace tflux::machine

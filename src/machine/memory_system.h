@@ -1,0 +1,90 @@
+// The coherent memory hierarchy of the simulated multicores: private
+// L1 + private L2 per core, kept coherent with a MESI snooping protocol
+// over a shared arbitrated bus, backed by DRAM.
+//
+// Modeling choices (documented in DESIGN.md):
+//  - L1 is write-through with a write buffer (the paper's Bagle L1 has
+//    zero-cycle writes), so coherence state lives in the L2s; L1 lines
+//    are read-valid copies, back-invalidated when their L2 line goes.
+//  - The bus is a serial resource: every miss/upgrade pays arbitration
+//    plus transfer occupancy, so many cores streaming shared data
+//    saturate it - the effect that caps MMULT's speedup in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "machine/cache.h"
+#include "machine/config.h"
+#include "sim/resource.h"
+
+namespace tflux::machine {
+
+using core::Cycles;
+using core::SimAddr;
+
+struct MemoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t bus_transactions = 0;
+  std::uint64_t upgrades = 0;          ///< S->M ownership requests
+  std::uint64_t c2c_transfers = 0;     ///< dirty line supplied by a peer
+  std::uint64_t mem_fetches = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations = 0;     ///< peer lines killed (coherency)
+  Cycles bus_busy_cycles = 0;
+  Cycles bus_wait_cycles = 0;
+
+  std::uint64_t accesses() const { return reads + writes; }
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const MachineConfig& config, std::uint16_t num_cores);
+
+  /// Access one L1-line-sized chunk at `l1_line` (must be L1-aligned)
+  /// from `core` at time `now`. Returns the completion time and
+  /// updates all cache/bus state.
+  Cycles access_line(std::uint16_t core, SimAddr l1_line, bool write,
+                     Cycles now);
+
+  std::uint32_t l1_line_bytes() const { return config_.l1.line_bytes; }
+
+  /// Coherence state of `addr`'s L2 line in `core`'s L2 (for tests).
+  Mesi l2_state(std::uint16_t core, SimAddr addr) const;
+  /// Whether `addr`'s L1 line is resident in `core`'s L1 (for tests).
+  bool l1_resident(std::uint16_t core, SimAddr addr) const;
+
+  /// Counter snapshot with the bus occupancy fields filled in.
+  MemoryStats stats() const {
+    MemoryStats s = stats_;
+    s.bus_busy_cycles = bus_.busy_cycles();
+    s.bus_wait_cycles = bus_.wait_cycles();
+    return s;
+  }
+  const sim::SerialResource& bus() const { return bus_; }
+
+ private:
+  /// Kill `l2_line` in `core`'s L2 and back-invalidate its L1 copies.
+  /// Returns the victim's previous state.
+  Mesi invalidate_in(std::uint16_t core, SimAddr l2_line);
+
+  /// Handle an L2 insertion's victim: dirty lines get written back
+  /// (fire-and-forget bus occupancy at `t`), and inclusion demands the
+  /// L1 copies die with the L2 line.
+  void handle_l2_victim(std::uint16_t core, const Cache::Victim& victim,
+                        Cycles t);
+
+  const MachineConfig config_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  sim::SerialResource bus_;
+  MemoryStats stats_;
+};
+
+}  // namespace tflux::machine

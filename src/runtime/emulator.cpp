@@ -1,0 +1,147 @@
+#include "runtime/emulator.h"
+
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::runtime {
+
+TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
+                         SyncMemoryGroup& sm,
+                         std::vector<Mailbox>& mailboxes, Options options)
+    : program_(program),
+      tubs_(tubs),
+      tub_(tubs.tub(options.group)),
+      sm_(sm),
+      mailboxes_(mailboxes),
+      options_(options) {
+  if (options_.num_groups == 0 || options_.group >= options_.num_groups) {
+    throw core::TFluxError("TsuEmulator: bad group configuration");
+  }
+  if (mailboxes_.empty()) {
+    throw core::TFluxError("TsuEmulator: no kernels");
+  }
+  for (core::KernelId k = 0;
+       k < static_cast<core::KernelId>(mailboxes_.size()); ++k) {
+    if (owns_kernel(k)) my_kernels_.push_back(k);
+  }
+  if (my_kernels_.empty()) {
+    throw core::TFluxError(
+        "TsuEmulator: group " + std::to_string(options_.group) +
+        " owns no kernels (more TSU groups than kernels)");
+  }
+}
+
+void TsuEmulator::dispatch(core::ThreadId tid) {
+  ++stats_.dispatches;
+  // The consumer's home kernel belongs to this group by construction
+  // (the TubGroup routed the update here via the TKT).
+  core::KernelId home = sm_.tkt(tid).kernel;
+  assert(owns_kernel(home));
+
+  core::KernelId target = home;
+  if (options_.policy == core::PolicyKind::kLocality) {
+    // Prefer the home kernel if it is hungry; otherwise any hungry
+    // kernel of this group; otherwise queue at home.
+    if (!mailboxes_[home].probably_empty()) {
+      for (core::KernelId k : my_kernels_) {
+        if (k != home && mailboxes_[k].probably_empty()) {
+          target = k;
+          break;
+        }
+      }
+    }
+  } else {
+    // FIFO: round-robin over the group's kernels.
+    target = my_kernels_[rr_next_];
+    rr_next_ = (rr_next_ + 1) % my_kernels_.size();
+  }
+  if (target == home) ++stats_.home_dispatches;
+  mailboxes_[target].put(tid);
+}
+
+void TsuEmulator::run() {
+  if (options_.group == 0) {
+    // Arm the program: the first block's Inlet (homed on kernel 0,
+    // which group 0 always owns).
+    dispatch(program_.block(0).inlet);
+  }
+
+  std::vector<TubEntry> buf;
+  for (;;) {
+    tub_.wait_nonempty();
+    buf.clear();
+    if (tub_.drain(buf) == 0) continue;
+    ++stats_.drain_sweeps;
+    for (const TubEntry& e : buf) {
+      switch (e.kind) {
+        case TubEntry::Kind::kLoadBlock: {
+          const core::Block& blk =
+              program_.block(static_cast<core::BlockId>(e.id));
+          sm_.load_block_partition(blk.id, options_.group,
+                                   options_.num_groups);
+          my_block_ = blk.id;
+          ++stats_.blocks_loaded;
+          for (core::ThreadId tid : blk.app_threads) {
+            if (program_.thread(tid).ready_count_init == 0 &&
+                owns_kernel(sm_.tkt(tid).kernel)) {
+              dispatch(tid);
+            }
+          }
+          // Replay updates that arrived ahead of this load.
+          std::vector<TubEntry> pending;
+          pending.swap(deferred_updates_);
+          for (const TubEntry& u : pending) {
+            const auto tid = static_cast<core::ThreadId>(u.id);
+            if (program_.thread(tid).block != my_block_) {
+              deferred_updates_.push_back(u);
+              continue;
+            }
+            ++stats_.updates_processed;
+            if (sm_.decrement(tid, options_.thread_indexing,
+                              &stats_.sm_search_steps)) {
+              dispatch(tid);
+            }
+          }
+          break;
+        }
+        case TubEntry::Kind::kUpdate: {
+          const auto tid = static_cast<core::ThreadId>(e.id);
+          if (program_.thread(tid).block != my_block_) {
+            // Raced ahead of our LoadBlock broadcast (only possible
+            // with several TSU groups); defer until the load arrives.
+            deferred_updates_.push_back(e);
+            break;
+          }
+          ++stats_.updates_processed;
+          const bool ready = sm_.decrement(tid, options_.thread_indexing,
+                                           &stats_.sm_search_steps);
+          if (ready) dispatch(tid);
+          break;
+        }
+        case TubEntry::Kind::kOutletDone: {
+          // Routed to group 0 only (the block-chaining coordinator).
+          assert(options_.group == 0);
+          const auto block = static_cast<core::BlockId>(e.id);
+          const core::BlockId next = static_cast<core::BlockId>(block + 1);
+          if (next < program_.num_blocks()) {
+            dispatch(program_.block(next).inlet);
+          } else {
+            // Program finished: every emulator (including this one)
+            // receives the shutdown through its TUB.
+            tubs_.broadcast_shutdown();
+          }
+          break;
+        }
+        case TubEntry::Kind::kShutdown: {
+          for (core::KernelId k : my_kernels_) {
+            mailboxes_[k].put(core::kInvalidThread);
+          }
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tflux::runtime

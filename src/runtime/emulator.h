@@ -1,0 +1,98 @@
+// The TSU Emulator: the software implementation of the TSU Group
+// (TFluxSoft, paper section 4.2). One emulator thread drains its TUB,
+// applies Ready Count updates to the Synchronization Memories of the
+// kernels it owns (via the TKT, or by sequential search when Thread
+// Indexing is disabled), and dispatches DThreads that become ready to
+// those kernels' mailboxes, preferring the DThread's home Kernel
+// (spatial locality).
+//
+// Multiple TSU Groups (the section 4.1 extension, software flavor):
+// with G groups, emulator g owns kernels k where k % G == g; the
+// Kernel-side TubGroup routes each command to the owning emulator's
+// TUB, and emulator 0 coordinates block chaining and shutdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/ready_set.h"
+#include "core/types.h"
+#include "runtime/mailbox.h"
+#include "runtime/sync_memory.h"
+#include "runtime/tub_group.h"
+
+namespace tflux::runtime {
+
+struct EmulatorStats {
+  std::uint64_t updates_processed = 0;  ///< Ready Count decrements
+  std::uint64_t dispatches = 0;         ///< ready DThreads delivered
+  std::uint64_t home_dispatches = 0;    ///< delivered to home kernel
+  std::uint64_t blocks_loaded = 0;      ///< partition loads by this one
+  std::uint64_t sm_search_steps = 0;  ///< slots scanned without TKT
+  std::uint64_t drain_sweeps = 0;
+
+  EmulatorStats& operator+=(const EmulatorStats& other) {
+    updates_processed += other.updates_processed;
+    dispatches += other.dispatches;
+    home_dispatches += other.home_dispatches;
+    blocks_loaded += other.blocks_loaded;
+    sm_search_steps += other.sm_search_steps;
+    drain_sweeps += other.drain_sweeps;
+    return *this;
+  }
+};
+
+class TsuEmulator {
+ public:
+  struct Options {
+    /// Use the Thread-to-Kernel Table for SM lookup (paper's Thread
+    /// Indexing). Off = sequential SM search (the ablation baseline).
+    bool thread_indexing = true;
+    /// Ready-DThread routing policy within the group.
+    core::PolicyKind policy = core::PolicyKind::kLocality;
+    /// This emulator's TSU Group and the total group count.
+    std::uint16_t group = 0;
+    std::uint16_t num_groups = 1;
+  };
+
+  /// `sm` is shared between emulators (slot ownership is disjoint);
+  /// `mailboxes` covers all kernels (this emulator only touches the
+  /// ones in its group).
+  TsuEmulator(const core::Program& program, TubGroup& tubs,
+              SyncMemoryGroup& sm, std::vector<Mailbox>& mailboxes,
+              Options options);
+
+  /// Thread main. Emulator 0 arms the program (dispatches block 0's
+  /// Inlet); every emulator processes its TUB until the shutdown
+  /// broadcast, then releases its kernels and returns.
+  void run();
+
+  const EmulatorStats& stats() const { return stats_; }
+  std::uint16_t group() const { return options_.group; }
+
+ private:
+  bool owns_kernel(core::KernelId k) const {
+    return k % options_.num_groups == options_.group;
+  }
+  void dispatch(core::ThreadId tid);
+
+  const core::Program& program_;
+  TubGroup& tubs_;
+  Tub& tub_;  ///< this group's TUB
+  SyncMemoryGroup& sm_;
+  std::vector<Mailbox>& mailboxes_;
+  Options options_;
+  std::vector<core::KernelId> my_kernels_;
+  EmulatorStats stats_;
+  std::size_t rr_next_ = 0;  // round-robin cursor for kFifo routing
+  /// Block this group has loaded its SM partition for.
+  core::BlockId my_block_ = core::kInvalidBlock;
+  /// Updates that raced ahead of their block's LoadBlock broadcast:
+  /// with several groups, a fast group can dispatch a next-block
+  /// DThread whose completion update reaches this group before this
+  /// group drains its own LoadBlock. Deferred until the load arrives.
+  std::vector<TubEntry> deferred_updates_;
+};
+
+}  // namespace tflux::runtime

@@ -1,0 +1,43 @@
+#include "runtime/kernel.h"
+
+#include <vector>
+
+namespace tflux::runtime {
+
+Kernel::Kernel(const core::Program& program, core::KernelId id,
+               Mailbox& mailbox, TubGroup& tubs)
+    : program_(program), id_(id), mailbox_(mailbox), tubs_(tubs) {}
+
+void Kernel::post_process(const core::DThread& t) {
+  // Local TSU: translate the completion into TSU commands, routed to
+  // the TSU Group owning each target (one group = the paper's
+  // TFluxSoft; several = the section 4.1 extension).
+  switch (t.kind) {
+    case core::ThreadKind::kInlet:
+      tubs_.publish_load_block(t.block, id_);
+      break;
+    case core::ThreadKind::kOutlet:
+      tubs_.publish_outlet_done(t.block, id_);
+      break;
+    case core::ThreadKind::kApplication:
+      stats_.updates_published +=
+          tubs_.publish_updates(t.consumers, id_);
+      break;
+  }
+}
+
+void Kernel::run() {
+  for (;;) {
+    const core::ThreadId tid = mailbox_.take();
+    if (tid == core::kInvalidThread) break;  // exit sentinel
+    const core::DThread& t = program_.thread(tid);
+    if (t.body) {
+      t.body(core::ExecContext{id_, tid});
+    }
+    ++stats_.threads_executed;
+    if (t.is_application()) ++stats_.app_threads_executed;
+    post_process(t);
+  }
+}
+
+}  // namespace tflux::runtime

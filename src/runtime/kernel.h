@@ -1,0 +1,45 @@
+// The Kernel: the per-CPU worker loop of the TFlux Runtime Support
+// (paper Figure 2). Waits for a ready DThread from the TSU, executes
+// its body uninterrupted, then runs the Local-TSU half of the
+// post-processing phase: translating the completion into TUB commands
+// (consumer updates, or block load/unload events for Inlets/Outlets).
+#pragma once
+
+#include <cstdint>
+
+#include "core/program.h"
+#include "core/types.h"
+#include "runtime/mailbox.h"
+#include "runtime/tub_group.h"
+
+namespace tflux::runtime {
+
+struct KernelStats {
+  std::uint64_t threads_executed = 0;  ///< including inlets/outlets
+  std::uint64_t app_threads_executed = 0;
+  std::uint64_t updates_published = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(const core::Program& program, core::KernelId id, Mailbox& mailbox,
+         TubGroup& tubs);
+
+  /// Thread main: Figure 2's loop. Returns when the exit sentinel
+  /// arrives (sent by the emulator after the last Outlet).
+  void run();
+
+  const KernelStats& stats() const { return stats_; }
+  core::KernelId id() const { return id_; }
+
+ private:
+  void post_process(const core::DThread& t);
+
+  const core::Program& program_;
+  core::KernelId id_;
+  Mailbox& mailbox_;
+  TubGroup& tubs_;
+  KernelStats stats_;
+};
+
+}  // namespace tflux::runtime

@@ -1,0 +1,52 @@
+// Per-Kernel reply channel: the TSU Emulator answers a Kernel's "find
+// a ready DThread" query by dropping the DThread id here. Single
+// producer (the emulator), single consumer (the owning Kernel).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "core/types.h"
+
+namespace tflux::runtime {
+
+class Mailbox {
+ public:
+  /// Emulator side: deliver a ready DThread (or kInvalidThread as the
+  /// exit sentinel).
+  void put(core::ThreadId tid) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      items_.push_back(tid);
+    }
+    cv_.notify_one();
+  }
+
+  /// Kernel side: block until a DThread id arrives.
+  core::ThreadId take() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [this] { return !items_.empty(); });
+    const core::ThreadId tid = items_.front();
+    items_.pop_front();
+    return tid;
+  }
+
+  /// Approximate emptiness (routing heuristic for the emulator only).
+  bool probably_empty() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<core::ThreadId> items_;
+};
+
+}  // namespace tflux::runtime

@@ -1,0 +1,101 @@
+#include "runtime/runtime.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/error.h"
+
+namespace tflux::runtime {
+namespace {
+
+/// Best-effort pinning of `thread` to `cpu` (modulo the host's CPU
+/// count). Pinning is an optimization; errors are ignored.
+void pin_to_cpu(std::thread& thread, unsigned cpu) {
+  const unsigned ncpu =
+      std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % ncpu, &set);
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+}
+
+}  // namespace
+
+Runtime::Runtime(const core::Program& program, RuntimeOptions options)
+    : program_(program), options_(options) {
+  if (options_.num_kernels == 0) {
+    throw core::TFluxError("Runtime: num_kernels must be >= 1");
+  }
+  if (options_.tsu_groups == 0 ||
+      options_.tsu_groups > options_.num_kernels) {
+    throw core::TFluxError(
+        "Runtime: tsu_groups must be in [1, num_kernels]");
+  }
+}
+
+RuntimeStats Runtime::run() {
+  if (ran_) {
+    throw core::TFluxError("Runtime::run may only be called once");
+  }
+  ran_ = true;
+
+  SyncMemoryGroup sm(program_, options_.num_kernels);
+  TubGroup tubs(program_, sm, options_.tsu_groups, options_.tub_segments,
+                options_.tub_segment_capacity);
+  std::vector<Mailbox> mailboxes(options_.num_kernels);
+
+  std::vector<TsuEmulator> emulators;
+  emulators.reserve(options_.tsu_groups);
+  for (std::uint16_t g = 0; g < options_.tsu_groups; ++g) {
+    emulators.emplace_back(
+        program_, tubs, sm, mailboxes,
+        TsuEmulator::Options{options_.thread_indexing, options_.policy, g,
+                             options_.tsu_groups});
+  }
+
+  std::vector<Kernel> kernels;
+  kernels.reserve(options_.num_kernels);
+  for (core::KernelId k = 0; k < options_.num_kernels; ++k) {
+    kernels.emplace_back(program_, k, mailboxes[k], tubs);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kernels.size() + emulators.size());
+  for (Kernel& k : kernels) {
+    threads.emplace_back([&k] { k.run(); });
+    if (options_.pin_threads) {
+      pin_to_cpu(threads.back(), k.id());
+    }
+  }
+  std::vector<std::thread> emulator_threads;
+  emulator_threads.reserve(emulators.size());
+  for (TsuEmulator& e : emulators) {
+    emulator_threads.emplace_back([&e] { e.run(); });
+    if (options_.pin_threads) {
+      pin_to_cpu(emulator_threads.back(),
+                 options_.num_kernels + e.group());
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  for (std::thread& t : emulator_threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RuntimeStats stats;
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.tub = tubs.aggregated_stats();
+  for (const TsuEmulator& e : emulators) {
+    stats.emulators.push_back(e.stats());
+    stats.emulator += e.stats();
+  }
+  stats.kernels.reserve(kernels.size());
+  for (const Kernel& k : kernels) stats.kernels.push_back(k.stats());
+  return stats;
+}
+
+}  // namespace tflux::runtime

@@ -1,0 +1,73 @@
+// TFluxSoft: the native runtime. Pure user-level std::thread code on an
+// unmodified OS - one thread per Kernel plus the TSU Emulator thread,
+// exactly the paper's Figure 4 arrangement ("the last CPU is dedicated
+// to the TSU Emulation process").
+//
+// Usage:
+//   core::ProgramBuilder b;
+//   ... build graph ...
+//   core::Program p = b.build({.num_kernels = 4});
+//   runtime::Runtime rt(p, {.num_kernels = 4});
+//   runtime::RuntimeStats st = rt.run();
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/ready_set.h"
+#include "runtime/emulator.h"
+#include "runtime/kernel.h"
+#include "runtime/tub.h"
+
+namespace tflux::runtime {
+
+struct RuntimeOptions {
+  std::uint16_t num_kernels = 1;
+  core::PolicyKind policy = core::PolicyKind::kLocality;
+  /// TUB geometry (paper: segmented to keep try-lock contention low).
+  std::uint32_t tub_segments = 8;
+  std::uint32_t tub_segment_capacity = 256;
+  /// Thread Indexing (TKT). Disable only for the ablation study.
+  bool thread_indexing = true;
+  /// Pin Kernel k to CPU k and the TSU Emulator(s) to the next
+  /// CPU(s) (the paper's placement: one core per Kernel, one for the
+  /// emulator, one reserved for the OS). CPU ids wrap around the
+  /// host's count, so this is safe on any machine; failures to pin
+  /// are ignored.
+  bool pin_threads = false;
+  /// Number of TSU Emulator threads (the section 4.1 multiple-TSU-
+  /// Groups extension, software flavor). Emulator g owns kernels k
+  /// with k % tsu_groups == g; must be <= num_kernels.
+  std::uint16_t tsu_groups = 1;
+};
+
+struct RuntimeStats {
+  double wall_seconds = 0.0;
+  TubStats tub;                          ///< aggregated over all TUBs
+  EmulatorStats emulator;                ///< aggregated over emulators
+  std::vector<EmulatorStats> emulators;  ///< per TSU Group
+  std::vector<KernelStats> kernels;
+
+  std::uint64_t total_app_threads_executed() const {
+    std::uint64_t n = 0;
+    for (const KernelStats& k : kernels) n += k.app_threads_executed;
+    return n;
+  }
+};
+
+class Runtime {
+ public:
+  Runtime(const core::Program& program, RuntimeOptions options);
+
+  /// Execute the program to completion. May be called once per Runtime
+  /// (Programs themselves are reusable; build a fresh Runtime to rerun).
+  RuntimeStats run();
+
+ private:
+  const core::Program& program_;
+  RuntimeOptions options_;
+  bool ran_ = false;
+};
+
+}  // namespace tflux::runtime

@@ -1,0 +1,104 @@
+#include "runtime/sync_memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/error.h"
+
+namespace tflux::runtime {
+
+SyncMemoryGroup::SyncMemoryGroup(const core::Program& program,
+                                 std::uint16_t num_kernels)
+    : program_(program), tkt_(program.num_threads()) {
+  if (num_kernels == 0) {
+    throw core::TFluxError("SyncMemoryGroup: num_kernels must be >= 1");
+  }
+  block_threads_.resize(program.num_blocks());
+  std::vector<std::uint32_t> max_slots(num_kernels, 0);
+  for (core::BlockId b = 0; b < program.num_blocks(); ++b) {
+    auto& per_kernel = block_threads_[b];
+    per_kernel.resize(num_kernels);
+    const core::Block& blk = program.block(b);
+    auto place = [&](core::ThreadId tid) {
+      core::KernelId home = program.thread(tid).home_kernel;
+      if (home >= num_kernels) home = 0;  // clamp: fewer kernels than homes
+      tkt_[tid] = SmSlot{home,
+                         static_cast<std::uint32_t>(per_kernel[home].size())};
+      per_kernel[home].push_back(tid);
+    };
+    for (core::ThreadId tid : blk.app_threads) place(tid);
+    place(blk.inlet);
+    place(blk.outlet);
+    for (std::uint16_t k = 0; k < num_kernels; ++k) {
+      max_slots[k] = std::max(
+          max_slots[k], static_cast<std::uint32_t>(per_kernel[k].size()));
+    }
+  }
+  sm_.resize(num_kernels);
+  for (std::uint16_t k = 0; k < num_kernels; ++k) {
+    sm_[k].assign(max_slots[k], 0);
+  }
+}
+
+void SyncMemoryGroup::load_block(core::BlockId block) {
+  load_block_partition(block, 0, 1);
+}
+
+void SyncMemoryGroup::load_block_partition(core::BlockId block,
+                                           std::uint16_t group,
+                                           std::uint16_t groups) {
+  if (block >= program_.num_blocks()) {
+    throw core::TFluxError("SyncMemoryGroup::load_block: bad block id");
+  }
+  if (groups == 0) {
+    throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
+  }
+  loaded_block_.store(block, std::memory_order_relaxed);
+  const auto& per_kernel = block_threads_[block];
+  for (std::size_t k = group; k < per_kernel.size();
+       k += static_cast<std::size_t>(groups)) {
+    for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
+      sm_[k][s] = program_.thread(per_kernel[k][s]).ready_count_init;
+    }
+  }
+}
+
+bool SyncMemoryGroup::decrement(core::ThreadId tid, bool use_tkt,
+                                std::uint64_t* search_steps) {
+  assert(loaded_block() != core::kInvalidBlock);
+  assert(program_.thread(tid).block == loaded_block());
+  SmSlot slot;
+  if (use_tkt) {
+    slot = tkt_[tid];
+  } else {
+    // Sequential search over the SMs - the cost Thread Indexing
+    // eliminates (paper section 4.2).
+    bool found = false;
+    const auto& per_kernel = block_threads_[loaded_block()];
+    for (std::size_t k = 0; k < per_kernel.size() && !found; ++k) {
+      for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
+        if (search_steps) ++*search_steps;
+        if (per_kernel[k][s] == tid) {
+          slot = SmSlot{static_cast<core::KernelId>(k),
+                        static_cast<std::uint32_t>(s)};
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      throw core::TFluxError(
+          "SyncMemoryGroup::decrement: DThread not in loaded block");
+    }
+  }
+  std::uint32_t& count = sm_[slot.kernel][slot.slot];
+  assert(count > 0);
+  return --count == 0;
+}
+
+std::uint32_t SyncMemoryGroup::count(core::ThreadId tid) const {
+  const SmSlot slot = tkt_[tid];
+  return sm_[slot.kernel][slot.slot];
+}
+
+}  // namespace tflux::runtime

@@ -1,0 +1,79 @@
+// Synchronization Memory (SM) and Thread-to-Kernel Table (TKT).
+//
+// Paper, section 4.2: the Ready Count values live in one SM per
+// Kernel; to update a DThread's count the TSU Emulator must find the
+// SM holding it. Without help that is a sequential search over the
+// SMs. "Thread Indexing" adds the TKT - a table, embedded by the
+// preprocessor, mapping each DThread to the SM (and slot) holding its
+// Ready Count - eliminating the search.
+//
+// The SM group is reloaded per DDM Block (that is what bounds TSU size
+// and motivates blocks). Only the TSU Emulator touches these
+// structures, so they are unsynchronized by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "core/types.h"
+
+namespace tflux::runtime {
+
+class SyncMemoryGroup {
+ public:
+  /// Location of one DThread's Ready Count: which Kernel's SM, which
+  /// slot within it.
+  struct SmSlot {
+    core::KernelId kernel = core::kInvalidKernel;
+    std::uint32_t slot = 0;
+  };
+
+  SyncMemoryGroup(const core::Program& program, std::uint16_t num_kernels);
+
+  /// Initialize the SMs with `block`'s Ready Counts (the Inlet's load
+  /// operation). Any previous block's slots are dead after this.
+  void load_block(core::BlockId block);
+
+  /// Multiple-TSU-Groups variant: initialize only the SMs of the
+  /// kernels owned by `group` (kernel k belongs to group k % groups).
+  /// Each emulator loads its own partition, so a shared
+  /// SyncMemoryGroup needs no locking (slot ownership is disjoint).
+  void load_block_partition(core::BlockId block, std::uint16_t group,
+                            std::uint16_t groups);
+
+  /// Decrement `tid`'s Ready Count; returns true when it reaches zero.
+  /// With `use_tkt` the slot comes from the TKT (O(1)); without it the
+  /// emulator searches the SMs sequentially, `*search_steps` (if non
+  /// null) accumulating the number of slots inspected - the cost Thread
+  /// Indexing removes.
+  bool decrement(core::ThreadId tid, bool use_tkt,
+                 std::uint64_t* search_steps = nullptr);
+
+  /// Current Ready Count of `tid` (must belong to the loaded block).
+  std::uint32_t count(core::ThreadId tid) const;
+
+  /// TKT lookup (always valid, block-independent).
+  SmSlot tkt(core::ThreadId tid) const { return tkt_[tid]; }
+
+  std::uint16_t num_kernels() const {
+    return static_cast<std::uint16_t>(sm_.size());
+  }
+  core::BlockId loaded_block() const {
+    return loaded_block_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const core::Program& program_;
+  /// TKT: ThreadId -> SM slot. Built once from the Program, exactly as
+  /// the preprocessor would embed it into the binary.
+  std::vector<SmSlot> tkt_;
+  /// Per block, per kernel: the DThreads homed there, in slot order.
+  std::vector<std::vector<std::vector<core::ThreadId>>> block_threads_;
+  /// The SMs: one Ready Count array per Kernel.
+  std::vector<std::vector<std::uint32_t>> sm_;
+  std::atomic<core::BlockId> loaded_block_{core::kInvalidBlock};
+};
+
+}  // namespace tflux::runtime

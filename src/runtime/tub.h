@@ -1,0 +1,108 @@
+// The Thread-to-Update Buffer (TUB): the shared unit through which
+// Kernels publish TSU commands (consumer Ready Count updates, block
+// load/unload events) to the TSU Emulator.
+//
+// As in the paper (section 4.2), the TUB is partitioned into segments
+// and Kernels use try-lock to grab "the first available segment", so a
+// Kernel never blocks behind another Kernel's publish - only one
+// segment is locked by each kernel at any time point.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::runtime {
+
+/// One command published by a Kernel's Local TSU to the TSU Emulator.
+struct TubEntry {
+  enum class Kind : std::uint8_t {
+    kUpdate,      ///< decrement Ready Count of consumer `id`
+    kLoadBlock,   ///< an Inlet finished: load block `id` into the TSU
+    kOutletDone,  ///< an Outlet finished: unload block `id`, chain on
+    kShutdown,    ///< program finished: the emulator must exit
+  };
+  Kind kind = Kind::kUpdate;
+  std::uint32_t id = 0;  ///< consumer ThreadId or BlockId
+
+  friend bool operator==(const TubEntry&, const TubEntry&) = default;
+};
+
+/// Contention/occupancy statistics of the TUB.
+struct TubStats {
+  std::uint64_t publishes = 0;          ///< successful batch publishes
+  std::uint64_t entries_published = 0;  ///< total entries written
+  std::uint64_t trylock_failures = 0;   ///< segment skipped: lock held
+  std::uint64_t full_skips = 0;         ///< segment skipped: no space
+  std::uint64_t drains = 0;             ///< emulator drain sweeps
+};
+
+class Tub {
+ public:
+  /// `num_segments` independent try-lock segments, each able to hold
+  /// `segment_capacity` entries between emulator drains.
+  Tub(std::uint32_t num_segments, std::uint32_t segment_capacity);
+
+  Tub(const Tub&) = delete;
+  Tub& operator=(const Tub&) = delete;
+
+  /// Kernel side: publish a batch atomically into one segment. Scans
+  /// segments starting at `hint` (use the kernel id), try-locking each;
+  /// spins across segments until one with space is acquired. The batch
+  /// must fit in one segment (batch.size() <= segment_capacity).
+  void publish(std::span<const TubEntry> batch, std::uint32_t hint);
+
+  /// Emulator side: move all currently published entries into `out`
+  /// (appended), in global publish order - entries are sequence-
+  /// stamped at publish so an entry can never overtake an earlier one
+  /// merely because it landed in a lower-numbered segment (that
+  /// ordering matters once block loads and updates travel through the
+  /// same TUB from different kernels). Returns the number drained.
+  std::size_t drain(std::vector<TubEntry>& out);
+
+  /// Emulator side: sleep until entries are (probably) available or
+  /// `stop` becomes visible. Returns immediately if entries exist.
+  void wait_nonempty();
+
+  /// Wake any waiter (used at shutdown).
+  void shutdown_wake();
+
+  std::uint32_t num_segments() const {
+    return static_cast<std::uint32_t>(segments_.size());
+  }
+  std::uint32_t segment_capacity() const { return segment_capacity_; }
+
+  /// Snapshot of the counters (approximate under concurrency).
+  TubStats stats() const;
+
+ private:
+  struct Segment {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    /// (publish sequence, entry); size bounded by segment_capacity.
+    std::vector<std::pair<std::uint64_t, TubEntry>> entries;
+  };
+
+  std::uint32_t segment_capacity_;
+  std::vector<Segment> segments_;
+
+  std::atomic<std::uint64_t> published_count_{0};  // grows on publish
+  std::atomic<std::uint64_t> drained_count_{0};    // grows on drain
+  std::atomic<std::uint64_t> publish_seq_{0};      // global entry order
+
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+  std::atomic<bool> shutdown_{false};
+
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> entries_published_{0};
+  std::atomic<std::uint64_t> trylock_failures_{0};
+  std::atomic<std::uint64_t> full_skips_{0};
+  std::atomic<std::uint64_t> drains_{0};
+};
+
+}  // namespace tflux::runtime

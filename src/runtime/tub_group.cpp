@@ -1,0 +1,57 @@
+#include "runtime/tub_group.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace tflux::runtime {
+
+TubGroup::TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
+                   std::uint16_t num_groups, std::uint32_t segments,
+                   std::uint32_t segment_capacity)
+    : sm_(sm) {
+  (void)program;
+  if (num_groups == 0) {
+    throw core::TFluxError("TubGroup: num_groups must be >= 1");
+  }
+  tubs_.reserve(num_groups);
+  for (std::uint16_t g = 0; g < num_groups; ++g) {
+    tubs_.push_back(std::make_unique<Tub>(segments, segment_capacity));
+  }
+}
+
+std::size_t TubGroup::publish_updates(
+    const std::vector<core::ThreadId>& consumers, std::uint32_t hint) {
+  if (consumers.empty()) return 0;
+  // Sort consumers into per-group batches, then publish each batch in
+  // segment-capacity chunks.
+  std::vector<std::vector<TubEntry>> batches(num_groups());
+  for (core::ThreadId consumer : consumers) {
+    batches[group_of_thread(consumer)].push_back(
+        TubEntry{TubEntry::Kind::kUpdate, consumer});
+  }
+  for (std::uint16_t g = 0; g < num_groups(); ++g) {
+    const auto& batch = batches[g];
+    const std::size_t cap = tubs_[g]->segment_capacity();
+    for (std::size_t i = 0; i < batch.size(); i += cap) {
+      const std::size_t n = std::min(cap, batch.size() - i);
+      tubs_[g]->publish({batch.data() + i, n}, hint);
+    }
+  }
+  return consumers.size();
+}
+
+TubStats TubGroup::aggregated_stats() const {
+  TubStats total;
+  for (const auto& tub : tubs_) {
+    const TubStats s = tub->stats();
+    total.publishes += s.publishes;
+    total.entries_published += s.entries_published;
+    total.trylock_failures += s.trylock_failures;
+    total.full_skips += s.full_skips;
+    total.drains += s.drains;
+  }
+  return total;
+}
+
+}  // namespace tflux::runtime

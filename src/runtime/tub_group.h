@@ -1,0 +1,86 @@
+// TubGroup: the Kernel-side routing layer over one-or-more TUBs.
+//
+// With a single TSU Emulator (the paper's TFluxSoft) there is one TUB.
+// The section 4.1 multiple-TSU-Groups extension applies to the
+// software TSU too: G emulator threads each own the Synchronization
+// Memories of the kernels in their group (kernel k belongs to group
+// k % G) and drain their own TUB. The Kernel's Local TSU routes each
+// Ready Count update to the TUB of the group owning the *consumer's*
+// home kernel (a TKT lookup); block-load events broadcast to every
+// group (each initializes its own SM partition); outlet events go to
+// group 0, the block-chaining coordinator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/program.h"
+#include "runtime/sync_memory.h"
+#include "runtime/tub.h"
+
+namespace tflux::runtime {
+
+class TubGroup {
+ public:
+  /// `sm` provides the TKT used for routing; it must outlive this.
+  TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
+           std::uint16_t num_groups, std::uint32_t segments,
+           std::uint32_t segment_capacity);
+
+  std::uint16_t num_groups() const {
+    return static_cast<std::uint16_t>(tubs_.size());
+  }
+  Tub& tub(std::uint16_t group) { return *tubs_[group]; }
+
+  /// Group owning a kernel's Synchronization Memory.
+  std::uint16_t group_of_kernel(core::KernelId k) const {
+    return static_cast<std::uint16_t>(k % num_groups());
+  }
+  /// Group owning a DThread's Ready Count (via the TKT).
+  std::uint16_t group_of_thread(core::ThreadId tid) const {
+    return group_of_kernel(sm_.tkt(tid).kernel);
+  }
+
+  /// Kernel side: route one Ready Count update to the owning group.
+  void publish_update(core::ThreadId consumer, std::uint32_t hint) {
+    const TubEntry e{TubEntry::Kind::kUpdate, consumer};
+    tubs_[group_of_thread(consumer)]->publish({&e, 1}, hint);
+  }
+
+  /// Kernel side: route a completed DThread's whole consumer list,
+  /// batched per owning group (one TUB publish per group per
+  /// segment-capacity chunk - the batch form the paper's Local TSU
+  /// uses). Returns the number of updates published.
+  std::size_t publish_updates(const std::vector<core::ThreadId>& consumers,
+                              std::uint32_t hint);
+
+  /// Kernel side: an Inlet finished - every group loads its partition.
+  void publish_load_block(core::BlockId block, std::uint32_t hint) {
+    const TubEntry e{TubEntry::Kind::kLoadBlock, block};
+    for (auto& tub : tubs_) tub->publish({&e, 1}, hint);
+  }
+
+  /// Kernel side: an Outlet finished - only the coordinator chains.
+  void publish_outlet_done(core::BlockId block, std::uint32_t hint) {
+    const TubEntry e{TubEntry::Kind::kOutletDone, block};
+    tubs_[0]->publish({&e, 1}, hint);
+  }
+
+  /// Coordinator side: program finished - every emulator shuts down.
+  void broadcast_shutdown() {
+    const TubEntry e{TubEntry::Kind::kShutdown, 0};
+    for (auto& tub : tubs_) {
+      tub->publish({&e, 1}, 0);
+      tub->shutdown_wake();
+    }
+  }
+
+  TubStats aggregated_stats() const;
+
+ private:
+  const SyncMemoryGroup& sm_;
+  std::vector<std::unique_ptr<Tub>> tubs_;
+};
+
+}  // namespace tflux::runtime

@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace tflux::sim {
+
+void EventQueue::at(Cycles t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the POD fields and steal the callback.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace tflux::sim

@@ -1,0 +1,56 @@
+// Minimal deterministic discrete-event engine used by the machine
+// simulators (TFluxHard / TFluxSoft-sim / TFluxCell). Events at equal
+// timestamps run in scheduling order (FIFO), making every simulation
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::sim {
+
+using core::Cycles;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  void at(Cycles t, Callback cb);
+
+  /// Schedule `cb` `dt` cycles from now.
+  void in(Cycles dt, Callback cb) { at(now_ + dt, std::move(cb)); }
+
+  /// Pop and run the earliest event. Returns false when empty.
+  bool step();
+
+  /// Run until no events remain.
+  void run();
+
+  Cycles now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tflux::sim

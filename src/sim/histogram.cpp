@@ -1,0 +1,37 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tflux::sim {
+
+core::Cycles Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= target) {
+      // Upper bound of bucket b: 2^(b+1)-ish (bucket 0 holds <= 1).
+      return b == 0 ? core::Cycles{1}
+             : b >= 62 ? max_
+                       : (core::Cycles{1} << (b + 1));
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  out << "n=" << total_ << ", mean=" << static_cast<std::uint64_t>(mean())
+      << ", p50~" << quantile(0.5) << ", p95~" << quantile(0.95)
+      << ", max=" << max_;
+  return out.str();
+}
+
+}  // namespace tflux::sim

@@ -1,0 +1,59 @@
+// Log-bucketed histogram for cycle durations (DThread execution times,
+// TSU service times). Power-of-two buckets keep it allocation-free and
+// O(1) per sample while giving usable percentiles across nine decades.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace tflux::sim {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(core::Cycles value) {
+    ++counts_[bucket_of(value)];
+    ++total_;
+    sum_ += value;
+    if (value < min_ || total_ == 1) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  std::uint64_t count() const { return total_; }
+  core::Cycles min() const { return total_ ? min_ : 0; }
+  core::Cycles max() const { return max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Approximate quantile (q in [0,1]): upper bound of the bucket
+  /// containing the q-th sample. Exact to within a factor of 2.
+  core::Cycles quantile(double q) const;
+
+  /// One-line summary: "n=..., mean=..., p50~..., p95~..., max=...".
+  std::string summary() const;
+
+ private:
+  static std::size_t bucket_of(core::Cycles value) {
+    std::size_t b = 0;
+    while (value > 1 && b + 1 < kBuckets) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  unsigned long long sum_ = 0;
+  core::Cycles min_ = 0;
+  core::Cycles max_ = 0;
+};
+
+}  // namespace tflux::sim

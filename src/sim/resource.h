@@ -1,0 +1,41 @@
+// Serial resource timelines for coarse contention modeling (the bus
+// arbiter, the TSU service port, a DMA channel): callers ask for a
+// grant at `now` with an occupancy, and get the actual start time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace tflux::sim {
+
+using core::Cycles;
+
+class SerialResource {
+ public:
+  /// Request exclusive use for `occupancy` cycles, no earlier than
+  /// `now`. Returns the grant start; the resource is busy until
+  /// start + occupancy.
+  Cycles acquire(Cycles now, Cycles occupancy) {
+    const Cycles start = std::max(now, free_at_);
+    free_at_ = start + occupancy;
+    busy_cycles_ += occupancy;
+    wait_cycles_ += start - now;
+    ++grants_;
+    return start;
+  }
+
+  Cycles free_at() const { return free_at_; }
+  Cycles busy_cycles() const { return busy_cycles_; }
+  Cycles wait_cycles() const { return wait_cycles_; }
+  std::uint64_t grants() const { return grants_; }
+
+ private:
+  Cycles free_at_ = 0;
+  Cycles busy_cycles_ = 0;
+  Cycles wait_cycles_ = 0;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace tflux::sim

@@ -1,0 +1,45 @@
+// Execution tracing for the simulated platforms: lanes (cores / SPEs /
+// the TSU) hold timed spans; the whole trace exports to the Chrome
+// trace-event JSON format (load in chrome://tracing or Perfetto).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::sim {
+
+using core::Cycles;
+
+struct TraceSpan {
+  Cycles begin = 0;
+  Cycles end = 0;
+  std::uint32_t lane = 0;  ///< core/SPE id; convention: TSU lanes above
+  std::string name;
+};
+
+class Trace {
+ public:
+  /// Record a completed span [begin, end) on `lane`.
+  void add_span(std::uint32_t lane, Cycles begin, Cycles end,
+                std::string name);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+
+  /// Name shown for a lane in the viewer (defaults to "lane <n>").
+  void set_lane_name(std::uint32_t lane, std::string name);
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond
+  /// timestamps with 1 cycle = 1us for viewer purposes).
+  std::string to_chrome_json() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<std::string> lane_names_;
+};
+
+}  // namespace tflux::sim

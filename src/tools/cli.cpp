@@ -1,0 +1,336 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "cell/cell_machine.h"
+#include "cell/config.h"
+#include "core/analysis.h"
+#include "core/graph_io.h"
+#include "core/error.h"
+#include "core/scheduler.h"
+#include "machine/config.h"
+#include "machine/machine.h"
+#include "runtime/runtime.h"
+#include "sim/trace.h"
+
+namespace tflux::tools {
+
+using core::TFluxError;
+
+const char* to_string(CliPlatform platform) {
+  switch (platform) {
+    case CliPlatform::kReference:
+      return "reference";
+    case CliPlatform::kSoft:
+      return "soft";
+    case CliPlatform::kHard:
+      return "hard";
+    case CliPlatform::kX86Hard:
+      return "x86hard";
+    case CliPlatform::kSoftSim:
+      return "softsim";
+    case CliPlatform::kCell:
+      return "cell";
+  }
+  return "?";
+}
+
+namespace {
+
+apps::AppKind parse_app(const std::string& name) {
+  for (apps::AppKind kind : apps::all_apps()) {
+    std::string lower = apps::to_string(kind);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (name == lower) return kind;
+  }
+  throw TFluxError("tflux_run: unknown app '" + name +
+                   "' (trapez, mmult, qsort, susan, fft)");
+}
+
+apps::SizeClass parse_size(const std::string& name) {
+  if (name == "small") return apps::SizeClass::kSmall;
+  if (name == "medium") return apps::SizeClass::kMedium;
+  if (name == "large") return apps::SizeClass::kLarge;
+  throw TFluxError("tflux_run: unknown size '" + name +
+                   "' (small, medium, large)");
+}
+
+CliPlatform parse_platform(const std::string& name) {
+  if (name == "reference") return CliPlatform::kReference;
+  if (name == "soft") return CliPlatform::kSoft;
+  if (name == "hard") return CliPlatform::kHard;
+  if (name == "x86hard") return CliPlatform::kX86Hard;
+  if (name == "softsim") return CliPlatform::kSoftSim;
+  if (name == "cell") return CliPlatform::kCell;
+  throw TFluxError("tflux_run: unknown platform '" + name +
+                   "' (reference, soft, hard, x86hard, softsim, cell)");
+}
+
+core::PolicyKind parse_policy(const std::string& name) {
+  if (name == "fifo") return core::PolicyKind::kFifo;
+  if (name == "locality") return core::PolicyKind::kLocality;
+  throw TFluxError("tflux_run: unknown policy '" + name +
+                   "' (fifo, locality)");
+}
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw TFluxError("tflux_run: " + flag + " expects a number, got '" +
+                     value + "'");
+  }
+}
+
+/// Sizes use the platform-appropriate Table-1 column.
+apps::Platform table1_platform(CliPlatform platform) {
+  switch (platform) {
+    case CliPlatform::kCell:
+      return apps::Platform::kCell;
+    case CliPlatform::kSoft:
+    case CliPlatform::kSoftSim:
+      return apps::Platform::kNative;
+    default:
+      return apps::Platform::kSimulated;
+  }
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: tflux_run [options]\n"
+      "  --app=trapez|mmult|qsort|susan|fft   (default trapez)\n"
+      "  --size=small|medium|large            (default small)\n"
+      "  --platform=reference|soft|hard|x86hard|softsim|cell\n"
+      "                                       (default hard)\n"
+      "  --kernels=N                          worker kernels/SPEs "
+      "(default 4)\n"
+      "  --unroll=N                           loop unroll factor "
+      "(default 4)\n"
+      "  --tsu-capacity=N                     DThreads per DDM block "
+      "(default 512)\n"
+      "  --tsu-groups=N                       TSU Groups, hard targets "
+      "(default 1)\n"
+      "  --policy=fifo|locality               ready-thread policy\n"
+      "  --no-validate                        skip result validation\n"
+      "  --no-baseline                        skip the sequential "
+      "baseline\n"
+      "  --graph=FILE                         simulate a ddmgraph file "
+      "instead of a benchmark\n"
+      "  --dot=FILE                           write the graph as DOT\n"
+      "  --trace=FILE                         write a Chrome trace "
+      "(simulated targets)\n"
+      "  --help\n";
+}
+
+CliOptions parse_args(const std::vector<std::string>& args) {
+  CliOptions options;
+  for (const std::string& arg : args) {
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg.rfind("--app=", 0) == 0) {
+      options.app = parse_app(value_of("--app="));
+    } else if (arg.rfind("--size=", 0) == 0) {
+      options.size = parse_size(value_of("--size="));
+    } else if (arg.rfind("--platform=", 0) == 0) {
+      options.platform = parse_platform(value_of("--platform="));
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      options.kernels = static_cast<std::uint16_t>(
+          parse_uint("--kernels", value_of("--kernels=")));
+      if (options.kernels == 0) {
+        throw TFluxError("tflux_run: --kernels must be >= 1");
+      }
+    } else if (arg.rfind("--unroll=", 0) == 0) {
+      options.unroll = static_cast<std::uint32_t>(
+          parse_uint("--unroll", value_of("--unroll=")));
+      if (options.unroll == 0) {
+        throw TFluxError("tflux_run: --unroll must be >= 1");
+      }
+    } else if (arg.rfind("--tsu-capacity=", 0) == 0) {
+      options.tsu_capacity = static_cast<std::uint32_t>(
+          parse_uint("--tsu-capacity", value_of("--tsu-capacity=")));
+    } else if (arg.rfind("--tsu-groups=", 0) == 0) {
+      options.tsu_groups = static_cast<std::uint16_t>(
+          parse_uint("--tsu-groups", value_of("--tsu-groups=")));
+      if (options.tsu_groups == 0) {
+        throw TFluxError("tflux_run: --tsu-groups must be >= 1");
+      }
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      options.policy = parse_policy(value_of("--policy="));
+    } else if (arg == "--no-validate") {
+      options.validate = false;
+    } else if (arg == "--no-baseline") {
+      options.baseline = false;
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      options.graph_file = value_of("--graph=");
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      options.dot_file = value_of("--dot=");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_file = value_of("--trace=");
+    } else {
+      throw TFluxError("tflux_run: unknown option '" + arg + "'\n" +
+                       usage());
+    }
+  }
+  if (options.platform == CliPlatform::kCell &&
+      options.app == apps::AppKind::kFft) {
+    throw TFluxError(
+        "tflux_run: FFT is not part of the Cell evaluation (Figure 7)");
+  }
+  return options;
+}
+
+int run_cli(const CliOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << usage();
+    return 0;
+  }
+
+  apps::AppRun run;
+  bool validate = options.validate;
+  if (!options.graph_file.empty()) {
+    std::ifstream gin(options.graph_file);
+    if (!gin) {
+      throw TFluxError("tflux_run: cannot open '" + options.graph_file +
+                       "'");
+    }
+    std::ostringstream gtext;
+    gtext << gin.rdbuf();
+    core::BuildOptions build_options;
+    build_options.num_kernels = options.kernels;
+    build_options.tsu_capacity = options.tsu_capacity;
+    run.program = core::load_graph(gtext.str(), build_options);
+    run.name = run.program.name();
+    validate = false;  // loaded graphs have no bodies to validate
+    out << "tflux_run: graph '" << options.graph_file << "' on "
+        << to_string(options.platform) << ", " << options.kernels
+        << " kernels\n";
+  } else {
+    apps::DdmParams params;
+    params.num_kernels = options.kernels;
+    params.unroll = options.unroll;
+    params.tsu_capacity = options.tsu_capacity;
+    run = apps::build_app(options.app, options.size,
+                          table1_platform(options.platform), params);
+    out << "tflux_run: " << run.name << " "
+        << apps::to_string(options.size) << " on "
+        << to_string(options.platform) << ", " << options.kernels
+        << " kernels, unroll " << options.unroll << "\n";
+  }
+
+  const core::GraphAnalysis analysis = core::analyze(run.program);
+  out << "  graph: " << run.program.num_app_threads() << " DThreads in "
+      << run.program.num_blocks() << " block(s), avg parallelism "
+      << analysis.average_parallelism << ", peak width "
+      << analysis.max_width() << "\n";
+
+  if (!options.dot_file.empty()) {
+    core::DotOptions dot_options;
+    dot_options.show_inlet_outlet = true;
+    dot_options.max_threads = 512;
+    std::ofstream(options.dot_file)
+        << core::to_dot(run.program, dot_options);
+    out << "  wrote " << options.dot_file << "\n";
+  }
+
+  sim::Trace trace;
+  const bool want_trace = !options.trace_file.empty();
+  core::Cycles parallel_cycles = 0;
+  core::Cycles baseline_cycles = 0;
+
+  switch (options.platform) {
+    case CliPlatform::kReference: {
+      core::ReferenceScheduler sched(run.program, options.kernels,
+                                     options.policy);
+      const core::ScheduleResult r = sched.run();
+      out << "  executed " << r.records.size()
+          << " DThreads (incl. inlets/outlets)\n";
+      break;
+    }
+    case CliPlatform::kSoft: {
+      runtime::RuntimeOptions rt_options;
+      rt_options.num_kernels = options.kernels;
+      rt_options.policy = options.policy;
+      runtime::Runtime rt(run.program, rt_options);
+      const runtime::RuntimeStats st = rt.run();
+      out << "  wall time " << st.wall_seconds * 1e3 << " ms, "
+          << st.emulator.updates_processed << " Ready Count updates, "
+          << st.tub.entries_published << " TUB entries\n";
+      break;
+    }
+    case CliPlatform::kHard:
+    case CliPlatform::kX86Hard:
+    case CliPlatform::kSoftSim: {
+      machine::MachineConfig cfg =
+          options.platform == CliPlatform::kHard
+              ? machine::bagle_sparc(options.kernels)
+              : options.platform == CliPlatform::kX86Hard
+                    ? machine::x86_hard(options.kernels)
+                    : machine::xeon_soft(options.kernels);
+      cfg.policy = options.policy;
+      cfg.tsu.num_groups = options.tsu_groups;
+      machine::Machine m(cfg, run.program, validate);
+      if (want_trace) m.attach_trace(&trace);
+      const machine::MachineStats st = m.run();
+      parallel_cycles = st.total_cycles;
+      out << "  " << st.total_cycles << " cycles, kernel utilization "
+          << st.kernel_utilization() * 100.0 << "%, " << st.mem.accesses()
+          << " memory accesses (" << st.mem.l2_misses << " L2 misses)\n";
+      out << "  DThread cycles: " << st.thread_cycles.summary() << "\n";
+      if (options.baseline) {
+        baseline_cycles =
+            machine::simulate_sequential(cfg, run.sequential_plan);
+      }
+      break;
+    }
+    case CliPlatform::kCell: {
+      cell::CellConfig cfg = cell::ps3_cell(options.kernels);
+      cell::CellMachine m(cfg, run.program, validate);
+      if (want_trace) m.attach_trace(&trace);
+      const cell::CellStats st = m.run();
+      parallel_cycles = st.total_cycles;
+      out << "  " << st.total_cycles << " cycles, SPE utilization "
+          << st.spe_utilization() * 100.0 << "%, " << st.dma_bytes
+          << " DMA bytes, LS peak " << st.ls_peak_bytes << " bytes\n";
+      if (options.baseline) {
+        baseline_cycles =
+            cell::simulate_sequential_cell(cfg, run.sequential_plan);
+      }
+      break;
+    }
+  }
+
+  if (options.baseline && !run.sequential_plan.empty() &&
+      parallel_cycles != 0 && baseline_cycles != 0) {
+    out << "  sequential baseline " << baseline_cycles << " cycles -> "
+        << "speedup "
+        << static_cast<double>(baseline_cycles) /
+               static_cast<double>(parallel_cycles)
+        << "x\n";
+  }
+  if (want_trace) {
+    std::ofstream(options.trace_file) << trace.to_chrome_json();
+    out << "  wrote " << options.trace_file << " (" << trace.size()
+        << " spans)\n";
+  }
+
+  // Validation only applies when bodies ran (reference/soft always run
+  // them; hard/cell run them when --no-validate was not given).
+  if (validate) {
+    const bool ok = run.validate();
+    out << "  results " << (ok ? "match" : "DO NOT match")
+        << " the sequential reference\n";
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace tflux::tools

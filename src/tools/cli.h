@@ -1,0 +1,59 @@
+// The `tflux_run` command-line driver, split into a testable library:
+// run any Table-1 benchmark on any TFlux platform with chosen kernel
+// count / unroll / policy, validate results, and optionally export the
+// synchronization graph (DOT) or an execution trace (Chrome JSON).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/ready_set.h"
+
+namespace tflux::tools {
+
+/// Execution substrate selection.
+enum class CliPlatform : std::uint8_t {
+  kReference,  ///< core::ReferenceScheduler (functional oracle)
+  kSoft,       ///< native std::thread runtime (TFluxSoft)
+  kHard,       ///< simulated Bagle-like machine (TFluxHard)
+  kX86Hard,    ///< simulated x86 machine, hardware TSU
+  kSoftSim,    ///< simulated Xeon machine, software TSU timing
+  kCell,       ///< simulated PS3 (TFluxCell)
+};
+
+const char* to_string(CliPlatform platform);
+
+struct CliOptions {
+  apps::AppKind app = apps::AppKind::kTrapez;
+  apps::SizeClass size = apps::SizeClass::kSmall;
+  CliPlatform platform = CliPlatform::kHard;
+  std::uint16_t kernels = 4;
+  std::uint32_t unroll = 4;
+  std::uint32_t tsu_capacity = 512;
+  std::uint16_t tsu_groups = 1;
+  core::PolicyKind policy = core::PolicyKind::kLocality;
+  bool validate = true;
+  bool baseline = true;        ///< also simulate the sequential baseline
+  std::string dot_file;        ///< write DOT here if non-empty
+  std::string trace_file;      ///< write Chrome trace here if non-empty
+  /// Instead of a benchmark, load a ddmgraph file and simulate it
+  /// (timing-plane only; implies --no-validate).
+  std::string graph_file;
+  bool help = false;
+};
+
+/// Parse argv-style arguments (without the program name). Throws
+/// core::TFluxError with a usable message on malformed input.
+CliOptions parse_args(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string usage();
+
+/// Execute per the options, writing a human-readable report to `out`.
+/// Returns a process exit code (0 ok, 1 validation failed / error).
+int run_cli(const CliOptions& options, std::ostream& out);
+
+}  // namespace tflux::tools

@@ -1,0 +1,288 @@
+// Tests for the TFluxCell platform: CommandBuffer protocol, Local
+// Store accounting, machine correctness, and the paper's QSORT
+// capacity limitation.
+#include "cell/cell_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/suite.h"
+#include "cell/command_buffer.h"
+#include "cell/local_store.h"
+#include "core/builder.h"
+#include "core/error.h"
+#include "testing/random_graph.h"
+
+namespace tflux::cell {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CommandBuffer
+// ---------------------------------------------------------------------------
+
+TEST(CommandBufferTest, CapacityIs16For128Bytes) {
+  CommandBuffer cb(128);
+  EXPECT_EQ(cb.capacity(), 16u);
+  EXPECT_TRUE(cb.empty());
+}
+
+TEST(CommandBufferTest, FifoOrder) {
+  CommandBuffer cb(128);
+  EXPECT_TRUE(cb.push({SpeCommand::Kind::kComplete, 1}));
+  EXPECT_TRUE(cb.push({SpeCommand::Kind::kFetch, 0}));
+  EXPECT_TRUE(cb.push({SpeCommand::Kind::kLoadBlock, 2}));
+  EXPECT_EQ(cb.size(), 3u);
+  EXPECT_EQ(*cb.pop(), (SpeCommand{SpeCommand::Kind::kComplete, 1}));
+  EXPECT_EQ(*cb.pop(), (SpeCommand{SpeCommand::Kind::kFetch, 0}));
+  EXPECT_EQ(*cb.pop(), (SpeCommand{SpeCommand::Kind::kLoadBlock, 2}));
+  EXPECT_FALSE(cb.pop().has_value());
+}
+
+TEST(CommandBufferTest, FullBufferStalls) {
+  CommandBuffer cb(128);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(cb.push({SpeCommand::Kind::kComplete, i}));
+  }
+  EXPECT_TRUE(cb.full());
+  EXPECT_FALSE(cb.push({SpeCommand::Kind::kComplete, 99}));
+  EXPECT_EQ(cb.stalls(), 1u);
+  // Drain one, then the push succeeds.
+  EXPECT_TRUE(cb.pop().has_value());
+  EXPECT_TRUE(cb.push({SpeCommand::Kind::kComplete, 99}));
+}
+
+TEST(CommandBufferTest, WrapsAroundRing) {
+  CommandBuffer cb(128);
+  for (std::uint32_t round = 0; round < 10; ++round) {
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE(cb.push({SpeCommand::Kind::kComplete, round * 100 + i}));
+    }
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      auto cmd = cb.pop();
+      ASSERT_TRUE(cmd.has_value());
+      EXPECT_EQ(cmd->id, round * 100 + i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Local Store accounting
+// ---------------------------------------------------------------------------
+
+TEST(LocalStoreTest, ResidentRangesUnioned) {
+  CellConfig cfg;
+  core::Footprint fp;
+  fp.read(0x1000, 4096);
+  fp.write(0x1000, 4096);  // in-place: overlaps, counted once
+  fp.read(0x9000, 1024);
+  EXPECT_EQ(ls_requirement(fp, cfg), 4096u + 1024u);
+}
+
+TEST(LocalStoreTest, PartialOverlapCountedOnce) {
+  CellConfig cfg;
+  core::Footprint fp;
+  fp.read(0x1000, 4096);
+  fp.read(0x1800, 4096);  // overlaps last 2KB of the first range
+  EXPECT_EQ(ls_requirement(fp, cfg), 0x1800u + 4096u - 0x1000u);
+}
+
+TEST(LocalStoreTest, StreamingNeedsOnlyDoubleBuffer) {
+  CellConfig cfg;
+  core::Footprint fp;
+  fp.read(0x100000, 8 * 1024 * 1024, /*stream=*/true);  // 8MB stream
+  EXPECT_EQ(ls_requirement(fp, cfg), 2ull * cfg.ls_stream_tile_bytes);
+  EXPECT_TRUE(fits_local_store(fp, cfg));
+}
+
+TEST(LocalStoreTest, OversizedResidentDoesNotFit) {
+  CellConfig cfg;
+  core::Footprint fp;
+  fp.read(0x1000, 300 * 1024);  // > 256KB LS
+  EXPECT_FALSE(fits_local_store(fp, cfg));
+}
+
+TEST(LocalStoreAllocatorTest, BumpAllocationAligned16) {
+  LocalStoreAllocator alloc(1024);
+  EXPECT_EQ(alloc.allocate(10), 0);
+  EXPECT_EQ(alloc.allocate(20), 16);  // previous rounded to 16
+  EXPECT_EQ(alloc.used(), 48u);
+  EXPECT_EQ(alloc.allocate(2000), -1);  // out of space
+  alloc.reset();
+  EXPECT_EQ(alloc.allocate(1024), 0);
+  EXPECT_EQ(alloc.peak(), 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// CellMachine
+// ---------------------------------------------------------------------------
+
+TEST(CellMachineTest, InvalidConfigRejected) {
+  core::ProgramBuilder b;
+  b.add_thread(b.add_block(), "t", {});
+  core::Program p = b.build();
+  EXPECT_THROW(CellMachine(ps3_cell(0), p), core::TFluxError);
+  CellConfig bad = ps3_cell(2);
+  bad.ls_reserved_bytes = bad.local_store_bytes;
+  EXPECT_THROW(CellMachine(bad, p), core::TFluxError);
+}
+
+TEST(CellMachineTest, BodiesProduceResults) {
+  core::ProgramBuilder b;
+  auto hits = std::make_shared<int>(0);
+  b.add_thread(b.add_block(), "t",
+               [hits](const core::ExecContext&) { ++*hits; });
+  core::Program p = b.build();
+  const CellStats st = CellMachine(ps3_cell(2), p).run();
+  EXPECT_EQ(*hits, 1);
+  EXPECT_EQ(st.threads_executed, 1u);
+  EXPECT_EQ(st.mailbox_messages, 3u);  // inlet + thread + outlet
+}
+
+TEST(CellMachineTest, IndependentThreadsScaleAcrossSpes) {
+  auto run_with = [](std::uint16_t spes) {
+    core::ProgramBuilder b;
+    const core::BlockId blk = b.add_block();
+    for (int i = 0; i < 12; ++i) {
+      core::Footprint fp;
+      fp.compute(1000000);
+      b.add_thread(blk, "w", {}, std::move(fp));
+    }
+    core::Program p = b.build(core::BuildOptions{.num_kernels = spes});
+    return CellMachine(ps3_cell(spes), p, false).run().total_cycles;
+  };
+  const Cycles c1 = run_with(1);
+  const Cycles c6 = run_with(6);
+  const double speedup = static_cast<double>(c1) / static_cast<double>(c6);
+  EXPECT_GT(speedup, 5.0);
+  EXPECT_LE(speedup, 6.1);
+}
+
+TEST(CellMachineTest, DmaChargesSharedBandwidth) {
+  core::ProgramBuilder b;
+  const core::BlockId blk = b.add_block();
+  for (int i = 0; i < 4; ++i) {
+    core::Footprint fp;
+    fp.compute(100);
+    fp.read(0x10000 + i * 0x10000, 65536);
+    fp.write(0x100000 + i * 0x10000, 65536);
+    b.add_thread(blk, "io", {}, std::move(fp));
+  }
+  core::Program p = b.build(core::BuildOptions{.num_kernels = 4});
+  const CellStats st = CellMachine(ps3_cell(4), p, false).run();
+  EXPECT_EQ(st.dma_bytes, 4u * 2u * 65536u);
+  EXPECT_EQ(st.dma_transfers, 8u);
+  // 512KB total through 8 B/cycle: at least 64K cycles elapse.
+  EXPECT_GT(st.total_cycles, 65536u);
+}
+
+TEST(CellMachineTest, OversizedDThreadThrows) {
+  core::ProgramBuilder b;
+  core::Footprint fp;
+  fp.read(0x1000, 250 * 1024);  // resident, > LS data region
+  b.add_thread(b.add_block(), "big", {}, std::move(fp));
+  core::Program p = b.build();
+  CellMachine m(ps3_cell(2), p, false);
+  EXPECT_THROW(m.run(), core::TFluxError);
+}
+
+TEST(CellMachineTest, PaperQsortSizesFitButNativeSizesDoNot) {
+  // Section 6.3: QSORT's Cell sizes (3K/6K/12K) fit the Local Store;
+  // the native 50K size does not (its final merge needs the whole
+  // array resident).
+  apps::DdmParams params;
+  params.num_kernels = 6;
+  apps::AppRun cell_run = apps::build_app(
+      apps::AppKind::kQsort, apps::SizeClass::kLarge, apps::Platform::kCell,
+      params);
+  EXPECT_NO_THROW(CellMachine(ps3_cell(6), cell_run.program, false).run());
+
+  apps::AppRun native_run = apps::build_app(
+      apps::AppKind::kQsort, apps::SizeClass::kLarge,
+      apps::Platform::kNative, params);
+  CellMachine m(ps3_cell(6), native_run.program, false);
+  EXPECT_THROW(m.run(), core::TFluxError);
+}
+
+TEST(CellMachineTest, TraceRecordsSpeAndPpeLanes) {
+  core::ProgramBuilder b;
+  const core::BlockId blk = b.add_block();
+  for (int i = 0; i < 4; ++i) {
+    core::Footprint fp;
+    fp.compute(10000);
+    b.add_thread(blk, "w" + std::to_string(i), {}, std::move(fp));
+  }
+  core::Program p = b.build(core::BuildOptions{.num_kernels = 2});
+  sim::Trace trace;
+  CellMachine m(ps3_cell(2), p, false);
+  m.attach_trace(&trace);
+  m.run();
+  bool spe_span = false, ppe_span = false;
+  for (const sim::TraceSpan& s : trace.spans()) {
+    if (s.lane < 2) spe_span = true;
+    if (s.lane == 2 && s.name == "ppe-sweep") ppe_span = true;
+  }
+  EXPECT_TRUE(spe_span);
+  EXPECT_TRUE(ppe_span);
+  EXPECT_NE(trace.to_chrome_json().find("PPE (TSU Emulator)"),
+            std::string::npos);
+}
+
+TEST(CellMachineTest, RunTwiceRejected) {
+  core::ProgramBuilder b;
+  b.add_thread(b.add_block(), "t", {});
+  core::Program p = b.build();
+  CellMachine m(ps3_cell(1), p);
+  m.run();
+  EXPECT_THROW(m.run(), core::TFluxError);
+}
+
+// Property sweep: random graphs uphold the DDM contract on the Cell.
+using Param = std::tuple<std::uint32_t, std::uint16_t>;
+class CellPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CellPropertyTest, RandomGraphsCompleteCorrectly) {
+  const auto [seed, spes] = GetParam();
+  tflux::testing::RandomGraphSpec spec;
+  spec.seed = seed;
+  spec.num_kernels = spes;
+  spec.blocks = 3;
+  spec.threads_per_block = 16;
+  auto rp = tflux::testing::make_random_program(spec);
+
+  const CellStats st = CellMachine(ps3_cell(spes), rp.program).run();
+  EXPECT_EQ(rp.state->order_violations.load(), 0u);
+  for (std::size_t t = 0; t < rp.program.num_app_threads(); ++t) {
+    ASSERT_EQ(rp.state->runs[t].load(), 1u);
+  }
+  EXPECT_EQ(st.threads_executed, rp.program.num_app_threads());
+  EXPECT_EQ(st.tsu.blocks_loaded, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphSweep, CellPropertyTest,
+                         ::testing::Combine(::testing::Values(4u, 21u),
+                                            ::testing::Values<std::uint16_t>(
+                                                1, 2, 6)));
+
+// Cross-validation: all four Cell benchmarks produce sequential-equal
+// results when executed by the CellMachine.
+class CellAppTest : public ::testing::TestWithParam<apps::AppKind> {};
+
+TEST_P(CellAppTest, ResultsMatchSequential) {
+  apps::DdmParams params;
+  params.num_kernels = 4;
+  params.unroll = 8;
+  apps::AppRun run = apps::build_app(GetParam(), apps::SizeClass::kSmall,
+                                     apps::Platform::kCell, params);
+  CellMachine(ps3_cell(4), run.program).run();
+  EXPECT_TRUE(run.validate()) << run.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(CellApps, CellAppTest,
+                         ::testing::Values(apps::AppKind::kTrapez,
+                                           apps::AppKind::kMmult,
+                                           apps::AppKind::kQsort,
+                                           apps::AppKind::kSusan));
+
+}  // namespace
+}  // namespace tflux::cell

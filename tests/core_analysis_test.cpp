@@ -1,0 +1,165 @@
+// Tests for graph analysis (critical path, parallelism, DOT export).
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/unroll.h"
+
+namespace tflux::core {
+namespace {
+
+Footprint compute(Cycles c) {
+  Footprint fp;
+  fp.compute(c);
+  return fp;
+}
+
+TEST(AnalysisTest, SingleThread) {
+  ProgramBuilder b;
+  b.add_thread(b.add_block(), "only", {}, compute(100));
+  const GraphAnalysis a = analyze(b.build());
+  EXPECT_EQ(a.critical_path_threads, 1u);
+  EXPECT_EQ(a.critical_path_cycles, 100u);
+  EXPECT_EQ(a.total_compute_cycles, 100u);
+  EXPECT_DOUBLE_EQ(a.average_parallelism, 1.0);
+  EXPECT_EQ(a.level_widths, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(AnalysisTest, IndependentThreadsAreFullyParallel) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  for (int i = 0; i < 10; ++i) {
+    b.add_thread(blk, "w", {}, compute(50));
+  }
+  const GraphAnalysis a = analyze(b.build());
+  EXPECT_EQ(a.critical_path_threads, 1u);
+  EXPECT_EQ(a.critical_path_cycles, 50u);
+  EXPECT_DOUBLE_EQ(a.average_parallelism, 10.0);
+  EXPECT_EQ(a.max_width(), 10u);
+}
+
+TEST(AnalysisTest, ChainHasNoParallelism) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  ThreadId prev = kInvalidThread;
+  for (int i = 0; i < 5; ++i) {
+    const ThreadId t = b.add_thread(blk, "c", {}, compute(10));
+    if (i > 0) b.add_arc(prev, t);
+    prev = t;
+  }
+  const GraphAnalysis a = analyze(b.build());
+  EXPECT_EQ(a.critical_path_threads, 5u);
+  EXPECT_EQ(a.critical_path_cycles, 50u);
+  EXPECT_DOUBLE_EQ(a.average_parallelism, 1.0);
+  EXPECT_EQ(a.level_widths, (std::vector<std::uint32_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(AnalysisTest, DiamondCriticalPathWeighted) {
+  // a(10) -> b(100) -> d(10), a -> c(1) -> d: critical = a,b,d = 120.
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  const ThreadId a = b.add_thread(blk, "a", {}, compute(10));
+  const ThreadId x = b.add_thread(blk, "b", {}, compute(100));
+  const ThreadId y = b.add_thread(blk, "c", {}, compute(1));
+  const ThreadId d = b.add_thread(blk, "d", {}, compute(10));
+  b.add_arc(a, x);
+  b.add_arc(a, y);
+  b.add_arc(x, d);
+  b.add_arc(y, d);
+  const GraphAnalysis an = analyze(b.build());
+  EXPECT_EQ(an.critical_path_threads, 3u);
+  EXPECT_EQ(an.critical_path_cycles, 120u);
+  EXPECT_EQ(an.total_compute_cycles, 121u);
+  EXPECT_EQ(an.level_widths, (std::vector<std::uint32_t>{1, 2, 1}));
+}
+
+TEST(AnalysisTest, BlocksChainCriticalPaths) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  for (int i = 0; i < 4; ++i) b.add_thread(b0, "p0", {}, compute(100));
+  for (int i = 0; i < 4; ++i) b.add_thread(b1, "p1", {}, compute(200));
+  const GraphAnalysis a = analyze(b.build());
+  // Each block is one level; blocks serialize via the barrier.
+  EXPECT_EQ(a.critical_path_threads, 2u);
+  EXPECT_EQ(a.critical_path_cycles, 300u);
+  EXPECT_EQ(a.level_widths, (std::vector<std::uint32_t>{4, 4}));
+  EXPECT_DOUBLE_EQ(a.average_parallelism, 1200.0 / 300.0);
+}
+
+TEST(AnalysisTest, ReductionTreeDepth) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  std::vector<ThreadId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(b.add_thread(blk, "l", {}, compute(10)));
+  }
+  add_reduction_tree(b, leaves, 2,
+                     [&](std::uint32_t, std::size_t,
+                         const std::vector<ThreadId>&) {
+                       return b.add_thread(blk, "m", {}, compute(10));
+                     });
+  const GraphAnalysis a = analyze(b.build());
+  // 8 leaves + 3 merge levels = depth 4.
+  EXPECT_EQ(a.critical_path_threads, 4u);
+  EXPECT_EQ(a.max_width(), 8u);
+}
+
+TEST(DotTest, EmitsNodesArcsAndClusters) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  const ThreadId p = b.add_thread(blk, "producer", {});
+  const ThreadId c = b.add_thread(blk, "consumer", {});
+  b.add_arc(p, c);
+  Program program = b.build();
+
+  const std::string dot = to_dot(program);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_block0"), std::string::npos);
+  EXPECT_NE(dot.find("producer"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  // Outlet arcs hidden by default.
+  EXPECT_EQ(dot.find("house"), std::string::npos);
+}
+
+TEST(DotTest, InletOutletShownOnRequest) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  b.add_thread(b0, "x", {});
+  b.add_thread(b1, "y", {});
+  Program program = b.build();
+
+  DotOptions options;
+  options.show_inlet_outlet = true;
+  const std::string dot = to_dot(program, options);
+  EXPECT_NE(dot.find("inlet.b0"), std::string::npos);
+  EXPECT_NE(dot.find("outlet.b1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, CrossBlockArcsDotted) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  const ThreadId x = b.add_thread(b0, "x", {});
+  const ThreadId y = b.add_thread(b1, "y", {});
+  b.add_arc(x, y);
+  const std::string dot = to_dot(b.build());
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(DotTest, MaxThreadsCapsOutput) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  for (int i = 0; i < 100; ++i) b.add_thread(blk, "t", {});
+  DotOptions options;
+  options.max_threads = 5;
+  const std::string dot = to_dot(b.build(), options);
+  EXPECT_EQ(dot.find("t99"), std::string::npos);
+  EXPECT_NE(dot.find("t4 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tflux::core

@@ -1,0 +1,220 @@
+// Unit tests for ProgramBuilder: graph validation, ready-count
+// computation, block materialization, home-kernel assignment.
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace tflux::core {
+namespace {
+
+ThreadBody noop() {
+  return [](const ExecContext&) {};
+}
+
+TEST(BuilderTest, EmptyProgramRejected) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, ThreadInUndeclaredBlockRejected) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.add_thread(0, "t", noop()), TFluxError);
+}
+
+TEST(BuilderTest, EmptyBlockRejected) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  b.add_block();  // never populated
+  b.add_thread(b0, "t", noop());
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, SingleThreadProgram) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId t = b.add_thread(b0, "only", noop());
+  Program p = b.build();
+
+  EXPECT_EQ(p.num_app_threads(), 1u);
+  EXPECT_EQ(p.num_threads(), 3u);  // + inlet + outlet
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_EQ(p.thread(t).ready_count_init, 0u);
+  EXPECT_EQ(p.thread(t).kind, ThreadKind::kApplication);
+  // The lone thread is a sink: its only consumer is the outlet.
+  ASSERT_EQ(p.thread(t).consumers.size(), 1u);
+  EXPECT_EQ(p.thread(t).consumers[0], p.block(0).outlet);
+  EXPECT_EQ(p.block(0).sink_count, 1u);
+  EXPECT_EQ(p.thread(p.block(0).outlet).ready_count_init, 1u);
+  EXPECT_EQ(p.thread(p.block(0).inlet).kind, ThreadKind::kInlet);
+}
+
+TEST(BuilderTest, ReadyCountsCountDistinctProducers) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId a = b.add_thread(b0, "a", noop());
+  const ThreadId c = b.add_thread(b0, "c", noop());
+  const ThreadId d = b.add_thread(b0, "d", noop());
+  b.add_arc(a, d);
+  b.add_arc(c, d);
+  b.add_arc(a, d);  // duplicate: must not double-count
+  Program p = b.build();
+
+  EXPECT_EQ(p.thread(d).ready_count_init, 2u);
+  EXPECT_EQ(p.thread(a).consumers.size(), 1u);  // deduped
+  EXPECT_EQ(p.thread(a).ready_count_init, 0u);
+  EXPECT_EQ(p.thread(c).ready_count_init, 0u);
+  // d is the only sink.
+  EXPECT_EQ(p.block(0).sink_count, 1u);
+}
+
+TEST(BuilderTest, SelfArcRejected) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId a = b.add_thread(b0, "a", noop());
+  b.add_arc(a, a);
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, UnknownThreadInArcRejected) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId a = b.add_thread(b0, "a", noop());
+  b.add_arc(a, 99);
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, SameBlockCycleRejected) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId a = b.add_thread(b0, "a", noop());
+  const ThreadId c = b.add_thread(b0, "c", noop());
+  const ThreadId d = b.add_thread(b0, "d", noop());
+  b.add_arc(a, c);
+  b.add_arc(c, d);
+  b.add_arc(d, a);
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, BackwardCrossBlockArcRejected) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  const ThreadId t0 = b.add_thread(b0, "t0", noop());
+  const ThreadId t1 = b.add_thread(b1, "t1", noop());
+  b.add_arc(t1, t0);  // backward
+  EXPECT_THROW(b.build(), TFluxError);
+}
+
+TEST(BuilderTest, ForwardCrossBlockArcRecordedNotCounted) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  const ThreadId t0 = b.add_thread(b0, "t0", noop());
+  const ThreadId t1 = b.add_thread(b1, "t1", noop());
+  b.add_arc(t0, t1);
+  Program p = b.build();
+
+  // Block ordering already enforces the dependency: no TSU entry.
+  EXPECT_EQ(p.thread(t1).ready_count_init, 0u);
+  ASSERT_EQ(p.cross_block_arcs().size(), 1u);
+  EXPECT_EQ(p.cross_block_arcs()[0], (CrossBlockArc{t0, t1}));
+}
+
+TEST(BuilderTest, TsuCapacityEnforced) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  for (int i = 0; i < 7; ++i) {
+    b.add_thread(b0, "t" + std::to_string(i), noop());
+  }
+  // 7 app threads + inlet + outlet = 9 > 8.
+  BuildOptions options;
+  options.tsu_capacity = 8;
+  EXPECT_THROW(b.build(options), TFluxError);
+}
+
+TEST(BuilderTest, TsuCapacityBoundaryAccepted) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  for (int i = 0; i < 6; ++i) {
+    b.add_thread(b0, "t" + std::to_string(i), noop());
+  }
+  BuildOptions options;
+  options.tsu_capacity = 8;  // 6 + 2 == 8: exactly fits
+  EXPECT_NO_THROW(b.build(options));
+}
+
+TEST(BuilderTest, HomeKernelsRoundRobinWhenUnpinned) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  std::vector<ThreadId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(b.add_thread(b0, "t" + std::to_string(i), noop()));
+  }
+  BuildOptions options;
+  options.num_kernels = 3;
+  Program p = b.build(options);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(p.thread(ids[i]).home_kernel, static_cast<KernelId>(i % 3));
+  }
+  EXPECT_EQ(p.max_kernels(), 3u);
+}
+
+TEST(BuilderTest, PinnedHomeKernelsPreserved) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId t = b.add_thread(b0, "pinned", noop(), {}, 5);
+  BuildOptions options;
+  options.num_kernels = 2;
+  Program p = b.build(options);
+  EXPECT_EQ(p.thread(t).home_kernel, 5u);
+  EXPECT_EQ(p.max_kernels(), 6u);
+}
+
+TEST(BuilderTest, MultiBlockInletOutletChain) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const BlockId b1 = b.add_block();
+  const BlockId b2 = b.add_block();
+  b.add_thread(b0, "x", noop());
+  b.add_thread(b1, "y", noop());
+  b.add_thread(b2, "z", noop());
+  Program p = b.build();
+
+  EXPECT_EQ(p.num_blocks(), 3u);
+  EXPECT_EQ(p.num_threads(), 3u + 3u * 2u);
+  for (BlockId blk = 0; blk < 3; ++blk) {
+    EXPECT_EQ(p.thread(p.block(blk).inlet).block, blk);
+    EXPECT_EQ(p.thread(p.block(blk).outlet).block, blk);
+    EXPECT_EQ(p.thread(p.block(blk).inlet).kind, ThreadKind::kInlet);
+    EXPECT_EQ(p.thread(p.block(blk).outlet).kind, ThreadKind::kOutlet);
+  }
+}
+
+TEST(BuilderTest, SinkCountsAndOutletWiring) {
+  // a -> c, b -> c, d isolated: sinks are {c, d}.
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId a = b.add_thread(b0, "a", noop());
+  const ThreadId bb = b.add_thread(b0, "b", noop());
+  const ThreadId c = b.add_thread(b0, "c", noop());
+  const ThreadId d = b.add_thread(b0, "d", noop());
+  b.add_arc(a, c);
+  b.add_arc(bb, c);
+  Program p = b.build();
+
+  EXPECT_EQ(p.block(0).sink_count, 2u);
+  EXPECT_EQ(p.thread(p.block(0).outlet).ready_count_init, 2u);
+  const ThreadId outlet = p.block(0).outlet;
+  ASSERT_EQ(p.thread(c).consumers.size(), 1u);
+  EXPECT_EQ(p.thread(c).consumers[0], outlet);
+  ASSERT_EQ(p.thread(d).consumers.size(), 1u);
+  EXPECT_EQ(p.thread(d).consumers[0], outlet);
+  // Non-sinks do not feed the outlet.
+  ASSERT_EQ(p.thread(a).consumers.size(), 1u);
+  EXPECT_EQ(p.thread(a).consumers[0], c);
+}
+
+}  // namespace
+}  // namespace tflux::core

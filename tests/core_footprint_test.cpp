@@ -1,0 +1,65 @@
+// Unit tests for Footprint byte accounting and access-pattern flags.
+#include "core/footprint.h"
+
+#include <gtest/gtest.h>
+
+namespace tflux::core {
+namespace {
+
+TEST(FootprintTest, EmptyFootprint) {
+  Footprint fp;
+  EXPECT_EQ(fp.compute_cycles, 0u);
+  EXPECT_EQ(fp.bytes_read(), 0u);
+  EXPECT_EQ(fp.bytes_written(), 0u);
+  EXPECT_EQ(fp.bytes_total(), 0u);
+  EXPECT_TRUE(fp.ranges.empty());
+}
+
+TEST(FootprintTest, BuilderChainsAndAccumulates) {
+  Footprint fp;
+  fp.compute(100).read(0x1000, 64).write(0x2000, 32).compute(50);
+  EXPECT_EQ(fp.compute_cycles, 150u);
+  EXPECT_EQ(fp.bytes_read(), 64u);
+  EXPECT_EQ(fp.bytes_written(), 32u);
+  EXPECT_EQ(fp.bytes_total(), 96u);
+  ASSERT_EQ(fp.ranges.size(), 2u);
+  EXPECT_FALSE(fp.ranges[0].write);
+  EXPECT_TRUE(fp.ranges[1].write);
+}
+
+TEST(FootprintTest, ZeroByteRangesDropped) {
+  Footprint fp;
+  fp.read(0x1000, 0).write(0x2000, 0);
+  EXPECT_TRUE(fp.ranges.empty());
+}
+
+TEST(FootprintTest, StreamFlagDefaultsOffAndSticks) {
+  Footprint fp;
+  fp.read(0x1000, 64);
+  fp.read(0x2000, 64, /*stream=*/true);
+  fp.write(0x3000, 64, /*stream=*/true);
+  EXPECT_FALSE(fp.ranges[0].stream);
+  EXPECT_TRUE(fp.ranges[1].stream);
+  EXPECT_TRUE(fp.ranges[2].stream);
+  // Byte accounting ignores the flag.
+  EXPECT_EQ(fp.bytes_read(), 128u);
+  EXPECT_EQ(fp.bytes_written(), 64u);
+}
+
+TEST(FootprintTest, MultipleRangesSum) {
+  Footprint fp;
+  for (int i = 0; i < 10; ++i) {
+    fp.read(static_cast<SimAddr>(i) * 4096, 100);
+  }
+  EXPECT_EQ(fp.bytes_read(), 1000u);
+  EXPECT_EQ(fp.ranges.size(), 10u);
+}
+
+TEST(ThreadKindTest, Names) {
+  EXPECT_STREQ(to_string(ThreadKind::kApplication), "application");
+  EXPECT_STREQ(to_string(ThreadKind::kInlet), "inlet");
+  EXPECT_STREQ(to_string(ThreadKind::kOutlet), "outlet");
+}
+
+}  // namespace
+}  // namespace tflux::core

@@ -1,0 +1,105 @@
+// Round-trip and error tests for the ddmgraph text format.
+#include "core/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/builder.h"
+#include "core/error.h"
+#include "core/scheduler.h"
+
+namespace tflux::core {
+namespace {
+
+Program make_sample() {
+  ProgramBuilder b("sample");
+  const BlockId b0 = b.add_block();
+  Footprint fa;
+  fa.compute(100).read(0x1000, 64).write(0x2000, 128, /*stream=*/true);
+  const ThreadId a = b.add_thread(b0, "a", {}, std::move(fa), 1);
+  Footprint fb;
+  fb.compute(200);
+  const ThreadId x = b.add_thread(b0, "x", {}, std::move(fb));
+  b.add_arc(a, x);
+  const BlockId b1 = b.add_block();
+  const ThreadId y = b.add_thread(b1, "y", {});
+  b.add_arc(a, y);  // cross-block
+  return b.build(BuildOptions{.num_kernels = 2});
+}
+
+TEST(GraphIoTest, SaveEmitsExpectedDirectives) {
+  const std::string text = save_graph(make_sample());
+  EXPECT_NE(text.find("ddmgraph 1"), std::string::npos);
+  EXPECT_NE(text.find("program sample"), std::string::npos);
+  EXPECT_NE(text.find("thread a compute 100 home 1"), std::string::npos);
+  EXPECT_NE(text.find("read 4096 64"), std::string::npos);
+  EXPECT_NE(text.find("write 8192 128 stream"), std::string::npos);
+  EXPECT_NE(text.find("arc 0 1"), std::string::npos);
+  EXPECT_NE(text.find("arc 0 2"), std::string::npos);  // cross-block
+}
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  Program original = make_sample();
+  Program loaded =
+      load_graph(save_graph(original), BuildOptions{.num_kernels = 2});
+
+  EXPECT_EQ(loaded.num_app_threads(), original.num_app_threads());
+  EXPECT_EQ(loaded.num_blocks(), original.num_blocks());
+  EXPECT_EQ(loaded.cross_block_arcs().size(),
+            original.cross_block_arcs().size());
+  for (ThreadId t = 0; t < original.num_app_threads(); ++t) {
+    EXPECT_EQ(loaded.thread(t).label, original.thread(t).label);
+    EXPECT_EQ(loaded.thread(t).footprint.compute_cycles,
+              original.thread(t).footprint.compute_cycles);
+    EXPECT_EQ(loaded.thread(t).footprint.ranges,
+              original.thread(t).footprint.ranges);
+    EXPECT_EQ(loaded.thread(t).ready_count_init,
+              original.thread(t).ready_count_init);
+    EXPECT_EQ(loaded.thread(t).home_kernel, original.thread(t).home_kernel);
+  }
+  // Analysis agrees, and the loaded program executes.
+  const GraphAnalysis oa = analyze(original);
+  const GraphAnalysis la = analyze(loaded);
+  EXPECT_EQ(la.critical_path_cycles, oa.critical_path_cycles);
+  EXPECT_EQ(la.level_widths, oa.level_widths);
+  ReferenceScheduler sched(loaded, 2);
+  EXPECT_NO_THROW(sched.run());
+}
+
+TEST(GraphIoTest, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "ddmgraph 1\n"
+      "\n"
+      "program p  # trailing comment\n"
+      "block\n"
+      "thread t compute 5\n";
+  Program p = load_graph(text);
+  EXPECT_EQ(p.num_app_threads(), 1u);
+  EXPECT_EQ(p.thread(0).footprint.compute_cycles, 5u);
+}
+
+TEST(GraphIoTest, Errors) {
+  EXPECT_THROW(load_graph(""), TFluxError);
+  EXPECT_THROW(load_graph("ddmgraph 2\n"), TFluxError);
+  EXPECT_THROW(load_graph("block\n"), TFluxError);  // before magic
+  EXPECT_THROW(load_graph("ddmgraph 1\nthread t\n"), TFluxError);
+  EXPECT_THROW(load_graph("ddmgraph 1\nread 0 64\n"), TFluxError);
+  EXPECT_THROW(load_graph("ddmgraph 1\nblock\nthread t bogus 4\n"),
+               TFluxError);
+  EXPECT_THROW(load_graph("ddmgraph 1\nblock\nthread t\narc 0 9\n"),
+               TFluxError);
+  EXPECT_THROW(
+      load_graph("ddmgraph 1\nblock\nthread t\nread 0 64 sideways\n"),
+      TFluxError);
+}
+
+TEST(GraphIoTest, LoadedGraphValidatesThroughBuilder) {
+  // A cyclic saved graph must be rejected by ProgramBuilder validation.
+  const std::string text =
+      "ddmgraph 1\nblock\nthread a\nthread b\narc 0 1\narc 1 0\n";
+  EXPECT_THROW(load_graph(text), TFluxError);
+}
+
+}  // namespace
+}  // namespace tflux::core

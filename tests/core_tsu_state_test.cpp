@@ -1,0 +1,204 @@
+// Unit tests for TsuState: the Ready Count algebra, the Inlet/Outlet
+// block protocol, fetch/complete lifecycle, and the ready-pool
+// policies.
+#include "core/tsu_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/error.h"
+#include "core/ready_set.h"
+
+namespace tflux::core {
+namespace {
+
+ThreadBody noop() {
+  return [](const ExecContext&) {};
+}
+
+/// diamond: a -> {b, c} -> d, single block.
+Program make_diamond(ThreadId* a, ThreadId* b, ThreadId* c, ThreadId* d) {
+  ProgramBuilder builder;
+  const BlockId blk = builder.add_block();
+  *a = builder.add_thread(blk, "a", noop());
+  *b = builder.add_thread(blk, "b", noop());
+  *c = builder.add_thread(blk, "c", noop());
+  *d = builder.add_thread(blk, "d", noop());
+  builder.add_arc(*a, *b);
+  builder.add_arc(*a, *c);
+  builder.add_arc(*b, *d);
+  builder.add_arc(*c, *d);
+  return builder.build();
+}
+
+TEST(TsuStateTest, StartMakesFirstInletReady) {
+  ThreadId a, b, c, d;
+  Program p = make_diamond(&a, &b, &c, &d);
+  TsuState tsu(p, 1);
+  tsu.start();
+  EXPECT_EQ(tsu.ready_pool_size(), 1u);
+  auto tid = tsu.fetch(0);
+  ASSERT_TRUE(tid.has_value());
+  EXPECT_EQ(*tid, p.block(0).inlet);
+}
+
+TEST(TsuStateTest, DoubleStartRejected) {
+  ThreadId a, b, c, d;
+  Program p = make_diamond(&a, &b, &c, &d);
+  TsuState tsu(p, 1);
+  tsu.start();
+  EXPECT_THROW(tsu.start(), TFluxError);
+}
+
+TEST(TsuStateTest, DiamondProtocolWalkthrough) {
+  ThreadId a, b, c, d;
+  Program p = make_diamond(&a, &b, &c, &d);
+  TsuState tsu(p, 1);
+  tsu.start();
+
+  // Inlet loads the block: only `a` has Ready Count 0.
+  auto inlet = tsu.fetch(0);
+  tsu.complete(*inlet);
+  EXPECT_EQ(tsu.state(a), ThreadState::kReady);
+  EXPECT_EQ(tsu.state(b), ThreadState::kWaiting);
+  EXPECT_EQ(tsu.state(c), ThreadState::kWaiting);
+  EXPECT_EQ(tsu.state(d), ThreadState::kWaiting);
+  EXPECT_EQ(tsu.ready_count(b), 1u);
+  EXPECT_EQ(tsu.ready_count(d), 2u);
+  EXPECT_EQ(tsu.current_block(), 0u);
+
+  // Run a: b and c become ready.
+  auto ta = tsu.fetch(0);
+  ASSERT_EQ(*ta, a);
+  tsu.complete(a);
+  EXPECT_EQ(tsu.state(b), ThreadState::kReady);
+  EXPECT_EQ(tsu.state(c), ThreadState::kReady);
+  EXPECT_EQ(tsu.state(d), ThreadState::kWaiting);
+  EXPECT_EQ(tsu.ready_count(d), 2u);
+
+  // Run b: d still waits on c.
+  auto tb = tsu.fetch(0);
+  tsu.complete(*tb);
+  EXPECT_EQ(tsu.ready_count(d), 1u);
+  EXPECT_EQ(tsu.state(d), ThreadState::kWaiting);
+
+  // Run c: d becomes ready.
+  auto tc = tsu.fetch(0);
+  tsu.complete(*tc);
+  EXPECT_EQ(tsu.state(d), ThreadState::kReady);
+
+  // Run d (the only sink): outlet becomes ready.
+  auto td = tsu.fetch(0);
+  ASSERT_EQ(*td, d);
+  tsu.complete(d);
+  EXPECT_EQ(tsu.state(p.block(0).outlet), ThreadState::kReady);
+  EXPECT_FALSE(tsu.done());
+
+  // Run the outlet: single block => program done.
+  auto outlet = tsu.fetch(0);
+  ASSERT_EQ(*outlet, p.block(0).outlet);
+  tsu.complete(*outlet);
+  EXPECT_TRUE(tsu.done());
+  EXPECT_EQ(tsu.ready_pool_size(), 0u);
+  EXPECT_EQ(tsu.counters().threads_completed, 4u);
+  EXPECT_EQ(tsu.counters().blocks_loaded, 1u);
+}
+
+TEST(TsuStateTest, FetchOnEmptyPoolMisses) {
+  ThreadId a, b, c, d;
+  Program p = make_diamond(&a, &b, &c, &d);
+  TsuState tsu(p, 1);
+  tsu.start();
+  auto inlet = tsu.fetch(0);
+  ASSERT_TRUE(inlet.has_value());
+  // Inlet running, nothing else ready.
+  EXPECT_FALSE(tsu.fetch(0).has_value());
+  EXPECT_EQ(tsu.counters().fetch_misses, 1u);
+  tsu.complete(*inlet);
+}
+
+TEST(TsuStateTest, CompleteOnNonRunningThreadRejected) {
+  ThreadId a, b, c, d;
+  Program p = make_diamond(&a, &b, &c, &d);
+  TsuState tsu(p, 1);
+  tsu.start();
+  EXPECT_THROW(tsu.complete(a), TFluxError);           // not loaded
+  auto inlet = tsu.fetch(0);
+  tsu.complete(*inlet);
+  EXPECT_THROW(tsu.complete(b), TFluxError);           // waiting
+  EXPECT_THROW(tsu.complete(*inlet), TFluxError);      // already complete
+}
+
+TEST(TsuStateTest, BlockChainLoadsNextInletOnOutlet) {
+  ProgramBuilder builder;
+  const BlockId b0 = builder.add_block();
+  const BlockId b1 = builder.add_block();
+  const ThreadId x = builder.add_thread(b0, "x", noop());
+  const ThreadId y = builder.add_thread(b1, "y", noop());
+  Program p = builder.build();
+
+  TsuState tsu(p, 1);
+  tsu.start();
+  auto run_next = [&] {
+    auto tid = tsu.fetch(0);
+    EXPECT_TRUE(tid.has_value());
+    tsu.complete(*tid);
+    return *tid;
+  };
+  EXPECT_EQ(run_next(), p.block(0).inlet);
+  EXPECT_EQ(run_next(), x);
+  EXPECT_EQ(run_next(), p.block(0).outlet);
+  EXPECT_FALSE(tsu.done());
+  EXPECT_EQ(run_next(), p.block(1).inlet);
+  EXPECT_EQ(tsu.current_block(), 1u);
+  EXPECT_EQ(run_next(), y);
+  EXPECT_EQ(run_next(), p.block(1).outlet);
+  EXPECT_TRUE(tsu.done());
+  EXPECT_EQ(tsu.counters().blocks_loaded, 2u);
+}
+
+TEST(ReadySetTest, FifoOrder) {
+  ReadySet rs(4, PolicyKind::kFifo);
+  rs.push(10, 3);
+  rs.push(11, 0);
+  rs.push(12, 1);
+  EXPECT_EQ(rs.size(), 3u);
+  EXPECT_EQ(*rs.pop(2), 10u);
+  EXPECT_EQ(*rs.pop(2), 11u);
+  EXPECT_EQ(*rs.pop(0), 12u);
+  EXPECT_FALSE(rs.pop(0).has_value());
+  EXPECT_EQ(rs.steals(), 0u);
+}
+
+TEST(ReadySetTest, LocalityPrefersHomeQueue) {
+  ReadySet rs(2, PolicyKind::kLocality);
+  rs.push(10, 0);
+  rs.push(11, 1);
+  // Kernel 1 gets its own thread despite 10 being pushed first.
+  EXPECT_EQ(*rs.pop(1), 11u);
+  EXPECT_EQ(rs.steals(), 0u);
+  // Now kernel 1 must steal from kernel 0's queue.
+  EXPECT_EQ(*rs.pop(1), 10u);
+  EXPECT_EQ(rs.steals(), 1u);
+  EXPECT_TRUE(rs.empty());
+}
+
+TEST(ReadySetTest, LocalityStealScanIsRoundRobin) {
+  ReadySet rs(4, PolicyKind::kLocality);
+  rs.push(20, 2);
+  rs.push(30, 3);
+  // Kernel 1 scans 1,2,3,0: finds 20 at kernel 2 first.
+  EXPECT_EQ(*rs.pop(1), 20u);
+  EXPECT_EQ(*rs.pop(1), 30u);
+  EXPECT_EQ(rs.steals(), 2u);
+}
+
+TEST(ReadySetTest, OutOfRangeHomeClampsToQueueZero) {
+  ReadySet rs(2, PolicyKind::kLocality);
+  rs.push(7, 40);  // home kernel beyond pool
+  EXPECT_EQ(*rs.pop(0), 7u);
+  EXPECT_EQ(rs.steals(), 0u);
+}
+
+}  // namespace
+}  // namespace tflux::core

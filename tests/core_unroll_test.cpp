@@ -1,0 +1,167 @@
+// Tests for loop chunking and reduction-tree construction.
+#include "core/unroll.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/builder.h"
+#include "core/error.h"
+#include "core/scheduler.h"
+
+namespace tflux::core {
+namespace {
+
+TEST(ChunkIterationsTest, ExactDivision) {
+  const auto chunks = chunk_iterations(0, 8, 4);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (LoopChunk{0, 4}));
+  EXPECT_EQ(chunks[1], (LoopChunk{4, 8}));
+}
+
+TEST(ChunkIterationsTest, RaggedTail) {
+  const auto chunks = chunk_iterations(0, 10, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2], (LoopChunk{8, 10}));
+  EXPECT_EQ(chunks[2].size(), 2);
+}
+
+TEST(ChunkIterationsTest, NonZeroBegin) {
+  const auto chunks = chunk_iterations(5, 9, 2);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (LoopChunk{5, 7}));
+  EXPECT_EQ(chunks[1], (LoopChunk{7, 9}));
+}
+
+TEST(ChunkIterationsTest, EmptyRange) {
+  EXPECT_TRUE(chunk_iterations(4, 4, 8).empty());
+  EXPECT_TRUE(chunk_iterations(9, 4, 8).empty());
+}
+
+TEST(ChunkIterationsTest, ZeroUnrollRejected) {
+  EXPECT_THROW(chunk_iterations(0, 4, 0), TFluxError);
+}
+
+TEST(ChunkIterationsTest, CoverageIsExactAndDisjoint) {
+  for (std::uint32_t unroll : {1u, 3u, 16u, 64u}) {
+    const auto chunks = chunk_iterations(0, 1000, unroll);
+    std::int64_t next = 0;
+    for (const auto& c : chunks) {
+      EXPECT_EQ(c.begin, next);
+      EXPECT_GT(c.end, c.begin);
+      EXPECT_LE(c.end - c.begin, static_cast<std::int64_t>(unroll));
+      next = c.end;
+    }
+    EXPECT_EQ(next, 1000);
+  }
+}
+
+TEST(ReductionTreeTest, SumViaTwoLevelTree) {
+  // The paper's QSORT merges sorted chunks with a two-level tree; here
+  // the same shape sums partial values.
+  constexpr int kLeaves = 8;
+  ProgramBuilder builder;
+  const BlockId blk = builder.add_block();
+
+  auto partials = std::make_shared<std::vector<long>>(64, 0);
+  std::vector<ThreadId> leaves;
+  for (int i = 0; i < kLeaves; ++i) {
+    leaves.push_back(builder.add_thread(
+        blk, "leaf" + std::to_string(i),
+        [partials, i](const ExecContext&) { (*partials)[i] = i + 1; }));
+  }
+
+  ThreadId root = add_reduction_tree(
+      builder, leaves, /*fanin=*/4,
+      [&](std::uint32_t level, std::size_t index,
+          const std::vector<ThreadId>& children) {
+        // Every thread (leaf or merge) writes the slot equal to its own
+        // ThreadId... except leaves, which write slot i with value i+1.
+        // Merge nodes sum their children's slots into their own slot.
+        // Ids are assigned sequentially, so the next id is num_threads().
+        const int out_slot = static_cast<int>(builder.num_threads());
+        std::vector<int> in_slots;
+        for (ThreadId c : children) in_slots.push_back(static_cast<int>(c));
+        return builder.add_thread(
+            blk, "merge" + std::to_string(level) + "." + std::to_string(index),
+            [partials, in_slots, out_slot](const ExecContext&) {
+              long sum = 0;
+              for (int s : in_slots) sum += (*partials)[s];
+              (*partials)[out_slot] = sum;
+            });
+      });
+
+  Program p = builder.build();
+  ReferenceScheduler sched(p, 4);
+  sched.run();
+
+  // 8 leaves, fanin 4 => merges with ids 8 and 9 at level 1, root id 10.
+  EXPECT_EQ(root, p.num_app_threads() - 1);
+  EXPECT_EQ(root, 10u);
+  // Leaf i holds i+1, so the root slot holds 1+2+...+8 = 36.
+  EXPECT_EQ((*partials)[root], 36);
+}
+
+TEST(ReductionTreeTest, SingleLeafNeedsNoMerge) {
+  ProgramBuilder builder;
+  const BlockId blk = builder.add_block();
+  const ThreadId leaf = builder.add_thread(blk, "leaf", {});
+  int calls = 0;
+  const ThreadId root = add_reduction_tree(
+      builder, {leaf}, 2,
+      [&](std::uint32_t, std::size_t, const std::vector<ThreadId>&) {
+        ++calls;
+        return kInvalidThread;
+      });
+  EXPECT_EQ(root, leaf);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ReductionTreeTest, LoneChildPropagatesWithoutMergeNode) {
+  // 5 leaves, fanin 2: level 1 pairs (0,1) (2,3) and passes 4 through.
+  ProgramBuilder builder;
+  const BlockId blk = builder.add_block();
+  std::vector<ThreadId> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(builder.add_thread(blk, "l" + std::to_string(i), {}));
+  }
+  int nodes = 0;
+  add_reduction_tree(builder, leaves, 2,
+                     [&](std::uint32_t, std::size_t,
+                         const std::vector<ThreadId>&) {
+                       ++nodes;
+                       return builder.add_thread(blk, "m", {});
+                     });
+  // level1: 2 merges (+pass-through), level2: merge(m01,m23)+pass, level3: 1.
+  EXPECT_EQ(nodes, 4);
+  // Program remains valid (acyclic, single root sink plus pass-through).
+  EXPECT_NO_THROW(builder.build());
+}
+
+TEST(ReductionTreeTest, InvalidArgsRejected) {
+  ProgramBuilder builder;
+  builder.add_block();
+  auto node = [&](std::uint32_t, std::size_t, const std::vector<ThreadId>&) {
+    return kInvalidThread;
+  };
+  EXPECT_THROW(add_reduction_tree(builder, {}, 2, node), TFluxError);
+  EXPECT_THROW(add_reduction_tree(builder, {0}, 1, node), TFluxError);
+}
+
+TEST(AddLoopThreadsTest, CreatesThreadPerChunk) {
+  ProgramBuilder builder;
+  const BlockId blk = builder.add_block();
+  std::vector<LoopChunk> seen;
+  const auto ids = add_loop_threads(
+      builder, 0, 100, 32, [&](LoopChunk c, std::size_t idx) {
+        seen.push_back(c);
+        return builder.add_thread(blk, "chunk" + std::to_string(idx), {});
+      });
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[3], (LoopChunk{96, 100}));
+  EXPECT_NO_THROW(builder.build());
+}
+
+}  // namespace
+}  // namespace tflux::core

@@ -1,0 +1,350 @@
+// Tests for the DDMCPP preprocessor: directive parsing, for-header
+// extraction, validation errors, and code generation for all three
+// back-ends (including an in-process execution of a parsed program
+// through the builder path the generated code uses).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.h"
+#include "ddmcpp/codegen.h"
+#include "ddmcpp/parser.h"
+
+namespace tflux::ddmcpp {
+namespace {
+
+const char kMinimal[] = R"(
+#pragma ddm startprogram
+int x = 0;
+#pragma ddm thread 1
+x = 42;
+#pragma ddm endthread
+#pragma ddm endprogram
+)";
+
+TEST(DdmcppParserTest, MinimalProgram) {
+  const ProgramIR ir = parse(kMinimal);
+  EXPECT_EQ(ir.kernels, 4u);  // default
+  ASSERT_EQ(ir.blocks.size(), 1u);
+  ASSERT_EQ(ir.blocks[0].threads.size(), 1u);
+  const ThreadIR& t = ir.blocks[0].threads[0];
+  EXPECT_EQ(t.id, 1u);
+  EXPECT_FALSE(t.is_loop);
+  EXPECT_NE(t.body.find("x = 42;"), std::string::npos);
+  EXPECT_NE(ir.globals.find("int x = 0;"), std::string::npos);
+}
+
+TEST(DdmcppParserTest, StartProgramClauses) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram kernels 7 name myprog
+#pragma ddm thread 1
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(ir.kernels, 7u);
+  EXPECT_EQ(ir.name, "myprog");
+}
+
+TEST(DdmcppParserTest, PreludeKeptVerbatim) {
+  const ProgramIR ir = parse(std::string("#include <cstdio>\n") + kMinimal);
+  EXPECT_NE(ir.prelude.find("#include <cstdio>"), std::string::npos);
+}
+
+TEST(DdmcppParserTest, DependsAndKernelClauses) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1 kernel 2
+;
+#pragma ddm endthread
+#pragma ddm thread 5 depends(1)
+;
+#pragma ddm endthread
+#pragma ddm thread 9 depends(1, 5) kernel 0
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  const auto& threads = ir.blocks[0].threads;
+  ASSERT_EQ(threads.size(), 3u);
+  EXPECT_EQ(threads[0].kernel, 2u);
+  EXPECT_EQ(threads[1].depends, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(threads[2].depends, (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(threads[2].kernel, 0u);
+}
+
+TEST(DdmcppParserTest, ForThreadParsesCanonicalHeader) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 3 unroll 16
+for (int i = 2; i < 100; i++) {
+  work(i);
+}
+#pragma ddm endfor
+#pragma ddm endprogram
+)");
+  const ThreadIR& t = ir.blocks[0].threads[0];
+  EXPECT_TRUE(t.is_loop);
+  EXPECT_EQ(t.loop_var, "i");
+  EXPECT_EQ(t.loop_var_type, "int");
+  EXPECT_EQ(t.begin_expr, "2");
+  EXPECT_EQ(t.end_expr, "100");
+  EXPECT_EQ(t.step_expr, "1");
+  EXPECT_EQ(t.unroll, 16u);
+  EXPECT_NE(t.body.find("work(i);"), std::string::npos);
+}
+
+TEST(DdmcppParserTest, ForThreadWithStride) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 1
+for (long j = 0; j < n; j += 4) sink(j);
+#pragma ddm endfor
+#pragma ddm endprogram
+)");
+  const ThreadIR& t = ir.blocks[0].threads[0];
+  EXPECT_EQ(t.loop_var, "j");
+  EXPECT_EQ(t.loop_var_type, "long");
+  EXPECT_EQ(t.step_expr, "4");
+  EXPECT_EQ(t.end_expr, "n");
+  EXPECT_NE(t.body.find("sink(j);"), std::string::npos);
+}
+
+TEST(DdmcppParserTest, ExplicitBlocksPartitionThreads) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm block 0
+#pragma ddm thread 1
+;
+#pragma ddm endthread
+#pragma ddm endblock
+#pragma ddm block 1
+#pragma ddm thread 2
+;
+#pragma ddm endthread
+#pragma ddm endblock
+#pragma ddm endprogram
+)");
+  ASSERT_EQ(ir.blocks.size(), 2u);
+  EXPECT_EQ(ir.blocks[0].threads[0].id, 1u);
+  EXPECT_EQ(ir.blocks[1].threads[0].id, 2u);
+}
+
+TEST(DdmcppParserTest, SharedDirective) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm shared a, b
+#pragma ddm shared c
+#pragma ddm thread 1
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(ir.shared_vars, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(DdmcppParserTest, Errors) {
+  // no startprogram
+  EXPECT_THROW(parse("int x;\n"), core::TFluxError);
+  // missing endprogram
+  EXPECT_THROW(parse("#pragma ddm startprogram\n#pragma ddm thread 1\n;\n"
+                     "#pragma ddm endthread\n"),
+               core::TFluxError);
+  // duplicate thread id
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1
+;
+#pragma ddm endthread
+#pragma ddm thread 1
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+  // depends on undeclared thread
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 2 depends(1)
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+  // unknown directive
+  EXPECT_THROW(parse("#pragma ddm startprogram\n#pragma ddm bogus\n"),
+               core::TFluxError);
+  // endfor closing a plain thread
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1
+;
+#pragma ddm endfor
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+  // malformed for header (condition not strict <)
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 1
+for (int i = 0; i != 10; i++) x();
+#pragma ddm endfor
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+  // unroll on a plain thread
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1 unroll 4
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+  // no threads at all
+  EXPECT_THROW(parse("#pragma ddm startprogram\n#pragma ddm endprogram\n"),
+               core::TFluxError);
+}
+
+// --- codegen ---------------------------------------------------------------
+
+TEST(DdmcppCodegenTest, TargetNames) {
+  EXPECT_EQ(parse_target("soft"), Target::kSoft);
+  EXPECT_EQ(parse_target("hard"), Target::kHard);
+  EXPECT_EQ(parse_target("cell"), Target::kCell);
+  EXPECT_THROW(parse_target("gpu"), core::TFluxError);
+}
+
+TEST(DdmcppCodegenTest, SoftTargetEmitsRuntimeDriver) {
+  const std::string code =
+      generate(parse(kMinimal), {Target::kSoft, true});
+  EXPECT_NE(code.find("#include \"runtime/runtime.h\""), std::string::npos);
+  EXPECT_NE(code.find("tflux::runtime::Runtime"), std::string::npos);
+  EXPECT_NE(code.find("ddm_build_program"), std::string::npos);
+  EXPECT_NE(code.find("void ddm_thread_1"), std::string::npos);
+  EXPECT_NE(code.find("int main()"), std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, HardAndCellTargetsEmitMachineDrivers) {
+  const std::string hard = generate(parse(kMinimal), {Target::kHard, true});
+  EXPECT_NE(hard.find("tflux::machine::Machine"), std::string::npos);
+  EXPECT_NE(hard.find("bagle_sparc"), std::string::npos);
+  const std::string cell = generate(parse(kMinimal), {Target::kCell, true});
+  EXPECT_NE(cell.find("tflux::cell::CellMachine"), std::string::npos);
+  EXPECT_NE(cell.find("ps3_cell"), std::string::npos);
+}
+
+TEST(DdmcppParserTest, CyclesAndRangeClauses) {
+  const ProgramIR ir = parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1 cycles(5000) reads(4096:1024) writes(8192:256:stream)
+;
+#pragma ddm endthread
+#pragma ddm for thread 2 cycles(100)
+for (int i = 0; i < 4; i++) ;
+#pragma ddm endfor
+#pragma ddm endprogram
+)");
+  const ThreadIR& t = ir.blocks[0].threads[0];
+  EXPECT_EQ(t.cycles, 5000u);
+  ASSERT_EQ(t.ranges.size(), 2u);
+  EXPECT_EQ(t.ranges[0].addr, 4096u);
+  EXPECT_EQ(t.ranges[0].bytes, 1024u);
+  EXPECT_FALSE(t.ranges[0].write);
+  EXPECT_FALSE(t.ranges[0].stream);
+  EXPECT_EQ(t.ranges[1].addr, 8192u);
+  EXPECT_TRUE(t.ranges[1].write);
+  EXPECT_TRUE(t.ranges[1].stream);
+  EXPECT_EQ(ir.blocks[0].threads[1].cycles, 100u);
+}
+
+TEST(DdmcppParserTest, RangeClauseOnLoopThreadRejected) {
+  EXPECT_THROW(parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 1 reads(0:64)
+for (int i = 0; i < 4; i++) ;
+#pragma ddm endfor
+#pragma ddm endprogram
+)"),
+               core::TFluxError);
+}
+
+TEST(DdmcppCodegenTest, FootprintClausesEmitted) {
+  const std::string code = generate(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1 cycles(5000) reads(4096:1024)
+;
+#pragma ddm endthread
+#pragma ddm for thread 2 cycles(100) unroll 8
+for (int i = 0; i < 64; i++) ;
+#pragma ddm endfor
+#pragma ddm endprogram
+)"),
+                                    {Target::kHard, true});
+  EXPECT_NE(code.find("ddm_fp.compute(5000ull)"), std::string::npos);
+  EXPECT_NE(code.find("ddm_fp.read(4096ull, 1024u, false)"),
+            std::string::npos);
+  EXPECT_NE(code.find("ddm_chunk.size() * 100ull"), std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, KernelsOverride) {
+  CodegenOptions options;
+  options.target = Target::kSoft;
+  options.kernels_override = 9;
+  const std::string code = generate(parse(kMinimal), options);
+  EXPECT_NE(code.find("ddm_kernels = 9;"), std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, NoMainSuppressesDriver) {
+  const std::string code =
+      generate(parse(kMinimal), {Target::kSoft, false});
+  EXPECT_EQ(code.find("int main()"), std::string::npos);
+  EXPECT_NE(code.find("ddm_build_program"), std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, LoopThreadEmitsChunking) {
+  const std::string code = generate(parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 1 unroll 8
+for (int i = 0; i < 64; i++) g(i);
+#pragma ddm endfor
+#pragma ddm endprogram
+)"),
+                                    {Target::kSoft, true});
+  EXPECT_NE(code.find("chunk_iterations"), std::string::npos);
+  EXPECT_NE(code.find("8u"), std::string::npos);
+  EXPECT_NE(code.find("ddm_iter_begin"), std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, DependsEmitsAllToAllArcs) {
+  const std::string code = generate(parse(R"(
+#pragma ddm startprogram
+#pragma ddm for thread 1
+for (int i = 0; i < 4; i++) a(i);
+#pragma ddm endfor
+#pragma ddm thread 2 depends(1)
+b();
+#pragma ddm endthread
+#pragma ddm endprogram
+)"),
+                                    {Target::kSoft, true});
+  EXPECT_NE(code.find("ddm_builder.add_arc(ddm_p, ddm_c)"),
+            std::string::npos);
+}
+
+TEST(DdmcppCodegenTest, KernelPinningEmitted) {
+  const std::string code = generate(parse(R"(
+#pragma ddm startprogram
+#pragma ddm thread 1 kernel 3
+;
+#pragma ddm endthread
+#pragma ddm endprogram
+)"),
+                                    {Target::kSoft, true});
+  EXPECT_NE(code.find(", 3));"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tflux::ddmcpp

@@ -1,0 +1,98 @@
+// Unit tests for the set-associative MESI cache state container.
+#include "machine/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace tflux::machine {
+namespace {
+
+CacheGeometry tiny() {
+  // 4 sets x 2 ways x 64B lines = 512B.
+  return CacheGeometry{512, 64, 2, 1, 1};
+}
+
+TEST(CacheTest, GeometryValidation) {
+  EXPECT_THROW(Cache(CacheGeometry{512, 48, 2, 1, 1}), core::TFluxError);
+  EXPECT_THROW(Cache(CacheGeometry{64, 64, 2, 1, 1}), core::TFluxError);
+  Cache c(tiny());
+  EXPECT_EQ(c.num_sets(), 4u);
+  EXPECT_EQ(c.ways(), 2u);
+}
+
+TEST(CacheTest, LineAlignment) {
+  Cache c(tiny());
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(63), 0u);
+  EXPECT_EQ(c.line_of(64), 64u);
+  EXPECT_EQ(c.line_of(130), 128u);
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(tiny());
+  EXPECT_EQ(c.lookup(0), Mesi::kInvalid);
+  c.insert(0, Mesi::kExclusive);
+  EXPECT_EQ(c.lookup(0), Mesi::kExclusive);
+  EXPECT_EQ(c.peek(0), Mesi::kExclusive);
+}
+
+TEST(CacheTest, SetStateAndInvalidate) {
+  Cache c(tiny());
+  c.insert(64, Mesi::kShared);
+  c.set_state(64, Mesi::kModified);
+  EXPECT_EQ(c.peek(64), Mesi::kModified);
+  EXPECT_EQ(c.invalidate(64), Mesi::kModified);
+  EXPECT_EQ(c.peek(64), Mesi::kInvalid);
+  // Invalidating a non-resident line is a no-op returning kInvalid.
+  EXPECT_EQ(c.invalidate(64), Mesi::kInvalid);
+}
+
+TEST(CacheTest, EvictsLruWithinSet) {
+  Cache c(tiny());
+  // Set stride = 4 sets * 64B = 256B: addresses 0, 256, 512 map to set 0.
+  EXPECT_FALSE(c.insert(0, Mesi::kExclusive).has_value());
+  EXPECT_FALSE(c.insert(256, Mesi::kExclusive).has_value());
+  // Touch 0 so 256 becomes LRU.
+  c.lookup(0);
+  auto victim = c.insert(512, Mesi::kExclusive);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 256u);
+  EXPECT_EQ(victim->state, Mesi::kExclusive);
+  EXPECT_EQ(c.peek(0), Mesi::kExclusive);
+  EXPECT_EQ(c.peek(256), Mesi::kInvalid);
+}
+
+TEST(CacheTest, ReinsertUpdatesStateWithoutVictim) {
+  Cache c(tiny());
+  c.insert(0, Mesi::kShared);
+  auto victim = c.insert(0, Mesi::kModified);
+  EXPECT_FALSE(victim.has_value());
+  EXPECT_EQ(c.peek(0), Mesi::kModified);
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(CacheTest, DifferentSetsDoNotConflict) {
+  Cache c(tiny());
+  for (int i = 0; i < 4; ++i) {
+    c.insert(static_cast<SimAddr>(i) * 64, Mesi::kShared);
+  }
+  EXPECT_EQ(c.valid_lines(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.peek(static_cast<SimAddr>(i) * 64), Mesi::kShared);
+  }
+}
+
+TEST(CacheTest, VictimDirtyStateReported) {
+  Cache c(tiny());
+  c.insert(0, Mesi::kModified);
+  c.insert(256, Mesi::kShared);
+  c.lookup(256);  // 0 is LRU
+  auto victim = c.insert(512, Mesi::kExclusive);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 0u);
+  EXPECT_EQ(victim->state, Mesi::kModified);
+}
+
+}  // namespace
+}  // namespace tflux::machine

@@ -1,0 +1,61 @@
+// The machine presets must match the paper's published parameters
+// (section 6.1.1 / 6.2.1); these tests pin them against regressions.
+#include "machine/config.h"
+
+#include <gtest/gtest.h>
+
+namespace tflux::machine {
+namespace {
+
+TEST(ConfigTest, BagleSparcMatchesSection611) {
+  const MachineConfig c = bagle_sparc(27);
+  EXPECT_EQ(c.num_kernels, 27u);
+  // 32KB L1D, 64B lines, 4-way, 2-cycle read.
+  EXPECT_EQ(c.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(c.l1.line_bytes, 64u);
+  EXPECT_EQ(c.l1.ways, 4u);
+  EXPECT_EQ(c.l1.read_latency, 2u);
+  EXPECT_EQ(c.l1.num_sets(), 128u);
+  // 2MB unified L2, 128B lines, 8-way, 20-cycle.
+  EXPECT_EQ(c.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(c.l2.line_bytes, 128u);
+  EXPECT_EQ(c.l2.ways, 8u);
+  EXPECT_EQ(c.l2.read_latency, 20u);
+  EXPECT_EQ(c.l2.num_sets(), 2048u);
+  // Hardware TSU: cheap ops, single group by default.
+  EXPECT_LE(c.tsu.op_cycles, 4u);
+  EXPECT_EQ(c.tsu.num_groups, 1u);
+}
+
+TEST(ConfigTest, XeonSoftMatchesSection621) {
+  const MachineConfig c = xeon_soft(6);
+  // 32KB 8-way L1 with 3-cycle latency; 4MB 16-way L2 with 14-cycle.
+  EXPECT_EQ(c.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(c.l1.ways, 8u);
+  EXPECT_EQ(c.l1.read_latency, 3u);
+  EXPECT_EQ(c.l2.size_bytes, 4u * 1024 * 1024);
+  EXPECT_EQ(c.l2.ways, 16u);
+  EXPECT_EQ(c.l2.read_latency, 14u);
+  // Software TSU: orders of magnitude slower per op than the HW TSU.
+  EXPECT_GE(c.tsu.op_cycles, 100u);
+  EXPECT_GT(c.tsu.access_latency, bagle_sparc(6).tsu.access_latency);
+}
+
+TEST(ConfigTest, X86HardSharesMemorySystemWithXeonSoft) {
+  const MachineConfig hard = x86_hard(8);
+  const MachineConfig soft = xeon_soft(8);
+  EXPECT_EQ(hard.l1.size_bytes, soft.l1.size_bytes);
+  EXPECT_EQ(hard.l2.size_bytes, soft.l2.size_bytes);
+  EXPECT_EQ(hard.memory_latency, soft.memory_latency);
+  // ...but the TSU is the hardware module again.
+  EXPECT_LE(hard.tsu.op_cycles, 4u);
+  EXPECT_LT(hard.tsu.access_latency, soft.tsu.access_latency);
+}
+
+TEST(ConfigTest, CacheGeometryDerivesSets) {
+  const CacheGeometry g{64 * 1024, 64, 16, 1, 1};
+  EXPECT_EQ(g.num_sets(), 64u);
+}
+
+}  // namespace
+}  // namespace tflux::machine

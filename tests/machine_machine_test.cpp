@@ -1,0 +1,282 @@
+// Tests for the full machine simulator: DDM protocol under DES timing,
+// functional results, scaling sanity, TSU cost accounting.
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+
+#include "core/builder.h"
+#include "core/error.h"
+#include "machine/config.h"
+#include "testing/random_graph.h"
+
+namespace tflux::machine {
+namespace {
+
+using core::BlockId;
+using core::ExecContext;
+using core::Footprint;
+using core::ProgramBuilder;
+using core::ThreadId;
+
+TEST(MachineTest, SingleComputeThreadTiming) {
+  ProgramBuilder b;
+  Footprint fp;
+  fp.compute(10000);
+  b.add_thread(b.add_block(), "t", {}, std::move(fp));
+  core::Program p = b.build();
+
+  Machine m(bagle_sparc(1), p);
+  const MachineStats st = m.run();
+  // Inlet + thread + outlet + TSU costs: total must exceed the pure
+  // compute but not wildly (overhead fraction small).
+  EXPECT_GT(st.total_cycles, 10000u);
+  EXPECT_LT(st.total_cycles, 11500u);
+  EXPECT_EQ(st.threads_executed, 1u);
+  EXPECT_EQ(st.tsu.blocks_loaded, 1u);
+}
+
+TEST(MachineTest, BodiesRunAndProduceResults) {
+  ProgramBuilder b;
+  const BlockId blk = b.add_block();
+  auto flag = std::make_shared<std::atomic<int>>(0);
+  Footprint fp;
+  fp.compute(100);
+  b.add_thread(blk, "t",
+               [flag](const ExecContext&) { flag->fetch_add(1); },
+               std::move(fp));
+  core::Program p = b.build();
+  Machine(bagle_sparc(2), p).run();
+  EXPECT_EQ(flag->load(), 1);
+}
+
+TEST(MachineTest, InvokeBodiesFalseSkipsExecution) {
+  ProgramBuilder b;
+  auto flag = std::make_shared<std::atomic<int>>(0);
+  b.add_thread(b.add_block(), "t",
+               [flag](const ExecContext&) { flag->fetch_add(1); });
+  core::Program p = b.build();
+  Machine(bagle_sparc(2), p, /*invoke_bodies=*/false).run();
+  EXPECT_EQ(flag->load(), 0);
+}
+
+TEST(MachineTest, IndependentThreadsScaleAcrossKernels) {
+  auto make_program = [] {
+    ProgramBuilder b;
+    const BlockId blk = b.add_block();
+    for (int i = 0; i < 32; ++i) {
+      Footprint fp;
+      fp.compute(50000);
+      b.add_thread(blk, "w" + std::to_string(i), {}, std::move(fp));
+    }
+    return b.build(core::BuildOptions{.num_kernels = 8});
+  };
+  core::Program p1 = make_program();
+  core::Program p8 = make_program();
+  const Cycles c1 = Machine(bagle_sparc(1), p1).run().total_cycles;
+  const Cycles c8 = Machine(bagle_sparc(8), p8).run().total_cycles;
+  const double speedup = static_cast<double>(c1) / static_cast<double>(c8);
+  // 32 equal compute-bound threads on 8 kernels: near-8x.
+  EXPECT_GT(speedup, 6.5);
+  EXPECT_LE(speedup, 8.1);
+}
+
+TEST(MachineTest, DependencyChainGetsNoSpeedup) {
+  auto make_program = [] {
+    ProgramBuilder b;
+    const BlockId blk = b.add_block();
+    ThreadId prev = core::kInvalidThread;
+    for (int i = 0; i < 16; ++i) {
+      Footprint fp;
+      fp.compute(10000);
+      const ThreadId t = b.add_thread(blk, "c" + std::to_string(i), {},
+                                      std::move(fp));
+      if (i > 0) b.add_arc(prev, t);
+      prev = t;
+    }
+    return b.build(core::BuildOptions{.num_kernels = 4});
+  };
+  core::Program p1 = make_program();
+  core::Program p4 = make_program();
+  const Cycles c1 = Machine(bagle_sparc(1), p1).run().total_cycles;
+  const Cycles c4 = Machine(bagle_sparc(4), p4).run().total_cycles;
+  // A pure chain cannot go faster on more kernels.
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c4), 1.0, 0.05);
+}
+
+TEST(MachineTest, WarmSharedWritesPingPongWarmPrivateWritesHit) {
+  // The coherency-miss effect that limits MMULT (section 6.1.2): once
+  // caches are warm, a core re-writing its own data hits locally while
+  // cores alternating writes to the same lines pay an ownership
+  // transfer (bus + invalidation) on every access.
+  MemorySystem mem(bagle_sparc(2), 2);
+  // Warm both cores on their private lines and the shared line.
+  mem.access_line(0, 0x1000, true, 0);
+  mem.access_line(1, 0x8000, true, 0);
+
+  // Private rewrites: all hits.
+  Cycles t = 100000;
+  const Cycles private_start = t;
+  for (int i = 0; i < 100; ++i) {
+    t = mem.access_line(0, 0x1000, true, t);
+  }
+  const Cycles private_cost = t - private_start;
+
+  // Ping-pong on one line between the two cores.
+  t = 200000;
+  const Cycles shared_start = t;
+  for (int i = 0; i < 50; ++i) {
+    t = mem.access_line(0, 0x20000, true, t);
+    t = mem.access_line(1, 0x20000, true, t);
+  }
+  const Cycles shared_cost = t - shared_start;
+
+  EXPECT_GT(shared_cost, 10 * private_cost);
+  EXPECT_GE(mem.stats().invalidations, 99u);
+  EXPECT_GE(mem.stats().c2c_transfers, 98u);
+}
+
+TEST(MachineTest, TsuOpCyclesSweepBarelyMattersForCoarseThreads) {
+  // The paper's section 4.1 claim: raising TSU processing from 1 to
+  // 128 cycles changes runtime by <1% (coarse threads, hardware TSU).
+  auto run_with = [](Cycles op_cycles) {
+    ProgramBuilder b;
+    const BlockId blk = b.add_block();
+    for (int i = 0; i < 64; ++i) {
+      Footprint fp;
+      fp.compute(200000);  // coarse DThreads
+      b.add_thread(blk, "w" + std::to_string(i), {}, std::move(fp));
+    }
+    core::Program p = b.build(core::BuildOptions{.num_kernels = 8});
+    MachineConfig cfg = bagle_sparc(8);
+    cfg.tsu.op_cycles = op_cycles;
+    return Machine(cfg, p).run().total_cycles;
+  };
+  const Cycles fast = run_with(1);
+  const Cycles slow = run_with(128);
+  const double ratio = static_cast<double>(slow) / static_cast<double>(fast);
+  EXPECT_LT(ratio, 1.02);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(MachineTest, SoftTsuPenalizesFineGrainThreads) {
+  // Fine-grained threads: the software TSU (hundreds of cycles per op)
+  // must hurt much more than the hardware TSU - the reason TFluxSoft
+  // needs coarser unrolling (section 6.2.2).
+  auto run_with = [](const MachineConfig& cfg) {
+    ProgramBuilder b;
+    const BlockId blk = b.add_block();
+    for (int i = 0; i < 128; ++i) {
+      Footprint fp;
+      fp.compute(800);  // fine-grained
+      b.add_thread(blk, "w" + std::to_string(i), {}, std::move(fp));
+    }
+    core::Program p = b.build(core::BuildOptions{.num_kernels = 4});
+    return Machine(cfg, p).run().total_cycles;
+  };
+  const Cycles hard = run_with(bagle_sparc(4));
+  const Cycles soft = run_with(xeon_soft(4));
+  EXPECT_GT(static_cast<double>(soft) / static_cast<double>(hard), 3.0);
+}
+
+TEST(MachineTest, MultipleTsuGroupsPreserveCorrectness) {
+  // The section 4.1 extension must not change *what* executes, only
+  // the timing: random graphs keep the DDM contract with 1, 2, 4
+  // groups, and every configuration runs each thread exactly once.
+  for (std::uint16_t groups : {1, 2, 4}) {
+    tflux::testing::RandomGraphSpec spec;
+    spec.seed = 77;
+    spec.num_kernels = 8;
+    spec.blocks = 2;
+    spec.threads_per_block = 30;
+    auto rp = tflux::testing::make_random_program(spec);
+    MachineConfig cfg = bagle_sparc(8);
+    cfg.tsu.num_groups = groups;
+    const MachineStats st = Machine(cfg, rp.program).run();
+    EXPECT_EQ(rp.state->order_violations.load(), 0u) << groups;
+    EXPECT_EQ(st.threads_executed, rp.program.num_app_threads());
+    EXPECT_EQ(st.tsu_group_busy.size(), groups);
+    if (groups == 1) {
+      EXPECT_EQ(st.tsu_intergroup_updates, 0u);
+    } else {
+      EXPECT_GT(st.tsu_intergroup_updates, 0u);
+    }
+  }
+}
+
+TEST(MachineTest, MultipleTsuGroupsRelieveSaturatedPort) {
+  // Fine-grained independent threads with a slow TSU: the single
+  // group's port saturates; 4 groups must strictly help.
+  auto run_with = [](std::uint16_t groups) {
+    ProgramBuilder b;
+    const BlockId blk = b.add_block();
+    for (int i = 0; i < 2048; ++i) {
+      Footprint fp;
+      fp.compute(500);
+      b.add_thread(blk, "w", {}, std::move(fp));
+    }
+    core::Program p = b.build(core::BuildOptions{.num_kernels = 16});
+    MachineConfig cfg = bagle_sparc(16);
+    cfg.tsu.op_cycles = 64;
+    cfg.tsu.num_groups = groups;
+    return Machine(cfg, p, false).run().total_cycles;
+  };
+  const Cycles one = run_with(1);
+  const Cycles four = run_with(4);
+  EXPECT_LT(four, one);
+}
+
+TEST(MachineTest, ZeroTsuGroupsRejected) {
+  ProgramBuilder b;
+  b.add_thread(b.add_block(), "t", {});
+  core::Program p = b.build();
+  MachineConfig cfg = bagle_sparc(2);
+  cfg.tsu.num_groups = 0;
+  EXPECT_THROW(Machine(cfg, p), core::TFluxError);
+}
+
+TEST(MachineTest, RunTwiceRejected) {
+  ProgramBuilder b;
+  b.add_thread(b.add_block(), "t", {});
+  core::Program p = b.build();
+  Machine m(bagle_sparc(1), p);
+  m.run();
+  EXPECT_THROW(m.run(), core::TFluxError);
+}
+
+// Property sweep: random graphs complete under simulation with the
+// DDM contract intact, across kernel counts and both TSU flavors.
+using Param = std::tuple<std::uint32_t, std::uint16_t, bool /*soft tsu*/>;
+class MachinePropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MachinePropertyTest, RandomGraphsCompleteCorrectly) {
+  const auto [seed, kernels, soft] = GetParam();
+  tflux::testing::RandomGraphSpec spec;
+  spec.seed = seed;
+  spec.num_kernels = kernels;
+  spec.blocks = 3;
+  spec.threads_per_block = 20;
+  auto rp = tflux::testing::make_random_program(spec);
+
+  const MachineConfig cfg = soft ? xeon_soft(kernels) : bagle_sparc(kernels);
+  const MachineStats st = Machine(cfg, rp.program).run();
+
+  EXPECT_EQ(rp.state->order_violations.load(), 0u);
+  for (std::size_t t = 0; t < rp.program.num_app_threads(); ++t) {
+    ASSERT_EQ(rp.state->runs[t].load(), 1u) << "thread " << t;
+  }
+  EXPECT_EQ(st.threads_executed, rp.program.num_app_threads());
+  EXPECT_EQ(st.tsu.blocks_loaded, 3u);
+  EXPECT_GT(st.total_cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphSweep, MachinePropertyTest,
+    ::testing::Combine(::testing::Values(2u, 11u, 23u),
+                       ::testing::Values<std::uint16_t>(1, 3, 8, 27),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace tflux::machine

@@ -1,0 +1,162 @@
+// MESI protocol + bus timing tests for the coherent memory system.
+#include "machine/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace tflux::machine {
+namespace {
+
+MachineConfig small_config(std::uint16_t cores) {
+  MachineConfig c;
+  c.num_kernels = cores;
+  c.l1 = CacheGeometry{512, 64, 2, 2, 1};        // 4 sets x 2 ways
+  c.l2 = CacheGeometry{2048, 128, 2, 20, 20};    // 8 sets x 2 ways
+  c.bus = BusConfig{4, 8};
+  c.memory_latency = 200;
+  c.c2c_latency = 40;
+  return c;
+}
+
+TEST(MemorySystemTest, ColdReadFetchesExclusive) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  const Cycles done = mem.access_line(0, 0, false, 0);
+  // l2 detect (20) + bus (4+8) + memory (200).
+  EXPECT_EQ(done, 20u + 12u + 200u);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kExclusive);
+  EXPECT_TRUE(mem.l1_resident(0, 0));
+  EXPECT_EQ(mem.stats().mem_fetches, 1u);
+}
+
+TEST(MemorySystemTest, L1HitIsCheap) {
+  auto cfg = small_config(1);
+  MemorySystem mem(cfg, 1);
+  mem.access_line(0, 0, false, 0);
+  const Cycles t0 = 1000;
+  EXPECT_EQ(mem.access_line(0, 0, false, t0), t0 + cfg.l1.read_latency);
+  EXPECT_EQ(mem.stats().l1_hits, 1u);
+}
+
+TEST(MemorySystemTest, L2HitAfterL1Eviction) {
+  auto cfg = small_config(1);
+  MemorySystem mem(cfg, 1);
+  // L1 set 0 holds addresses {0, 256}; the third conflicting line
+  // evicts - but L2 (128B lines, 8 sets... 2KB) still holds line 0.
+  mem.access_line(0, 0, false, 0);
+  mem.access_line(0, 256, false, 0);
+  mem.access_line(0, 512, false, 0);
+  EXPECT_FALSE(mem.l1_resident(0, 0));
+  const Cycles t0 = 10000;
+  EXPECT_EQ(mem.access_line(0, 0, false, t0), t0 + cfg.l2.read_latency);
+  EXPECT_EQ(mem.stats().l2_hits, 1u);
+}
+
+TEST(MemorySystemTest, SecondReaderDemotesToShared) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  mem.access_line(0, 0, false, 0);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kExclusive);
+  mem.access_line(1, 0, false, 1000);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kShared);
+  EXPECT_EQ(mem.l2_state(1, 0), Mesi::kShared);
+}
+
+TEST(MemorySystemTest, DirtyLineSuppliedCacheToCache) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  mem.access_line(0, 0, true, 0);  // core 0 owns M
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kModified);
+  const Cycles t0 = 1000;
+  const Cycles done = mem.access_line(1, 0, false, t0);
+  // Supplied by peer: c2c (40) beats memory (200).
+  EXPECT_EQ(done, t0 + 20 + 12 + 40);
+  EXPECT_EQ(mem.stats().c2c_transfers, 1u);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kShared);
+  EXPECT_EQ(mem.l2_state(1, 0), Mesi::kShared);
+}
+
+TEST(MemorySystemTest, WriteToExclusiveIsSilentPromotion) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  mem.access_line(0, 0, false, 0);  // E
+  const auto before = mem.stats().bus_transactions;
+  const Cycles t0 = 1000;
+  EXPECT_EQ(mem.access_line(0, 0, true, t0), t0 + cfg.l1.write_latency);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kModified);
+  EXPECT_EQ(mem.stats().bus_transactions, before);  // no bus traffic
+}
+
+TEST(MemorySystemTest, WriteToSharedUpgradesAndInvalidatesPeers) {
+  auto cfg = small_config(3);
+  MemorySystem mem(cfg, 3);
+  mem.access_line(0, 0, false, 0);
+  mem.access_line(1, 0, false, 500);
+  mem.access_line(2, 0, false, 900);
+  const Cycles done = mem.access_line(0, 0, true, 2000);
+  EXPECT_GT(done, 2000u + cfg.l1.write_latency);  // paid the upgrade
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kModified);
+  EXPECT_EQ(mem.l2_state(1, 0), Mesi::kInvalid);
+  EXPECT_EQ(mem.l2_state(2, 0), Mesi::kInvalid);
+  EXPECT_FALSE(mem.l1_resident(1, 0));  // back-invalidated
+  EXPECT_EQ(mem.stats().upgrades, 1u);
+  EXPECT_EQ(mem.stats().invalidations, 2u);
+}
+
+TEST(MemorySystemTest, WriteMissInvalidatesDirtyPeer) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  mem.access_line(0, 0, true, 0);  // core 0: M
+  mem.access_line(1, 0, true, 1000);
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kInvalid);
+  EXPECT_EQ(mem.l2_state(1, 0), Mesi::kModified);
+  EXPECT_GE(mem.stats().writebacks, 1u);
+}
+
+TEST(MemorySystemTest, BusSerializesConcurrentMisses) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  // Two different lines, same instant: the second transaction must
+  // wait for the first's bus occupancy (12 cycles).
+  const Cycles d0 = mem.access_line(0, 0, false, 0);
+  const Cycles d1 = mem.access_line(1, 4096, false, 0);
+  EXPECT_EQ(d0, 20u + 12 + 200);
+  EXPECT_EQ(d1, d0 + 12);  // bus wait shifts completion by one occupancy
+  EXPECT_GT(mem.stats().bus_wait_cycles, 0u);
+}
+
+TEST(MemorySystemTest, L2EvictionBackInvalidatesL1AndWritesBack) {
+  auto cfg = small_config(1);
+  MemorySystem mem(cfg, 1);
+  // L2: 8 sets... 2048/(128*2) = 8 sets; set stride = 8*128 = 1024.
+  mem.access_line(0, 0, true, 0);         // M in L2 line 0
+  mem.access_line(0, 1024, false, 1000);  // same L2 set
+  mem.access_line(0, 2048, false, 2000);  // evicts LRU (line 0, dirty)
+  EXPECT_EQ(mem.l2_state(0, 0), Mesi::kInvalid);
+  EXPECT_FALSE(mem.l1_resident(0, 0));
+  EXPECT_GE(mem.stats().writebacks, 1u);
+}
+
+TEST(MemorySystemTest, InvalidGeometryRejected) {
+  auto cfg = small_config(1);
+  cfg.l2.line_bytes = 32;  // smaller than L1's 64
+  EXPECT_THROW(MemorySystem(cfg, 1), core::TFluxError);
+  EXPECT_THROW(MemorySystem(small_config(1), 0), core::TFluxError);
+}
+
+TEST(MemorySystemTest, StatsAccumulateConsistently) {
+  auto cfg = small_config(2);
+  MemorySystem mem(cfg, 2);
+  for (int i = 0; i < 10; ++i) {
+    mem.access_line(0, static_cast<SimAddr>(i) * 64, false, 0);
+    mem.access_line(1, static_cast<SimAddr>(i) * 64, i % 2 == 0, 0);
+  }
+  const auto s = mem.stats();
+  EXPECT_EQ(s.accesses(), 20u);
+  EXPECT_EQ(s.l1_hits + s.l1_misses, 20u);
+  EXPECT_GT(s.bus_busy_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace tflux::machine

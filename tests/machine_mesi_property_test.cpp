@@ -1,0 +1,120 @@
+// Randomized MESI protocol stress: thousands of random reads/writes
+// from random cores, with the single-writer/multiple-reader invariants
+// checked against the caches' visible state after every access, plus a
+// determinism check over the whole machine.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "machine/memory_system.h"
+#include "sim/rng.h"
+#include "testing/random_graph.h"
+#include "machine/machine.h"
+
+namespace tflux::machine {
+namespace {
+
+MachineConfig stress_config(std::uint16_t cores) {
+  MachineConfig c;
+  c.num_kernels = cores;
+  c.l1 = CacheGeometry{1024, 64, 2, 2, 1};
+  c.l2 = CacheGeometry{4096, 128, 2, 20, 20};
+  c.bus = BusConfig{4, 8};
+  c.memory_latency = 100;
+  c.c2c_latency = 30;
+  return c;
+}
+
+using Param = std::tuple<std::uint32_t /*seed*/, std::uint16_t /*cores*/>;
+class MesiPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MesiPropertyTest, SwmrInvariantsHoldUnderRandomTraffic) {
+  const auto [seed, cores] = GetParam();
+  const MachineConfig cfg = stress_config(cores);
+  MemorySystem mem(cfg, cores);
+  sim::SplitMix64 rng(seed);
+
+  // A small hot address pool guarantees heavy sharing and eviction.
+  constexpr std::uint32_t kLines = 64;
+  Cycles now = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const auto core = static_cast<std::uint16_t>(rng.next_below(cores));
+    const SimAddr line = rng.next_below(kLines) * 64;
+    const bool write = rng.next_below(100) < 40;
+    const Cycles done = mem.access_line(core, line, write, now);
+    ASSERT_GE(done, now);
+    now = done;
+
+    // --- invariants over every L2 line state ---------------------------
+    for (std::uint32_t l = 0; l < kLines; ++l) {
+      const SimAddr addr = static_cast<SimAddr>(l) * 64;
+      int modified = 0, exclusive = 0, shared = 0;
+      for (std::uint16_t c = 0; c < cores; ++c) {
+        switch (mem.l2_state(c, addr)) {
+          case Mesi::kModified:
+            ++modified;
+            break;
+          case Mesi::kExclusive:
+            ++exclusive;
+            break;
+          case Mesi::kShared:
+            ++shared;
+            break;
+          case Mesi::kInvalid:
+            break;
+        }
+        // Inclusion: an L1-resident line implies a valid L2 line.
+        if (mem.l1_resident(c, addr)) {
+          ASSERT_NE(mem.l2_state(c, addr), Mesi::kInvalid)
+              << "L1 line without L2 backing (core " << c << ")";
+        }
+      }
+      // Single writer: at most one M or E owner, and never alongside
+      // other copies.
+      ASSERT_LE(modified + exclusive, 1) << "two owners of line " << l;
+      if (modified + exclusive == 1) {
+        ASSERT_EQ(shared, 0) << "owner coexists with sharers, line " << l;
+      }
+    }
+
+    // The core that just wrote must own the line in M.
+    if (write) {
+      ASSERT_EQ(mem.l2_state(core, line), Mesi::kModified);
+    }
+  }
+
+  // Counter sanity after the storm.
+  const MemoryStats st = mem.stats();
+  EXPECT_EQ(st.accesses(), 5000u);
+  EXPECT_EQ(st.l1_hits + st.l1_misses, 5000u);
+  EXPECT_GE(st.bus_transactions, st.mem_fetches + st.c2c_transfers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storm, MesiPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 1337u, 424242u),
+                       ::testing::Values<std::uint16_t>(2, 4, 8)));
+
+TEST(MachineDeterminismTest, IdenticalRunsProduceIdenticalStats) {
+  auto run_once = [] {
+    tflux::testing::RandomGraphSpec spec;
+    spec.seed = 9;
+    spec.num_kernels = 6;
+    spec.blocks = 2;
+    spec.threads_per_block = 40;
+    auto rp = tflux::testing::make_random_program(spec);
+    return Machine(bagle_sparc(6), rp.program, false).run();
+  };
+  const MachineStats a = run_once();
+  const MachineStats b = run_once();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.kernel_busy, b.kernel_busy);
+  EXPECT_EQ(a.mem.l1_hits, b.mem.l1_hits);
+  EXPECT_EQ(a.mem.bus_transactions, b.mem.bus_transactions);
+  EXPECT_EQ(a.tsu_busy_cycles, b.tsu_busy_cycles);
+  EXPECT_EQ(a.parks, b.parks);
+}
+
+}  // namespace
+}  // namespace tflux::machine

@@ -1,0 +1,62 @@
+// Tests for the log-bucketed duration histogram.
+#include "sim/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tflux::sim {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (core::Cycles v : {10u, 20u, 30u, 40u}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(HistogramTest, QuantileWithinFactorOfTwo) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(100);  // all in bucket of 100
+  const core::Cycles p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 128u);
+  EXPECT_EQ(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileOrdersAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(100000);
+  EXPECT_LT(h.quantile(0.5), h.quantile(0.95));
+  EXPECT_GE(h.quantile(0.99), 65536u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.add(core::Cycles{1} << 62);
+  h.add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), core::Cycles{1} << 62);
+  EXPECT_GE(h.quantile(1.0), 1u);
+}
+
+TEST(HistogramTest, SummaryMentionsFields) {
+  Histogram h;
+  h.add(5);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p95~"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tflux::sim

@@ -1,0 +1,80 @@
+#include "testing/random_graph.h"
+
+#include <random>
+#include <string>
+
+#include "core/builder.h"
+
+namespace tflux::testing {
+
+RandomProgram make_random_program(const RandomGraphSpec& spec) {
+  std::mt19937 rng(spec.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  const std::size_t total =
+      static_cast<std::size_t>(spec.blocks) * spec.threads_per_block;
+  auto state = std::make_unique<VerifyState>(total);
+  VerifyState* vs = state.get();
+  vs->producers.resize(total);
+
+  core::ProgramBuilder builder("random");
+  std::vector<std::vector<core::ThreadId>> block_ids(spec.blocks);
+
+  for (std::uint16_t b = 0; b < spec.blocks; ++b) {
+    const core::BlockId block = builder.add_block();
+    for (std::uint32_t i = 0; i < spec.threads_per_block; ++i) {
+      const core::ThreadId tid = builder.add_thread(
+          block, "t" + std::to_string(b) + "." + std::to_string(i),
+          // The body verifies the DDM contract.
+          [vs](const core::ExecContext& ctx) {
+            for (core::ThreadId p : vs->producers[ctx.thread]) {
+              if (vs->done[p].load(std::memory_order_acquire) == 0) {
+                vs->order_violations.fetch_add(1,
+                                               std::memory_order_relaxed);
+              }
+            }
+            vs->runs[ctx.thread].fetch_add(1, std::memory_order_relaxed);
+            vs->done[ctx.thread].store(1, std::memory_order_release);
+          });
+      block_ids[b].push_back(tid);
+    }
+  }
+
+  // Same-block arcs: i -> j for i < j with probability arc_prob.
+  for (std::uint16_t b = 0; b < spec.blocks; ++b) {
+    const auto& ids = block_ids[b];
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        if (coin(rng) < spec.arc_prob) {
+          builder.add_arc(ids[i], ids[j]);
+          vs->producers[ids[j]].push_back(ids[i]);
+        }
+      }
+    }
+  }
+  // Occasional forward cross-block arcs (satisfied by block ordering,
+  // but the contract still requires producer-before-consumer).
+  for (std::uint16_t b = 0; b + 1 < spec.blocks; ++b) {
+    for (core::ThreadId src : block_ids[b]) {
+      if (coin(rng) < spec.cross_block_prob) {
+        std::uniform_int_distribution<std::uint16_t> pick_block(
+            static_cast<std::uint16_t>(b + 1),
+            static_cast<std::uint16_t>(spec.blocks - 1));
+        const std::uint16_t tb = pick_block(rng);
+        std::uniform_int_distribution<std::size_t> pick_thread(
+            0, block_ids[tb].size() - 1);
+        const core::ThreadId dst = block_ids[tb][pick_thread(rng)];
+        builder.add_arc(src, dst);
+        vs->producers[dst].push_back(src);
+      }
+    }
+  }
+
+  core::BuildOptions options;
+  options.num_kernels = spec.num_kernels;
+  options.tsu_capacity = spec.tsu_capacity;
+  RandomProgram result{builder.build(options), std::move(state)};
+  return result;
+}
+
+}  // namespace tflux::testing

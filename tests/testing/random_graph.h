@@ -1,0 +1,53 @@
+// Shared test utility: deterministic random DDM programs whose bodies
+// verify the DDM contract at runtime (every producer completed before
+// its consumer starts; every DThread runs exactly once).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/program.h"
+
+namespace tflux::testing {
+
+struct RandomGraphSpec {
+  std::uint32_t seed = 1;
+  std::uint16_t blocks = 1;
+  std::uint32_t threads_per_block = 16;
+  /// Probability of an arc i -> j (i earlier than j) within a block.
+  double arc_prob = 0.2;
+  /// Probability that a thread gains one forward cross-block arc.
+  double cross_block_prob = 0.1;
+  std::uint16_t num_kernels = 4;
+  std::uint32_t tsu_capacity = 0;  // 0 = unlimited
+};
+
+/// Mutable state the generated bodies write into. Lives on the heap so
+/// the Program's closures stay valid wherever the test moves it.
+struct VerifyState {
+  explicit VerifyState(std::size_t num_threads)
+      : done(num_threads), runs(num_threads) {
+    for (auto& d : done) d.store(0);
+    for (auto& r : runs) r.store(0);
+  }
+  std::vector<std::atomic<std::uint8_t>> done;
+  std::vector<std::atomic<std::uint32_t>> runs;
+  std::atomic<std::uint64_t> order_violations{0};
+  /// producers[tid] = all DThreads with an arc into tid (same block or
+  /// cross block - both must complete first under the DDM contract).
+  std::vector<std::vector<core::ThreadId>> producers;
+};
+
+struct RandomProgram {
+  core::Program program;
+  std::unique_ptr<VerifyState> state;
+};
+
+/// Build a random program. Bodies check all producers' done flags,
+/// count order violations, then set their own flag and bump their run
+/// counter. Deterministic for a given spec.
+RandomProgram make_random_program(const RandomGraphSpec& spec);
+
+}  // namespace tflux::testing

@@ -1,0 +1,137 @@
+// Tests for the tflux_run CLI: argument parsing and end-to-end runs on
+// fast platforms.
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace tflux::tools {
+namespace {
+
+TEST(CliParseTest, Defaults) {
+  const CliOptions o = parse_args({});
+  EXPECT_EQ(o.app, apps::AppKind::kTrapez);
+  EXPECT_EQ(o.size, apps::SizeClass::kSmall);
+  EXPECT_EQ(o.platform, CliPlatform::kHard);
+  EXPECT_EQ(o.kernels, 4u);
+  EXPECT_TRUE(o.validate);
+  EXPECT_TRUE(o.baseline);
+  EXPECT_FALSE(o.help);
+}
+
+TEST(CliParseTest, AllFlags) {
+  const CliOptions o = parse_args(
+      {"--app=mmult", "--size=large", "--platform=cell", "--kernels=6",
+       "--unroll=64", "--tsu-capacity=1024", "--tsu-groups=2",
+       "--policy=fifo", "--no-validate", "--no-baseline",
+       "--dot=g.dot", "--trace=t.json"});
+  EXPECT_EQ(o.app, apps::AppKind::kMmult);
+  EXPECT_EQ(o.size, apps::SizeClass::kLarge);
+  EXPECT_EQ(o.platform, CliPlatform::kCell);
+  EXPECT_EQ(o.kernels, 6u);
+  EXPECT_EQ(o.unroll, 64u);
+  EXPECT_EQ(o.tsu_capacity, 1024u);
+  EXPECT_EQ(o.tsu_groups, 2u);
+  EXPECT_EQ(o.policy, core::PolicyKind::kFifo);
+  EXPECT_FALSE(o.validate);
+  EXPECT_FALSE(o.baseline);
+  EXPECT_EQ(o.dot_file, "g.dot");
+  EXPECT_EQ(o.trace_file, "t.json");
+}
+
+TEST(CliParseTest, EveryPlatformName) {
+  EXPECT_EQ(parse_args({"--platform=reference"}).platform,
+            CliPlatform::kReference);
+  EXPECT_EQ(parse_args({"--platform=soft"}).platform, CliPlatform::kSoft);
+  EXPECT_EQ(parse_args({"--platform=x86hard"}).platform,
+            CliPlatform::kX86Hard);
+  EXPECT_EQ(parse_args({"--platform=softsim"}).platform,
+            CliPlatform::kSoftSim);
+}
+
+TEST(CliParseTest, Errors) {
+  EXPECT_THROW(parse_args({"--app=doom"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--size=xxl"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--platform=gpu"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--kernels=0"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--kernels=abc"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--unroll=0"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--policy=best"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--bogus"}), core::TFluxError);
+  // FFT on Cell is rejected (Figure 7 has no FFT).
+  EXPECT_THROW(parse_args({"--app=fft", "--platform=cell"}),
+               core::TFluxError);
+}
+
+TEST(CliRunTest, HelpPrintsUsage) {
+  std::ostringstream out;
+  CliOptions o;
+  o.help = true;
+  EXPECT_EQ(run_cli(o, out), 0);
+  EXPECT_NE(out.str().find("usage: tflux_run"), std::string::npos);
+}
+
+TEST(CliRunTest, ReferencePlatformValidates) {
+  std::ostringstream out;
+  const CliOptions o = parse_args(
+      {"--app=qsort", "--platform=reference", "--kernels=3"});
+  EXPECT_EQ(run_cli(o, out), 0);
+  EXPECT_NE(out.str().find("results match"), std::string::npos);
+}
+
+TEST(CliRunTest, SoftPlatformRunsNatively) {
+  std::ostringstream out;
+  const CliOptions o = parse_args(
+      {"--app=trapez", "--platform=soft", "--kernels=2", "--unroll=64"});
+  EXPECT_EQ(run_cli(o, out), 0);
+  EXPECT_NE(out.str().find("wall time"), std::string::npos);
+  EXPECT_NE(out.str().find("results match"), std::string::npos);
+}
+
+TEST(CliRunTest, HardPlatformReportsSpeedup) {
+  std::ostringstream out;
+  const CliOptions o = parse_args(
+      {"--app=fft", "--platform=hard", "--kernels=4", "--unroll=2"});
+  EXPECT_EQ(run_cli(o, out), 0);
+  EXPECT_NE(out.str().find("speedup"), std::string::npos);
+  EXPECT_NE(out.str().find("cycles"), std::string::npos);
+}
+
+TEST(CliRunTest, GraphFileModeSimulatesLoadedGraph) {
+  const char* path = "/tmp/tflux_cli_test_graph.ddmg";
+  {
+    std::ofstream f(path);
+    f << "ddmgraph 1\nprogram pipeline\nblock\n"
+         "thread a compute 1000\nthread b compute 1000\narc 0 1\n";
+  }
+  std::ostringstream out;
+  const CliOptions o =
+      parse_args({std::string("--graph=") + path, "--platform=hard",
+                  "--kernels=2", "--no-baseline"});
+  EXPECT_EQ(run_cli(o, out), 0);
+  EXPECT_NE(out.str().find("graph '"), std::string::npos);
+  EXPECT_NE(out.str().find("2 DThreads"), std::string::npos);
+  std::remove(path);
+}
+
+TEST(CliRunTest, MissingGraphFileFails) {
+  std::ostringstream out;
+  const CliOptions o = parse_args({"--graph=/nonexistent/x.ddmg"});
+  EXPECT_THROW(run_cli(o, out), core::TFluxError);
+}
+
+TEST(CliRunTest, TsuGroupsFlagReachesMachine) {
+  std::ostringstream out;
+  const CliOptions o = parse_args({"--app=trapez", "--platform=hard",
+                                   "--kernels=8", "--tsu-groups=4",
+                                   "--no-validate", "--no-baseline"});
+  EXPECT_EQ(run_cli(o, out), 0);
+}
+
+}  // namespace
+}  // namespace tflux::tools
