@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsu_groups.dir/ablation_tsu_groups.cpp.o"
+  "CMakeFiles/ablation_tsu_groups.dir/ablation_tsu_groups.cpp.o.d"
+  "ablation_tsu_groups"
+  "ablation_tsu_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsu_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tsu_latency.dir/ablation_tsu_latency.cpp.o"
+  "CMakeFiles/ablation_tsu_latency.dir/ablation_tsu_latency.cpp.o.d"
+  "ablation_tsu_latency"
+  "ablation_tsu_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tsu_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tub_tkt.dir/ablation_tub_tkt.cpp.o"
+  "CMakeFiles/ablation_tub_tkt.dir/ablation_tub_tkt.cpp.o.d"
+  "ablation_tub_tkt"
+  "ablation_tub_tkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tub_tkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

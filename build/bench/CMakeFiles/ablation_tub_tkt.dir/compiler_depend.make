@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_tub_tkt.
+# This may be replaced when dependencies are built.

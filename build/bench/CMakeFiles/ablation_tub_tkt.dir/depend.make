@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tub_tkt.
+# This may be replaced when dependencies are built.

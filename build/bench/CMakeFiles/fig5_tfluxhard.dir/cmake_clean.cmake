@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tfluxhard.dir/fig5_tfluxhard.cpp.o"
+  "CMakeFiles/fig5_tfluxhard.dir/fig5_tfluxhard.cpp.o.d"
+  "fig5_tfluxhard"
+  "fig5_tfluxhard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tfluxhard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5x86_tfluxhard.dir/fig5x86_tfluxhard.cpp.o"
+  "CMakeFiles/fig5x86_tfluxhard.dir/fig5x86_tfluxhard.cpp.o.d"
+  "fig5x86_tfluxhard"
+  "fig5x86_tfluxhard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5x86_tfluxhard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

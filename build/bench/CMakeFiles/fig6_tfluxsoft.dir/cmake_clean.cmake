@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tfluxsoft.dir/fig6_tfluxsoft.cpp.o"
+  "CMakeFiles/fig6_tfluxsoft.dir/fig6_tfluxsoft.cpp.o.d"
+  "fig6_tfluxsoft"
+  "fig6_tfluxsoft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tfluxsoft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

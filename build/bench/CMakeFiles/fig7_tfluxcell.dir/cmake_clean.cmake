@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tfluxcell.dir/fig7_tfluxcell.cpp.o"
+  "CMakeFiles/fig7_tfluxcell.dir/fig7_tfluxcell.cpp.o.d"
+  "fig7_tfluxcell"
+  "fig7_tfluxcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tfluxcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_workloads.cpp" "bench/CMakeFiles/table1_workloads.dir/table1_workloads.cpp.o" "gcc" "bench/CMakeFiles/table1_workloads.dir/table1_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tflux_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tflux_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tflux_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

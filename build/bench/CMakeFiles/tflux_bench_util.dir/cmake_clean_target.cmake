@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtflux_bench_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_inspect.cpp" "examples/CMakeFiles/graph_inspect.dir/graph_inspect.cpp.o" "gcc" "examples/CMakeFiles/graph_inspect.dir/graph_inspect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tflux_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tflux_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_inspect.dir/graph_inspect.cpp.o"
+  "CMakeFiles/graph_inspect.dir/graph_inspect.cpp.o.d"
+  "graph_inspect"
+  "graph_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

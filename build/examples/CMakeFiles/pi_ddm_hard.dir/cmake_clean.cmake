@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_ddm_hard.dir/pi_ddm_hard_generated.cpp.o"
+  "CMakeFiles/pi_ddm_hard.dir/pi_ddm_hard_generated.cpp.o.d"
+  "pi_ddm_hard"
+  "pi_ddm_hard.pdb"
+  "pi_ddm_hard_generated.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_ddm_hard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

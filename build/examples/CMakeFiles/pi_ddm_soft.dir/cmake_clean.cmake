@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_ddm_soft.dir/pi_ddm_soft_generated.cpp.o"
+  "CMakeFiles/pi_ddm_soft.dir/pi_ddm_soft_generated.cpp.o.d"
+  "pi_ddm_soft"
+  "pi_ddm_soft.pdb"
+  "pi_ddm_soft_generated.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_ddm_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

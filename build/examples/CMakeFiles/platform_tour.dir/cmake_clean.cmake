@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_tour.dir/platform_tour.cpp.o"
+  "CMakeFiles/platform_tour.dir/platform_tour.cpp.o.d"
+  "platform_tour"
+  "platform_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

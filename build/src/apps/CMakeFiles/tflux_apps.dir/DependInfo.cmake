@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/tflux_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/mmult.cpp" "src/apps/CMakeFiles/tflux_apps.dir/mmult.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/mmult.cpp.o.d"
+  "/root/repo/src/apps/qsort.cpp" "src/apps/CMakeFiles/tflux_apps.dir/qsort.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/qsort.cpp.o.d"
+  "/root/repo/src/apps/suite.cpp" "src/apps/CMakeFiles/tflux_apps.dir/suite.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/suite.cpp.o.d"
+  "/root/repo/src/apps/susan.cpp" "src/apps/CMakeFiles/tflux_apps.dir/susan.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/susan.cpp.o.d"
+  "/root/repo/src/apps/trapez.cpp" "src/apps/CMakeFiles/tflux_apps.dir/trapez.cpp.o" "gcc" "src/apps/CMakeFiles/tflux_apps.dir/trapez.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

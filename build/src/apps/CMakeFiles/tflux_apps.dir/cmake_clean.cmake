@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_apps.dir/fft.cpp.o"
+  "CMakeFiles/tflux_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/tflux_apps.dir/mmult.cpp.o"
+  "CMakeFiles/tflux_apps.dir/mmult.cpp.o.d"
+  "CMakeFiles/tflux_apps.dir/qsort.cpp.o"
+  "CMakeFiles/tflux_apps.dir/qsort.cpp.o.d"
+  "CMakeFiles/tflux_apps.dir/suite.cpp.o"
+  "CMakeFiles/tflux_apps.dir/suite.cpp.o.d"
+  "CMakeFiles/tflux_apps.dir/susan.cpp.o"
+  "CMakeFiles/tflux_apps.dir/susan.cpp.o.d"
+  "CMakeFiles/tflux_apps.dir/trapez.cpp.o"
+  "CMakeFiles/tflux_apps.dir/trapez.cpp.o.d"
+  "libtflux_apps.a"
+  "libtflux_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

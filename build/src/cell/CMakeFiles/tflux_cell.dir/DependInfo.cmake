@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cell_machine.cpp" "src/cell/CMakeFiles/tflux_cell.dir/cell_machine.cpp.o" "gcc" "src/cell/CMakeFiles/tflux_cell.dir/cell_machine.cpp.o.d"
+  "/root/repo/src/cell/config.cpp" "src/cell/CMakeFiles/tflux_cell.dir/config.cpp.o" "gcc" "src/cell/CMakeFiles/tflux_cell.dir/config.cpp.o.d"
+  "/root/repo/src/cell/local_store.cpp" "src/cell/CMakeFiles/tflux_cell.dir/local_store.cpp.o" "gcc" "src/cell/CMakeFiles/tflux_cell.dir/local_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_cell.dir/cell_machine.cpp.o"
+  "CMakeFiles/tflux_cell.dir/cell_machine.cpp.o.d"
+  "CMakeFiles/tflux_cell.dir/config.cpp.o"
+  "CMakeFiles/tflux_cell.dir/config.cpp.o.d"
+  "CMakeFiles/tflux_cell.dir/local_store.cpp.o"
+  "CMakeFiles/tflux_cell.dir/local_store.cpp.o.d"
+  "libtflux_cell.a"
+  "libtflux_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

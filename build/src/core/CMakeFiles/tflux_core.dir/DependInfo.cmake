@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/tflux_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/tflux_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/footprint.cpp" "src/core/CMakeFiles/tflux_core.dir/footprint.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/footprint.cpp.o.d"
+  "/root/repo/src/core/graph_io.cpp" "src/core/CMakeFiles/tflux_core.dir/graph_io.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/graph_io.cpp.o.d"
+  "/root/repo/src/core/ready_set.cpp" "src/core/CMakeFiles/tflux_core.dir/ready_set.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/ready_set.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/tflux_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/tsu_state.cpp" "src/core/CMakeFiles/tflux_core.dir/tsu_state.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/tsu_state.cpp.o.d"
+  "/root/repo/src/core/unroll.cpp" "src/core/CMakeFiles/tflux_core.dir/unroll.cpp.o" "gcc" "src/core/CMakeFiles/tflux_core.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_core.dir/analysis.cpp.o"
+  "CMakeFiles/tflux_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/builder.cpp.o"
+  "CMakeFiles/tflux_core.dir/builder.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/footprint.cpp.o"
+  "CMakeFiles/tflux_core.dir/footprint.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/graph_io.cpp.o"
+  "CMakeFiles/tflux_core.dir/graph_io.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/ready_set.cpp.o"
+  "CMakeFiles/tflux_core.dir/ready_set.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/scheduler.cpp.o"
+  "CMakeFiles/tflux_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/tsu_state.cpp.o"
+  "CMakeFiles/tflux_core.dir/tsu_state.cpp.o.d"
+  "CMakeFiles/tflux_core.dir/unroll.cpp.o"
+  "CMakeFiles/tflux_core.dir/unroll.cpp.o.d"
+  "libtflux_core.a"
+  "libtflux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtflux_core.a"
+)

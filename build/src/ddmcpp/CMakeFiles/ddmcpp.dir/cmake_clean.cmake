@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddmcpp.dir/ddmcpp_main.cpp.o"
+  "CMakeFiles/ddmcpp.dir/ddmcpp_main.cpp.o.d"
+  "ddmcpp"
+  "ddmcpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddmcpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

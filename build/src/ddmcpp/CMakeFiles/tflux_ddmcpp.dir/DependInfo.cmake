@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddmcpp/codegen.cpp" "src/ddmcpp/CMakeFiles/tflux_ddmcpp.dir/codegen.cpp.o" "gcc" "src/ddmcpp/CMakeFiles/tflux_ddmcpp.dir/codegen.cpp.o.d"
+  "/root/repo/src/ddmcpp/parser.cpp" "src/ddmcpp/CMakeFiles/tflux_ddmcpp.dir/parser.cpp.o" "gcc" "src/ddmcpp/CMakeFiles/tflux_ddmcpp.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

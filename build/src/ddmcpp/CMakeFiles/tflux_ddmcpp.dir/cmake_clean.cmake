@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_ddmcpp.dir/codegen.cpp.o"
+  "CMakeFiles/tflux_ddmcpp.dir/codegen.cpp.o.d"
+  "CMakeFiles/tflux_ddmcpp.dir/parser.cpp.o"
+  "CMakeFiles/tflux_ddmcpp.dir/parser.cpp.o.d"
+  "libtflux_ddmcpp.a"
+  "libtflux_ddmcpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_ddmcpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tflux_ddmcpp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache.cpp" "src/machine/CMakeFiles/tflux_machine.dir/cache.cpp.o" "gcc" "src/machine/CMakeFiles/tflux_machine.dir/cache.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/tflux_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/tflux_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/tflux_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/tflux_machine.dir/machine.cpp.o.d"
+  "/root/repo/src/machine/memory_system.cpp" "src/machine/CMakeFiles/tflux_machine.dir/memory_system.cpp.o" "gcc" "src/machine/CMakeFiles/tflux_machine.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

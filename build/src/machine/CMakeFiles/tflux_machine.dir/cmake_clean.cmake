@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_machine.dir/cache.cpp.o"
+  "CMakeFiles/tflux_machine.dir/cache.cpp.o.d"
+  "CMakeFiles/tflux_machine.dir/config.cpp.o"
+  "CMakeFiles/tflux_machine.dir/config.cpp.o.d"
+  "CMakeFiles/tflux_machine.dir/machine.cpp.o"
+  "CMakeFiles/tflux_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/tflux_machine.dir/memory_system.cpp.o"
+  "CMakeFiles/tflux_machine.dir/memory_system.cpp.o.d"
+  "libtflux_machine.a"
+  "libtflux_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

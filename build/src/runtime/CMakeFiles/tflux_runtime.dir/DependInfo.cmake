@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/emulator.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/emulator.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/emulator.cpp.o.d"
+  "/root/repo/src/runtime/kernel.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/kernel.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/kernel.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/sync_memory.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/sync_memory.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/sync_memory.cpp.o.d"
+  "/root/repo/src/runtime/tub.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/tub.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/tub.cpp.o.d"
+  "/root/repo/src/runtime/tub_group.cpp" "src/runtime/CMakeFiles/tflux_runtime.dir/tub_group.cpp.o" "gcc" "src/runtime/CMakeFiles/tflux_runtime.dir/tub_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_runtime.dir/emulator.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/emulator.cpp.o.d"
+  "CMakeFiles/tflux_runtime.dir/kernel.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/kernel.cpp.o.d"
+  "CMakeFiles/tflux_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/tflux_runtime.dir/sync_memory.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/sync_memory.cpp.o.d"
+  "CMakeFiles/tflux_runtime.dir/tub.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/tub.cpp.o.d"
+  "CMakeFiles/tflux_runtime.dir/tub_group.cpp.o"
+  "CMakeFiles/tflux_runtime.dir/tub_group.cpp.o.d"
+  "libtflux_runtime.a"
+  "libtflux_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tflux_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tflux_sim.dir/histogram.cpp.o"
+  "CMakeFiles/tflux_sim.dir/histogram.cpp.o.d"
+  "CMakeFiles/tflux_sim.dir/trace.cpp.o"
+  "CMakeFiles/tflux_sim.dir/trace.cpp.o.d"
+  "libtflux_sim.a"
+  "libtflux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_run.dir/tflux_run_main.cpp.o"
+  "CMakeFiles/tflux_run.dir/tflux_run_main.cpp.o.d"
+  "tflux_run"
+  "tflux_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_tools.dir/cli.cpp.o"
+  "CMakeFiles/tflux_tools.dir/cli.cpp.o.d"
+  "libtflux_tools.a"
+  "libtflux_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unroll_test.dir/core_unroll_test.cpp.o"
+  "CMakeFiles/core_unroll_test.dir/core_unroll_test.cpp.o.d"
+  "core_unroll_test"
+  "core_unroll_test.pdb"
+  "core_unroll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unroll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddmcpp_test.dir/ddmcpp_test.cpp.o"
+  "CMakeFiles/ddmcpp_test.dir/ddmcpp_test.cpp.o.d"
+  "ddmcpp_test"
+  "ddmcpp_test.pdb"
+  "ddmcpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddmcpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

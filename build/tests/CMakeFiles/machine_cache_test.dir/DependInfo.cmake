@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine_cache_test.cpp" "tests/CMakeFiles/machine_cache_test.dir/machine_cache_test.cpp.o" "gcc" "tests/CMakeFiles/machine_cache_test.dir/machine_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/tflux_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tflux_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tflux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tflux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_cache_test.dir/machine_cache_test.cpp.o"
+  "CMakeFiles/machine_cache_test.dir/machine_cache_test.cpp.o.d"
+  "machine_cache_test"
+  "machine_cache_test.pdb"
+  "machine_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_memory_test.dir/machine_memory_test.cpp.o"
+  "CMakeFiles/machine_memory_test.dir/machine_memory_test.cpp.o.d"
+  "machine_memory_test"
+  "machine_memory_test.pdb"
+  "machine_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_mesi_property_test.dir/machine_mesi_property_test.cpp.o"
+  "CMakeFiles/machine_mesi_property_test.dir/machine_mesi_property_test.cpp.o.d"
+  "machine_mesi_property_test"
+  "machine_mesi_property_test.pdb"
+  "machine_mesi_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_mesi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

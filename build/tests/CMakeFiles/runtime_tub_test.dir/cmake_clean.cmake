@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tub_test.dir/runtime_tub_test.cpp.o"
+  "CMakeFiles/runtime_tub_test.dir/runtime_tub_test.cpp.o.d"
+  "runtime_tub_test"
+  "runtime_tub_test.pdb"
+  "runtime_tub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tflux_testing.dir/testing/random_graph.cpp.o"
+  "CMakeFiles/tflux_testing.dir/testing/random_graph.cpp.o.d"
+  "libtflux_testing.a"
+  "libtflux_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tflux_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
