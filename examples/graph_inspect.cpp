@@ -13,6 +13,7 @@
 
 #include "apps/suite.h"
 #include "core/analysis.h"
+#include "core/verify.h"
 #include "machine/config.h"
 #include "machine/machine.h"
 #include "sim/trace.h"
@@ -25,6 +26,16 @@ int main() {
   apps::AppRun run =
       apps::build_app(apps::AppKind::kQsort, apps::SizeClass::kMedium,
                       apps::Platform::kSimulated, params);
+
+  // --- ddmlint: static verification ------------------------------------
+  core::VerifyOptions verify_options;
+  verify_options.tsu_capacity = params.tsu_capacity;
+  verify_options.num_kernels = params.num_kernels;
+  const core::VerifyReport lint = core::verify(run.program, verify_options);
+  std::printf("lint: %s\n",
+              lint.clean() ? "clean (0 findings)"
+                           : lint.to_string(run.program).c_str());
+  if (lint.has_errors()) return 1;
 
   // --- static analysis -------------------------------------------------
   const core::GraphAnalysis a = core::analyze(run.program);

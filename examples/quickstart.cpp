@@ -59,9 +59,10 @@ int main() {
   builder.add_arc(summers[1], join);
 
   // Validate the graph and run it on 2 worker kernels + the TSU
-  // Emulator thread.
+  // Emulator thread. strict = the full ddmlint pass (Ready Counts,
+  // deadlock, footprint races) runs at build() and throws on errors.
   core::Program program = builder.build(core::BuildOptions{
-      .tsu_capacity = 0, .num_kernels = 2});
+      .tsu_capacity = 0, .num_kernels = 2, .strict = true});
   runtime::Runtime rt(program, runtime::RuntimeOptions{.num_kernels = 2});
   const runtime::RuntimeStats stats = rt.run();
 

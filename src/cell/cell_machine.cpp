@@ -90,11 +90,11 @@ void CellMachine::spe_execute(std::uint16_t s, core::ThreadId tid) {
   // block other SPEs' DMA in the meantime.
   Cycles t_now = eq_.now();
   for (const core::MemRange& r : fp.ranges) {
-    if (!r.stream && !r.write) t_now = dma(t_now, r.bytes);
+    if (r.bytes != 0 && !r.stream && !r.write) t_now = dma(t_now, r.bytes);
   }
   Cycles stream_end = t_now;
   for (const core::MemRange& r : fp.ranges) {
-    if (r.stream) stream_end = dma(stream_end, r.bytes);
+    if (r.bytes != 0 && r.stream) stream_end = dma(stream_end, r.bytes);
   }
   const Cycles t_exec = std::max(t_now + fp.compute_cycles, stream_end);
 
@@ -103,7 +103,7 @@ void CellMachine::spe_execute(std::uint16_t s, core::ThreadId tid) {
     // Export resident results (now-anchored DMA).
     Cycles t_done = eq_.now();
     for (const core::MemRange& r : th.footprint.ranges) {
-      if (!r.stream && r.write) t_done = dma(t_done, r.bytes);
+      if (r.bytes != 0 && !r.stream && r.write) t_done = dma(t_done, r.bytes);
     }
     eq_.at(t_done, [this, s, tid] {
       const core::DThread& th2 = program_.thread(tid);
@@ -252,15 +252,15 @@ Cycles simulate_sequential_cell(const CellConfig& config,
   };
   for (const core::Footprint& fp : plan) {
     for (const core::MemRange& r : fp.ranges) {
-      if (!r.stream && !r.write) now = dma(now, r.bytes);
+      if (r.bytes != 0 && !r.stream && !r.write) now = dma(now, r.bytes);
     }
     Cycles stream_end = now;
     for (const core::MemRange& r : fp.ranges) {
-      if (r.stream) stream_end = dma(stream_end, r.bytes);
+      if (r.bytes != 0 && r.stream) stream_end = dma(stream_end, r.bytes);
     }
     now = std::max(now + fp.compute_cycles, stream_end);
     for (const core::MemRange& r : fp.ranges) {
-      if (!r.stream && r.write) now = dma(now, r.bytes);
+      if (r.bytes != 0 && !r.stream && r.write) now = dma(now, r.bytes);
     }
   }
   return now;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/error.h"
+#include "core/verify.h"
 
 namespace tflux::core {
 
@@ -66,20 +67,22 @@ Program ProgramBuilder::build(const BuildOptions& options) {
     if (a.producer >= num_app || a.consumer >= num_app) {
       throw TFluxError("ProgramBuilder: arc references unknown DThread id");
     }
-    if (a.producer == a.consumer) {
+    if (a.producer == a.consumer && options.validate) {
       throw TFluxError("ProgramBuilder: self-arc on DThread " +
                        std::to_string(a.producer));
     }
     const BlockId pb = program.threads_[a.producer].block;
     const BlockId cb = program.threads_[a.consumer].block;
-    if (pb > cb) {
+    if (pb > cb && options.validate) {
       throw TFluxError(
           "ProgramBuilder: backward cross-block arc " +
           std::to_string(a.producer) + " -> " + std::to_string(a.consumer) +
           " (blocks execute in declaration order; producer must not be in a "
           "later block than its consumer)");
     }
-    if (pb < cb) {
+    if (pb != cb) {
+      // Forward arcs model data transfer; backward arcs (validate off)
+      // are preserved for core::verify() to flag.
       program.cross_block_arcs_.push_back({a.producer, a.consumer});
     } else {
       program.threads_[a.producer].consumers.push_back(a.consumer);
@@ -111,9 +114,11 @@ Program ProgramBuilder::build(const BuildOptions& options) {
   }
   for (const Block& blk : program.blocks_) {
     if (blk.app_threads.empty()) {
+      if (!options.validate) continue;
       throw TFluxError("ProgramBuilder: block " + std::to_string(blk.id) +
                        " has no DThreads");
     }
+    if (!options.validate) continue;
     const std::uint32_t capacity_needed =
         static_cast<std::uint32_t>(blk.app_threads.size()) + 2;  // +inlet/outlet
     if (options.tsu_capacity != 0 && capacity_needed > options.tsu_capacity) {
@@ -218,6 +223,19 @@ Program ProgramBuilder::build(const BuildOptions& options) {
   // Builder is consumed: bodies were moved out.
   pending_.clear();
   arcs_.clear();
+
+  // Opt-in strict mode: the full static verifier (ready counts,
+  // deadlock, footprint races, capacity, kernel ranges) must pass.
+  if (options.strict) {
+    VerifyOptions verify_options;
+    verify_options.tsu_capacity = options.tsu_capacity;
+    verify_options.num_kernels = options.num_kernels;
+    const VerifyReport report = verify(program, verify_options);
+    if (report.has_errors()) {
+      throw TFluxError("ProgramBuilder: strict verification failed:\n" +
+                       report.to_string(program));
+    }
+  }
   return program;
 }
 

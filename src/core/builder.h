@@ -26,6 +26,20 @@ struct BuildOptions {
   /// Kernel count used to round-robin home kernels for DThreads whose
   /// creator did not pin one. Must be >= 1.
   std::uint16_t num_kernels = 1;
+
+  /// When false, build() materializes structurally broken graphs
+  /// instead of throwing: backward cross-block arcs, self-arcs,
+  /// intra-block cycles, empty blocks and capacity overflows are
+  /// recorded in the Program for core::verify() to diagnose. Errors
+  /// that cannot be represented (unknown thread ids, empty programs)
+  /// still throw. Used by the lint tooling and tests.
+  bool validate = true;
+
+  /// Opt-in strict mode: after construction, run the full static
+  /// verifier (core/verify.h) - Ready Count consistency, deadlock,
+  /// footprint races, capacity and kernel-range checks - and throw
+  /// TFluxError with the formatted diagnostics if any error is found.
+  bool strict = false;
 };
 
 class ProgramBuilder {
@@ -60,7 +74,10 @@ class ProgramBuilder {
   /// Validate and produce the immutable Program. Throws TFluxError on:
   /// unknown thread ids in arcs, self-arcs, backward cross-block arcs,
   /// cyclic same-block dependencies, blocks exceeding tsu_capacity,
-  /// or empty programs/blocks.
+  /// or empty programs/blocks. With options.validate == false the
+  /// representable errors are materialized instead of thrown (see
+  /// BuildOptions); with options.strict the result additionally passes
+  /// the full core::verify() pass or the build throws.
   Program build(const BuildOptions& options = {});
 
  private:

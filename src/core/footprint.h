@@ -38,12 +38,16 @@ struct Footprint {
     compute_cycles += c;
     return *this;
   }
+  // Ranges are recorded exactly as given - including empty (0-byte)
+  // and wrapping (addr + bytes overflowing SimAddr) ones - so the
+  // verifier (core/verify.h) can warn about them instead of having
+  // them silently vanish. The timing planes skip empty ranges.
   Footprint& read(SimAddr addr, std::uint32_t bytes, bool stream = false) {
-    if (bytes > 0) ranges.push_back({addr, bytes, false, stream});
+    ranges.push_back({addr, bytes, false, stream});
     return *this;
   }
   Footprint& write(SimAddr addr, std::uint32_t bytes, bool stream = false) {
-    if (bytes > 0) ranges.push_back({addr, bytes, true, stream});
+    ranges.push_back({addr, bytes, true, stream});
     return *this;
   }
 

@@ -73,6 +73,10 @@ class Program {
 
  private:
   friend class ProgramBuilder;
+  /// Test-only backdoor (tests/testing/program_test_peer.h): corrupts
+  /// otherwise-unreachable invariants (Ready Counts, sink counts) so
+  /// the verifier's diagnostics can be exercised.
+  friend class ProgramTestPeer;
 
   std::string name_;
   std::vector<DThread> threads_;

@@ -1,0 +1,576 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+namespace tflux::core {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* to_string(Diag code) {
+  switch (code) {
+    case Diag::kReadyCountMismatch:
+      return "ready-count-mismatch";
+    case Diag::kOrphanThread:
+      return "orphan-thread";
+    case Diag::kOutletReadyCountMismatch:
+      return "outlet-ready-count-mismatch";
+    case Diag::kInletNotQuiescent:
+      return "inlet-not-quiescent";
+    case Diag::kIntraBlockCycle:
+      return "intra-block-cycle";
+    case Diag::kBackwardCrossBlockArc:
+      return "backward-cross-block-arc";
+    case Diag::kSameBlockCrossArc:
+      return "same-block-cross-arc";
+    case Diag::kDanglingArc:
+      return "dangling-arc";
+    case Diag::kEmptyBlock:
+      return "empty-block";
+    case Diag::kFootprintRace:
+      return "footprint-race";
+    case Diag::kEmptyRange:
+      return "empty-range";
+    case Diag::kRangeOverflow:
+      return "range-overflow";
+    case Diag::kRaceCheckSkipped:
+      return "race-check-skipped";
+    case Diag::kCapacityExceeded:
+      return "capacity-exceeded";
+    case Diag::kHomeKernelOutOfRange:
+      return "home-kernel-out-of-range";
+    case Diag::kHomeKernelUnassigned:
+      return "home-kernel-unassigned";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string thread_ref(const Program& program, ThreadId tid) {
+  if (tid == kInvalidThread || tid >= program.num_threads()) {
+    return "thread <invalid>";
+  }
+  const DThread& t = program.thread(tid);
+  return "thread " + std::to_string(tid) +
+         (t.label.empty() ? "" : " '" + t.label + "'");
+}
+
+class Reporter {
+ public:
+  explicit Reporter(VerifyReport& report) : report_(report) {}
+
+  void add(Severity severity, Diag code, ThreadId thread, ThreadId other,
+           BlockId block, std::string message) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.thread = thread;
+    d.other = other;
+    d.block = block;
+    d.message = std::move(message);
+    if (severity == Severity::kError) {
+      ++report_.num_errors;
+    } else {
+      ++report_.num_warnings;
+    }
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  void error(Diag code, ThreadId thread, BlockId block, std::string message) {
+    add(Severity::kError, code, thread, kInvalidThread, block,
+        std::move(message));
+  }
+
+  void warn(Diag code, ThreadId thread, BlockId block, std::string message) {
+    add(Severity::kWarning, code, thread, kInvalidThread, block,
+        std::move(message));
+  }
+
+ private:
+  VerifyReport& report_;
+};
+
+/// Per-block view used by several passes: the block's application
+/// threads with a dense local index, recomputed producer in-degrees,
+/// and the intra-block application-to-application edges.
+struct BlockView {
+  const Block* block = nullptr;
+  std::vector<ThreadId> threads;              // app threads, ascending id
+  std::map<ThreadId, std::uint32_t> index;    // ThreadId -> dense index
+  std::vector<std::vector<std::uint32_t>> succ;  // dense app-app edges
+  std::vector<std::uint32_t> indeg;           // distinct app producers
+  std::vector<std::uint32_t> topo;            // Kahn order (dense ids)
+  bool acyclic = false;
+};
+
+BlockView make_view(const Program& program, const Block& blk) {
+  BlockView v;
+  v.block = &blk;
+  v.threads = blk.app_threads;
+  std::sort(v.threads.begin(), v.threads.end());
+  for (std::uint32_t i = 0; i < v.threads.size(); ++i) {
+    v.index[v.threads[i]] = i;
+  }
+  v.succ.resize(v.threads.size());
+  v.indeg.assign(v.threads.size(), 0);
+  for (std::uint32_t i = 0; i < v.threads.size(); ++i) {
+    const DThread& t = program.thread(v.threads[i]);
+    // Deduplicate defensively: verify must not assume the builder's
+    // sorted-unique consumer invariant held up.
+    std::vector<ThreadId> consumers = t.consumers;
+    std::sort(consumers.begin(), consumers.end());
+    consumers.erase(std::unique(consumers.begin(), consumers.end()),
+                    consumers.end());
+    for (ThreadId c : consumers) {
+      auto it = v.index.find(c);
+      if (it == v.index.end()) continue;  // outlet or foreign id
+      v.succ[i].push_back(it->second);
+      ++v.indeg[it->second];
+    }
+  }
+  // Kahn's algorithm over the recomputed in-degrees.
+  std::vector<std::uint32_t> indeg = v.indeg;
+  std::queue<std::uint32_t> zero;
+  for (std::uint32_t i = 0; i < indeg.size(); ++i) {
+    if (indeg[i] == 0) zero.push(i);
+  }
+  while (!zero.empty()) {
+    const std::uint32_t u = zero.front();
+    zero.pop();
+    v.topo.push_back(u);
+    for (std::uint32_t c : v.succ[u]) {
+      if (--indeg[c] == 0) zero.push(c);
+    }
+  }
+  v.acyclic = v.topo.size() == v.threads.size();
+  return v;
+}
+
+/// Find one concrete dependency cycle among the block's unordered
+/// threads (those Kahn could not place), for the diagnostic message.
+std::vector<ThreadId> find_cycle(const BlockView& v) {
+  std::vector<bool> in_topo(v.threads.size(), false);
+  for (std::uint32_t u : v.topo) in_topo[u] = true;
+  // Walk successors restricted to unordered nodes until a repeat.
+  std::uint32_t start = 0;
+  while (start < v.threads.size() && in_topo[start]) ++start;
+  if (start >= v.threads.size()) return {};
+  std::vector<std::uint32_t> path;
+  std::vector<std::int32_t> visited_at(v.threads.size(), -1);
+  std::uint32_t u = start;
+  while (visited_at[u] < 0) {
+    visited_at[u] = static_cast<std::int32_t>(path.size());
+    path.push_back(u);
+    std::uint32_t next = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t c : v.succ[u]) {
+      if (!in_topo[c]) {
+        next = c;
+        break;
+      }
+    }
+    if (next == std::numeric_limits<std::uint32_t>::max()) return {};
+    u = next;
+  }
+  std::vector<ThreadId> cycle;
+  for (std::size_t i = static_cast<std::size_t>(visited_at[u]);
+       i < path.size(); ++i) {
+    cycle.push_back(v.threads[path[i]]);
+  }
+  return cycle;
+}
+
+void check_ready_counts(const Program& program, const BlockView& v,
+                        Reporter& out) {
+  for (std::uint32_t i = 0; i < v.threads.size(); ++i) {
+    const DThread& t = program.thread(v.threads[i]);
+    if (t.ready_count_init == v.indeg[i]) continue;
+    if (t.ready_count_init < v.indeg[i]) {
+      out.error(Diag::kReadyCountMismatch, t.id, t.block,
+                thread_ref(program, t.id) + " has initial Ready Count " +
+                    std::to_string(t.ready_count_init) + " but " +
+                    std::to_string(v.indeg[i]) +
+                    " distinct same-block producers; it becomes ready "
+                    "before all its inputs exist (nondeterministic read)");
+    } else {
+      out.error(Diag::kOrphanThread, t.id, t.block,
+                thread_ref(program, t.id) + " has initial Ready Count " +
+                    std::to_string(t.ready_count_init) + " but only " +
+                    std::to_string(v.indeg[i]) +
+                    " distinct same-block producers; the count can never "
+                    "reach zero and the thread (and its dependents) "
+                    "deadlocks");
+    }
+  }
+}
+
+void check_inlet_outlet(const Program& program, const BlockView& v,
+                        Reporter& out) {
+  const Block& blk = *v.block;
+  if (blk.inlet != kInvalidThread && blk.inlet < program.num_threads()) {
+    const DThread& inlet = program.thread(blk.inlet);
+    if (inlet.ready_count_init != 0 || !inlet.consumers.empty()) {
+      out.error(Diag::kInletNotQuiescent, inlet.id, blk.id,
+                thread_ref(program, inlet.id) +
+                    " must have Ready Count 0 and no consumer list (the "
+                    "TSU drives block chaining itself)");
+    }
+  }
+  if (blk.outlet == kInvalidThread || blk.outlet >= program.num_threads()) {
+    return;
+  }
+  const DThread& outlet = program.thread(blk.outlet);
+  // Recompute the sinks: application threads with no same-block
+  // application consumer. Each must feed the Outlet, and the Outlet's
+  // Ready Count must equal their number.
+  std::uint32_t sinks = 0;
+  for (std::uint32_t i = 0; i < v.threads.size(); ++i) {
+    if (!v.succ[i].empty()) continue;
+    ++sinks;
+    const DThread& t = program.thread(v.threads[i]);
+    if (std::find(t.consumers.begin(), t.consumers.end(), blk.outlet) ==
+        t.consumers.end()) {
+      out.error(Diag::kOutletReadyCountMismatch, t.id, blk.id,
+                thread_ref(program, t.id) +
+                    " is a sink (no same-block consumers) but does not "
+                    "feed the block's Outlet; the Outlet would fire "
+                    "before the block completed");
+    }
+  }
+  if (blk.sink_count != sinks) {
+    out.error(Diag::kOutletReadyCountMismatch, outlet.id, blk.id,
+              "block " + std::to_string(blk.id) + " records sink_count " +
+                  std::to_string(blk.sink_count) + " but has " +
+                  std::to_string(sinks) + " sink threads");
+  }
+  if (outlet.ready_count_init != sinks) {
+    out.error(Diag::kOutletReadyCountMismatch, outlet.id, blk.id,
+              thread_ref(program, outlet.id) + " has Ready Count " +
+                  std::to_string(outlet.ready_count_init) + " but " +
+                  std::to_string(sinks) +
+                  " sink threads feed it; the block would " +
+                  (outlet.ready_count_init > sinks ? "never complete"
+                                                   : "complete early"));
+  }
+}
+
+void check_consumers(const Program& program, Reporter& out) {
+  for (const DThread& t : program.threads()) {
+    for (ThreadId c : t.consumers) {
+      if (c >= program.num_threads()) {
+        out.error(Diag::kDanglingArc, t.id, t.block,
+                  thread_ref(program, t.id) + " lists consumer " +
+                      std::to_string(c) + " which does not exist");
+        continue;
+      }
+      const DThread& consumer = program.thread(c);
+      if (c == t.id) {
+        // Reported as a cycle of length 1 by the cycle pass; nothing
+        // extra needed here.
+        continue;
+      }
+      if (consumer.block != t.block) {
+        out.error(Diag::kDanglingArc, t.id, t.block,
+                  thread_ref(program, t.id) + " lists consumer " +
+                      thread_ref(program, c) + " in block " +
+                      std::to_string(consumer.block) +
+                      "; TSU consumer lists must stay within one block "
+                      "(cross-block dependencies ride the Inlet/Outlet "
+                      "barrier)");
+      } else if (consumer.kind == ThreadKind::kInlet) {
+        out.error(Diag::kDanglingArc, t.id, t.block,
+                  thread_ref(program, t.id) + " lists the block Inlet " +
+                      thread_ref(program, c) + " as a consumer");
+      }
+    }
+  }
+}
+
+void check_cross_block_arcs(const Program& program, Reporter& out) {
+  for (const CrossBlockArc& arc : program.cross_block_arcs()) {
+    if (arc.producer >= program.num_threads() ||
+        arc.consumer >= program.num_threads()) {
+      out.error(Diag::kDanglingArc, arc.producer, kInvalidBlock,
+                "cross-block arc references a DThread id that does not "
+                "exist");
+      continue;
+    }
+    const DThread& p = program.thread(arc.producer);
+    const DThread& c = program.thread(arc.consumer);
+    if (!p.is_application() || !c.is_application()) {
+      out.error(Diag::kDanglingArc, arc.producer, p.block,
+                "cross-block arc " + thread_ref(program, arc.producer) +
+                    " -> " + thread_ref(program, arc.consumer) +
+                    " touches a non-application thread");
+      continue;
+    }
+    if (p.block > c.block) {
+      out.add(Severity::kError, Diag::kBackwardCrossBlockArc, p.id, c.id,
+              p.block,
+              "backward cross-block arc " + thread_ref(program, p.id) +
+                  " (block " + std::to_string(p.block) + ") -> " +
+                  thread_ref(program, c.id) + " (block " +
+                  std::to_string(c.block) +
+                  "): blocks execute in declaration order, so the "
+                  "consumer would run before its producer");
+    } else if (p.block == c.block) {
+      out.add(Severity::kError, Diag::kSameBlockCrossArc, p.id, c.id,
+              p.block,
+              "arc " + thread_ref(program, p.id) + " -> " +
+                  thread_ref(program, c.id) +
+                  " is recorded as cross-block but both threads are in "
+                  "block " + std::to_string(p.block) +
+                  "; it would never reach the TSU as a Ready Count "
+                  "entry");
+    }
+  }
+}
+
+void check_capacity_and_kernels(const Program& program,
+                                const VerifyOptions& options, Reporter& out) {
+  if (options.tsu_capacity != 0) {
+    for (const Block& blk : program.blocks()) {
+      const std::uint64_t need = blk.app_threads.size() + 2;  // +in/outlet
+      if (need > options.tsu_capacity) {
+        out.error(Diag::kCapacityExceeded, kInvalidThread, blk.id,
+                  "block " + std::to_string(blk.id) + " needs " +
+                      std::to_string(need) +
+                      " TSU slots (incl. Inlet/Outlet) but the target "
+                      "TSU holds " + std::to_string(options.tsu_capacity) +
+                      "; split the program into more DDM Blocks");
+      }
+    }
+  }
+  for (const DThread& t : program.threads()) {
+    if (!t.is_application()) continue;
+    if (t.home_kernel == kInvalidKernel) {
+      out.warn(Diag::kHomeKernelUnassigned, t.id, t.block,
+               thread_ref(program, t.id) +
+                   " has no home kernel; built programs normally "
+                   "round-robin unpinned threads");
+    } else if (options.num_kernels != 0 &&
+               t.home_kernel >= options.num_kernels) {
+      out.error(Diag::kHomeKernelOutOfRange, t.id, t.block,
+                thread_ref(program, t.id) + " is pinned to kernel " +
+                    std::to_string(t.home_kernel) +
+                    " but the target runs " +
+                    std::to_string(options.num_kernels) +
+                    " kernel(s) (valid ids 0.." +
+                    std::to_string(options.num_kernels - 1) + ")");
+    }
+  }
+}
+
+void check_ranges(const Program& program, Reporter& out) {
+  constexpr SimAddr kMaxAddr = std::numeric_limits<SimAddr>::max();
+  for (const DThread& t : program.threads()) {
+    if (!t.is_application()) continue;
+    for (std::size_t i = 0; i < t.footprint.ranges.size(); ++i) {
+      const MemRange& r = t.footprint.ranges[i];
+      if (r.bytes == 0) {
+        out.warn(Diag::kEmptyRange, t.id, t.block,
+                 thread_ref(program, t.id) + " footprint range #" +
+                     std::to_string(i) + " (" +
+                     (r.write ? "write" : "read") + " at 0x" +
+                     [&] {
+                       std::ostringstream hex;
+                       hex << std::hex << r.addr;
+                       return hex.str();
+                     }() +
+                     ") is empty; the timing plane ignores it");
+      } else if (r.bytes > kMaxAddr - r.addr) {
+        out.warn(Diag::kRangeOverflow, t.id, t.block,
+                 thread_ref(program, t.id) + " footprint range #" +
+                     std::to_string(i) + " wraps the simulated address "
+                     "space (addr + bytes overflows SimAddr)");
+      }
+    }
+  }
+}
+
+/// Footprint race detection. Two application DThreads of the same
+/// block with no dependency path between them (in either direction)
+/// may run concurrently under any ASAP schedule; if their footprints
+/// overlap and at least one side writes, the DDM decomposition is
+/// nondeterministic. Blocks are the unit of concurrency - the
+/// Inlet/Outlet chain is a barrier, so cross-block pairs never race.
+void check_races(const Program& program, const BlockView& v,
+                 const VerifyOptions& options, Reporter& out) {
+  const std::uint32_t n = static_cast<std::uint32_t>(v.threads.size());
+  if (n < 2) return;
+  if (options.race_check_max_threads != 0 &&
+      n > options.race_check_max_threads) {
+    out.warn(Diag::kRaceCheckSkipped, kInvalidThread, v.block->id,
+             "block " + std::to_string(v.block->id) + " has " +
+                 std::to_string(n) +
+                 " threads, above the race-check limit of " +
+                 std::to_string(options.race_check_max_threads) +
+                 "; footprint race detection skipped");
+    return;
+  }
+
+  // Transitive reachability over the block's app-app edges, as
+  // bitsets, filled in reverse topological order.
+  const std::uint32_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(static_cast<std::size_t>(n) * words, 0);
+  auto reaches = [&](std::uint32_t a, std::uint32_t b) {
+    return (reach[static_cast<std::size_t>(a) * words + b / 64] >>
+            (b % 64)) & 1u;
+  };
+  for (auto it = v.topo.rbegin(); it != v.topo.rend(); ++it) {
+    const std::uint32_t u = *it;
+    std::uint64_t* row = &reach[static_cast<std::size_t>(u) * words];
+    for (std::uint32_t c : v.succ[u]) {
+      row[c / 64] |= std::uint64_t{1} << (c % 64);
+      const std::uint64_t* crow =
+          &reach[static_cast<std::size_t>(c) * words];
+      for (std::uint32_t w = 0; w < words; ++w) row[w] |= crow[w];
+    }
+  }
+
+  // Sweep all footprint ranges by address; overlapping pairs with at
+  // least one write and no ordering are races. Degenerate ranges
+  // (empty or wrapping) are excluded - check_ranges reports them.
+  struct Rec {
+    SimAddr begin = 0;
+    SimAddr end = 0;
+    bool write = false;
+    std::uint32_t owner = 0;  // dense thread index
+  };
+  std::vector<Rec> recs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const DThread& t = program.thread(v.threads[i]);
+    for (const MemRange& r : t.footprint.ranges) {
+      if (r.bytes == 0) continue;
+      if (r.bytes > std::numeric_limits<SimAddr>::max() - r.addr) continue;
+      recs.push_back(Rec{r.addr, r.addr + r.bytes, r.write, i});
+    }
+  }
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    return a.begin != b.begin ? a.begin < b.begin : a.owner < b.owner;
+  });
+
+  struct RaceInfo {
+    SimAddr begin = 0, end = 0;
+    bool write_a = false, write_b = false;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, RaceInfo> races;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < recs.size() && recs[j].begin < recs[i].end; ++j) {
+      const Rec& a = recs[i];
+      const Rec& b = recs[j];
+      if (a.owner == b.owner) continue;
+      if (!a.write && !b.write) continue;
+      if (reaches(a.owner, b.owner) || reaches(b.owner, a.owner)) continue;
+      const auto key = std::minmax(a.owner, b.owner);
+      if (races.count({key.first, key.second})) continue;
+      RaceInfo info;
+      info.begin = std::max(a.begin, b.begin);
+      info.end = std::min(a.end, b.end);
+      info.write_a = (key.first == a.owner) ? a.write : b.write;
+      info.write_b = (key.first == a.owner) ? b.write : a.write;
+      races[{key.first, key.second}] = info;
+    }
+  }
+
+  for (const auto& [key, info] : races) {
+    const ThreadId ta = v.threads[key.first];
+    const ThreadId tb = v.threads[key.second];
+    std::ostringstream msg;
+    msg << thread_ref(program, ta) << " ("
+        << (info.write_a ? "writes" : "reads") << ") and "
+        << thread_ref(program, tb) << " ("
+        << (info.write_b ? "writes" : "reads")
+        << ") have no dependency path between them, so they may run "
+           "concurrently, yet their footprints overlap at [0x"
+        << std::hex << info.begin << ", 0x" << info.end << std::dec
+        << "): the DDM decomposition is nondeterministic - add an arc "
+           "or make the ranges disjoint";
+    out.add(Severity::kError, Diag::kFootprintRace, ta, tb, v.block->id,
+            msg.str());
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::to_string(const Program& program) const {
+  std::ostringstream out;
+  out << core::to_string(severity) << ": [" << core::to_string(code) << "]";
+  if (block != kInvalidBlock) out << " block " << block;
+  if (thread != kInvalidThread) {
+    out << (block != kInvalidBlock ? "," : "") << " "
+        << thread_ref(program, thread);
+  }
+  out << ": " << message;
+  return out.str();
+}
+
+std::string VerifyReport::to_string(const Program& program) const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << d.to_string(program) << "\n";
+  }
+  out << "ddmlint: " << num_errors << " error(s), " << num_warnings
+      << " warning(s) in program '" << program.name() << "'\n";
+  return out.str();
+}
+
+VerifyReport verify(const Program& program, const VerifyOptions& options) {
+  VerifyReport report;
+  Reporter out(report);
+
+  check_consumers(program, out);
+  check_cross_block_arcs(program, out);
+  check_capacity_and_kernels(program, options, out);
+  check_ranges(program, out);
+
+  for (const Block& blk : program.blocks()) {
+    if (blk.app_threads.empty()) {
+      out.error(Diag::kEmptyBlock, kInvalidThread, blk.id,
+                "block " + std::to_string(blk.id) +
+                    " has no application DThreads; its Outlet fires "
+                    "immediately and the block is pure overhead");
+      continue;
+    }
+    const BlockView v = make_view(program, blk);
+    check_ready_counts(program, v, out);
+    check_inlet_outlet(program, v, out);
+    if (!v.acyclic) {
+      const std::vector<ThreadId> cycle = find_cycle(v);
+      std::ostringstream msg;
+      msg << "block " << blk.id << " has a dependency cycle";
+      if (!cycle.empty()) {
+        msg << ": ";
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+          msg << thread_ref(program, cycle[i]) << " -> ";
+        }
+        msg << thread_ref(program, cycle.front());
+      }
+      msg << "; " << (blk.app_threads.size() - v.topo.size())
+          << " thread(s) can never become ready";
+      out.error(Diag::kIntraBlockCycle,
+                cycle.empty() ? kInvalidThread : cycle.front(), blk.id,
+                msg.str());
+    } else if (options.check_races) {
+      // Race detection needs a valid topological order; a cyclic block
+      // is already broken in a stronger way.
+      check_races(program, v, options, out);
+    }
+  }
+  return report;
+}
+
+}  // namespace tflux::core

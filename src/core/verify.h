@@ -1,0 +1,112 @@
+// ddmlint: static verification of DDM programs.
+//
+// The Synchronization Graph carries the whole correctness story of a
+// DDM program: Ready Counts must equal producer in-degree, blocks must
+// be acyclic, and DThreads that may run concurrently must not touch
+// overlapping memory with a write. ProgramBuilder::build() enforces a
+// subset of this; verify() re-derives every property independently
+// from a finished Program and reports structured diagnostics instead
+// of throwing - so it also covers programs produced by load_graph, by
+// the DDMCPP preprocessor, or corrupted by future transformations.
+//
+// Diagnostic classes (docs/LINTING.md has the full catalog):
+//   1. Ready Count consistency (app threads, Inlets, Outlets)
+//   2. Deadlock detection: intra-block cycles and orphan threads
+//      whose Ready Count can never reach zero
+//   3. Cross-block arc direction / block-ordering violations
+//   4. Footprint race detection between concurrent DThreads
+//   5. TSU capacity and home-kernel-range checks
+//
+// Entry points: verify() (library), ProgramBuilder::build() with
+// BuildOptions::strict (throws on any error), `tflux_lint` /
+// `tflux_run --lint` (CLI), and ddmcpp (IR lint before codegen).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// Stable identifiers for every diagnostic the verifier can emit.
+enum class Diag : std::uint8_t {
+  // -- Ready Count consistency ---------------------------------------
+  kReadyCountMismatch,    ///< RC below same-block producer in-degree
+  kOrphanThread,          ///< RC above in-degree: can never reach zero
+  kOutletReadyCountMismatch,  ///< Outlet RC / sink_count inconsistent
+  kInletNotQuiescent,     ///< Inlet has a nonzero RC or consumers
+  // -- Deadlock ------------------------------------------------------
+  kIntraBlockCycle,       ///< dependency cycle within one DDM Block
+  // -- Cross-block arcs ----------------------------------------------
+  kBackwardCrossBlockArc, ///< producer in a later block than consumer
+  kSameBlockCrossArc,     ///< cross-block arc between same-block threads
+  kDanglingArc,           ///< arc endpoint is not an application thread
+  kEmptyBlock,            ///< block with no application DThreads
+  // -- Footprints ----------------------------------------------------
+  kFootprintRace,         ///< concurrent DThreads overlap, >=1 write
+  kEmptyRange,            ///< zero-byte footprint range
+  kRangeOverflow,         ///< addr + bytes wraps the SimAddr space
+  kRaceCheckSkipped,      ///< block too large for pairwise race check
+  // -- Capacity / placement ------------------------------------------
+  kCapacityExceeded,      ///< block needs more TSU slots than available
+  kHomeKernelOutOfRange,  ///< home kernel >= target kernel count
+  kHomeKernelUnassigned,  ///< built program left a thread unpinned
+};
+
+/// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
+const char* to_string(Diag code);
+
+/// One finding: severity, code, location (thread/block where known),
+/// and a human-readable explanation.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Diag code = Diag::kReadyCountMismatch;
+  ThreadId thread = kInvalidThread;  ///< primary thread, if any
+  ThreadId other = kInvalidThread;   ///< second thread (races, arcs)
+  BlockId block = kInvalidBlock;     ///< owning block, if any
+  std::string message;
+
+  /// "error: [footprint-race] block 0, threads 3 'a' and 5 'b': ..."
+  std::string to_string(const Program& program) const;
+};
+
+struct VerifyOptions {
+  /// Target TSU capacity (DThreads per block incl. Inlet/Outlet);
+  /// 0 = unlimited, disables the capacity check.
+  std::uint32_t tsu_capacity = 0;
+  /// Target kernel count for the home-kernel range check; 0 disables.
+  std::uint16_t num_kernels = 0;
+  /// Run the pairwise footprint race detection (the most expensive
+  /// pass; quadratic in overlapping ranges per block).
+  bool check_races = true;
+  /// Blocks with more application threads than this skip the race
+  /// check with a kRaceCheckSkipped warning (0 = no limit).
+  std::uint32_t race_check_max_threads = 16384;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+  std::uint32_t num_errors = 0;
+  std::uint32_t num_warnings = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+  bool has_errors() const { return num_errors != 0; }
+
+  /// All diagnostics, one per line, plus a summary line.
+  std::string to_string(const Program& program) const;
+};
+
+/// Statically verify `program`, returning every finding. Never throws
+/// on graph problems (that is the point); the Program must only be
+/// structurally indexable (thread/block ids within range), which any
+/// ProgramBuilder output - strict or not - satisfies.
+VerifyReport verify(const Program& program, const VerifyOptions& options = {});
+
+}  // namespace tflux::core

@@ -14,6 +14,7 @@
 
 #include "core/error.h"
 #include "ddmcpp/codegen.h"
+#include "ddmcpp/lint.h"
 #include "ddmcpp/parser.h"
 
 namespace {
@@ -21,7 +22,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: ddmcpp [--target=soft|hard|cell] [--kernels=N] "
-               "[-o out.cpp] input.ddm.c\n");
+               "[--no-lint] [-o out.cpp] input.ddm.c\n");
 }
 
 }  // namespace
@@ -29,6 +30,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string input;
   std::string output;
+  bool run_lint = true;
   tflux::ddmcpp::CodegenOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +53,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint16_t>(std::stoul(arg.substr(10)));
     } else if (arg == "--no-main") {
       options.emit_main = false;
+    } else if (arg == "--no-lint") {
+      run_lint = false;
     } else if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
@@ -82,6 +86,25 @@ int main(int argc, char** argv) {
   try {
     const tflux::ddmcpp::ProgramIR ir =
         tflux::ddmcpp::parse(source.str(), input);
+    if (run_lint) {
+      // Static verification of the synchronization graph before any
+      // code is generated; diagnostics carry source locations.
+      const std::uint16_t kernels = options.kernels_override != 0
+                                        ? options.kernels_override
+                                        : ir.kernels;
+      const tflux::ddmcpp::LintResult lint_result =
+          tflux::ddmcpp::lint(ir, input, kernels);
+      for (const std::string& m : lint_result.messages) {
+        std::fprintf(stderr, "%s\n", m.c_str());
+      }
+      if (lint_result.has_errors()) {
+        std::fprintf(stderr,
+                     "ddmcpp: %u lint error(s); no code generated "
+                     "(--no-lint overrides)\n",
+                     lint_result.errors);
+        return 1;
+      }
+    }
     generated = tflux::ddmcpp::generate(ir, options);
   } catch (const tflux::core::TFluxError& e) {
     std::fprintf(stderr, "%s\n", e.what());

@@ -16,6 +16,9 @@ namespace tflux::ddmcpp {
 struct ThreadIR {
   std::uint32_t id = 0;          ///< user-chosen DThread id
   bool is_loop = false;          ///< `for thread` vs plain `thread`
+  /// Source line of the `#pragma ddm thread` directive (1-based; 0 =
+  /// unknown). Lint diagnostics point here.
+  std::uint32_t line = 0;
   std::string body;              ///< raw statement text (C/C++)
   std::vector<std::uint32_t> depends;  ///< producer thread ids
   /// Pinned kernel from `kernel <k>`; kInvalidKernel = unpinned.
@@ -46,6 +49,8 @@ struct ThreadIR {
 /// One `#pragma ddm block` region (or the implicit default block).
 struct BlockIR {
   std::uint32_t id = 0;
+  /// Source line of the `#pragma ddm block` directive (0 = implicit).
+  std::uint32_t line = 0;
   std::vector<ThreadIR> threads;
 };
 

@@ -1,0 +1,78 @@
+#include "ddmcpp/lint.h"
+
+#include <map>
+
+#include "core/builder.h"
+#include "core/error.h"
+#include "core/verify.h"
+
+namespace tflux::ddmcpp {
+
+LintResult lint(const ProgramIR& ir, const std::string& filename,
+                std::uint16_t kernels) {
+  LintResult result;
+
+  // Mirror emit_builder: one DThread per ThreadIR (loop threads as a
+  // single representative chunk), arcs from depends. Built with
+  // validation off so graph defects become diagnostics, not throws.
+  core::ProgramBuilder builder(ir.name);
+  std::map<std::uint32_t, core::ThreadId> by_user_id;
+  std::map<core::ThreadId, std::uint32_t> line_of;
+  for (const BlockIR& block : ir.blocks) {
+    if (block.threads.empty()) continue;
+    const core::BlockId b = builder.add_block();
+    for (const ThreadIR& t : block.threads) {
+      core::Footprint fp;
+      fp.compute(t.cycles);
+      for (const ThreadIR::Range& r : t.ranges) {
+        if (r.write) {
+          fp.write(r.addr, r.bytes, r.stream);
+        } else {
+          fp.read(r.addr, r.bytes, r.stream);
+        }
+      }
+      const core::ThreadId tid =
+          builder.add_thread(b, "t" + std::to_string(t.id), {},
+                             std::move(fp), t.kernel);
+      by_user_id[t.id] = tid;
+      line_of[tid] = t.line;
+      for (std::uint32_t dep : t.depends) {
+        auto it = by_user_id.find(dep);
+        if (it != by_user_id.end()) builder.add_arc(it->second, tid);
+      }
+    }
+  }
+
+  core::BuildOptions build_options;
+  build_options.num_kernels = kernels == 0 ? 1 : kernels;
+  build_options.validate = false;
+  core::Program program;
+  try {
+    program = builder.build(build_options);
+  } catch (const core::TFluxError& e) {
+    result.messages.push_back(filename + ": error: " +
+                              std::string(e.what()));
+    ++result.errors;
+    return result;
+  }
+
+  core::VerifyOptions verify_options;
+  verify_options.num_kernels = kernels;
+  const core::VerifyReport report = core::verify(program, verify_options);
+  for (const core::Diagnostic& d : report.diagnostics) {
+    std::uint32_t line = 0;
+    auto it = line_of.find(d.thread);
+    if (it != line_of.end()) line = it->second;
+    std::string loc = filename;
+    if (line != 0) loc += ":" + std::to_string(line);
+    result.messages.push_back(loc + ": " + d.to_string(program));
+    if (d.severity == core::Severity::kError) {
+      ++result.errors;
+    } else {
+      ++result.warnings;
+    }
+  }
+  return result;
+}
+
+}  // namespace tflux::ddmcpp

@@ -1,0 +1,35 @@
+// Compile-time lint hook: run the ddmlint static verifier
+// (core/verify.h) over a parsed ProgramIR *before* codegen, mapping
+// each diagnostic back to the `#pragma ddm thread` source line. The
+// preprocessor refuses to generate code for a program whose graph is
+// provably broken - the paper's front-end becomes the first line of
+// the correctness layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddmcpp/ir.h"
+
+namespace tflux::ddmcpp {
+
+struct LintResult {
+  /// "<file>:<line>: error: [code] ..." - ready to print to stderr.
+  std::vector<std::string> messages;
+  std::uint32_t errors = 0;
+  std::uint32_t warnings = 0;
+
+  bool has_errors() const { return errors != 0; }
+};
+
+/// Lint the IR's synchronization graph. Loop threads are modeled as a
+/// single representative DThread (their iteration bounds are runtime
+/// expressions); plain threads carry their cycles/reads/writes
+/// clauses, so footprint race detection applies to them. `kernels` is
+/// the effective kernel count (startprogram clause or --kernels
+/// override) used for the home-kernel range check.
+LintResult lint(const ProgramIR& ir, const std::string& filename,
+                std::uint16_t kernels);
+
+}  // namespace tflux::ddmcpp

@@ -198,7 +198,7 @@ ProgramIR parse(const std::string& source, const std::string& filename) {
 
   auto ensure_block = [&ir] {
     if (ir.blocks.empty()) {
-      ir.blocks.push_back(BlockIR{0, {}});
+      ir.blocks.push_back(BlockIR{0, 0, {}});
     }
   };
 
@@ -347,7 +347,8 @@ ProgramIR parse(const std::string& source, const std::string& filename) {
       }
       const auto id = static_cast<std::uint32_t>(
           cur.done() ? ir.blocks.size() : cur.expect_number("block id"));
-      ir.blocks.push_back(BlockIR{id, {}});
+      ir.blocks.push_back(
+          BlockIR{id, static_cast<std::uint32_t>(line_no), {}});
       st.in_explicit_block = true;
     } else if (kind == "endblock") {
       if (!st.in_explicit_block) {
@@ -361,6 +362,7 @@ ProgramIR parse(const std::string& source, const std::string& filename) {
              "thread)");
       }
       st.current = ThreadIR{};
+      st.current.line = static_cast<std::uint32_t>(line_no);
       if (kind == "for") {
         cur.expect("thread");
         st.current.is_loop = true;

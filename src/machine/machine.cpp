@@ -26,6 +26,7 @@ std::uint64_t Machine::count_lines(const core::Footprint& fp) const {
   const std::uint32_t line = config_.l1.line_bytes;
   std::uint64_t lines = 0;
   for (const core::MemRange& r : fp.ranges) {
+    if (r.bytes == 0) continue;  // empty ranges touch no lines
     const SimAddr first = r.addr / line;
     const SimAddr last = (r.addr + r.bytes - 1) / line;
     lines += last - first + 1;
@@ -79,6 +80,13 @@ void Machine::exec_segment(core::KernelId k) {
   while (budget > 0) {
     if (cur.range_idx < t.footprint.ranges.size()) {
       const core::MemRange& r = t.footprint.ranges[cur.range_idx];
+      if (r.bytes == 0) {  // empty range: nothing to access
+        ++cur.range_idx;
+        if (cur.range_idx < t.footprint.ranges.size()) {
+          cur.next_addr = t.footprint.ranges[cur.range_idx].addr;
+        }
+        continue;
+      }
       const SimAddr line_addr = (cur.next_addr / line) * line;
       const Cycles mem_done = mem_->access_line(k, line_addr, r.write, now);
       const Cycles mem_cost = mem_done - now;
@@ -296,6 +304,7 @@ Cycles simulate_sequential(const MachineConfig& config,
   Cycles now = 0;
   for (const core::Footprint& fp : plan) {
     for (const core::MemRange& r : fp.ranges) {
+      if (r.bytes == 0) continue;
       const SimAddr first = (r.addr / line) * line;
       for (SimAddr a = first; a < r.addr + r.bytes; a += line) {
         now = mem.access_line(0, a, r.write, now);

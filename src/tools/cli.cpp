@@ -9,6 +9,7 @@
 #include "core/graph_io.h"
 #include "core/error.h"
 #include "core/scheduler.h"
+#include "core/verify.h"
 #include "machine/config.h"
 #include "machine/machine.h"
 #include "runtime/runtime.h"
@@ -120,6 +121,8 @@ std::string usage() {
       "  --no-validate                        skip result validation\n"
       "  --no-baseline                        skip the sequential "
       "baseline\n"
+      "  --lint                               run the ddmlint static "
+      "verifier first\n"
       "  --graph=FILE                         simulate a ddmgraph file "
       "instead of a benchmark\n"
       "  --dot=FILE                           write the graph as DOT\n"
@@ -169,6 +172,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.validate = false;
     } else if (arg == "--no-baseline") {
       options.baseline = false;
+    } else if (arg == "--lint") {
+      options.lint = true;
     } else if (arg.rfind("--graph=", 0) == 0) {
       options.graph_file = value_of("--graph=");
     } else if (arg.rfind("--dot=", 0) == 0) {
@@ -224,6 +229,23 @@ int run_cli(const CliOptions& options, std::ostream& out) {
         << apps::to_string(options.size) << " on "
         << to_string(options.platform) << ", " << options.kernels
         << " kernels, unroll " << options.unroll << "\n";
+  }
+
+  if (options.lint) {
+    core::VerifyOptions verify_options;
+    verify_options.tsu_capacity = options.tsu_capacity;
+    verify_options.num_kernels = options.kernels;
+    const core::VerifyReport report =
+        core::verify(run.program, verify_options);
+    for (const core::Diagnostic& d : report.diagnostics) {
+      out << "  lint: " << d.to_string(run.program) << "\n";
+    }
+    out << "  lint: " << report.num_errors << " error(s), "
+        << report.num_warnings << " warning(s)\n";
+    if (report.has_errors()) {
+      out << "tflux_run: refusing to execute a program with lint errors\n";
+      return 1;
+    }
   }
 
   const core::GraphAnalysis analysis = core::analyze(run.program);

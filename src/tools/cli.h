@@ -37,6 +37,9 @@ struct CliOptions {
   core::PolicyKind policy = core::PolicyKind::kLocality;
   bool validate = true;
   bool baseline = true;        ///< also simulate the sequential baseline
+  /// Run the ddmlint static verifier on the program before executing;
+  /// abort (exit 1) when it reports errors.
+  bool lint = false;
   std::string dot_file;        ///< write DOT here if non-empty
   std::string trace_file;      ///< write Chrome trace here if non-empty
   /// Instead of a benchmark, load a ddmgraph file and simulate it

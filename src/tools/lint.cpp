@@ -1,0 +1,183 @@
+#include "tools/lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/graph_io.h"
+
+namespace tflux::tools {
+
+using core::TFluxError;
+
+namespace {
+
+apps::AppKind parse_app(const std::string& name) {
+  for (apps::AppKind kind : apps::all_apps()) {
+    std::string lower = apps::to_string(kind);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (name == lower) return kind;
+  }
+  throw TFluxError("tflux_lint: unknown app '" + name +
+                   "' (trapez, mmult, qsort, susan, fft)");
+}
+
+apps::SizeClass parse_size(const std::string& name) {
+  if (name == "small") return apps::SizeClass::kSmall;
+  if (name == "medium") return apps::SizeClass::kMedium;
+  if (name == "large") return apps::SizeClass::kLarge;
+  throw TFluxError("tflux_lint: unknown size '" + name +
+                   "' (small, medium, large)");
+}
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw TFluxError("tflux_lint: " + flag + " expects a number, got '" +
+                     value + "'");
+  }
+}
+
+}  // namespace
+
+std::string lint_usage() {
+  return
+      "usage: tflux_lint [options]\n"
+      "Statically verify DDM synchronization graphs (ddmlint).\n"
+      "  --app=trapez|mmult|qsort|susan|fft   lint one benchmark "
+      "(default trapez)\n"
+      "  --all                                lint every shipped "
+      "benchmark\n"
+      "  --graph=FILE                         lint a ddmgraph file\n"
+      "  --size=small|medium|large            (default small)\n"
+      "  --kernels=N                          target kernel count "
+      "(default 4)\n"
+      "  --unroll=N                           loop unroll factor "
+      "(default 4)\n"
+      "  --tsu-capacity=N                     target TSU capacity "
+      "(default 512)\n"
+      "  --strict                             exit nonzero on warnings "
+      "too\n"
+      "  --quiet                              summaries only\n"
+      "  --help\n"
+      "Diagnostic catalog: docs/LINTING.md\n";
+}
+
+LintOptions parse_lint_args(const std::vector<std::string>& args) {
+  LintOptions options;
+  for (const std::string& arg : args) {
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg.rfind("--app=", 0) == 0) {
+      options.app = parse_app(value_of("--app="));
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      options.graph_file = value_of("--graph=");
+    } else if (arg.rfind("--size=", 0) == 0) {
+      options.size = parse_size(value_of("--size="));
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      options.kernels = static_cast<std::uint16_t>(
+          parse_uint("--kernels", value_of("--kernels=")));
+      if (options.kernels == 0) {
+        throw TFluxError("tflux_lint: --kernels must be >= 1");
+      }
+    } else if (arg.rfind("--unroll=", 0) == 0) {
+      options.unroll = static_cast<std::uint32_t>(
+          parse_uint("--unroll", value_of("--unroll=")));
+      if (options.unroll == 0) {
+        throw TFluxError("tflux_lint: --unroll must be >= 1");
+      }
+    } else if (arg.rfind("--tsu-capacity=", 0) == 0) {
+      options.tsu_capacity = static_cast<std::uint32_t>(
+          parse_uint("--tsu-capacity", value_of("--tsu-capacity=")));
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      throw TFluxError("tflux_lint: unknown option '" + arg + "'\n" +
+                       lint_usage());
+    }
+  }
+  return options;
+}
+
+core::VerifyReport lint_program(const core::Program& program,
+                                const LintOptions& options,
+                                std::ostream& out) {
+  core::VerifyOptions verify_options;
+  verify_options.tsu_capacity = options.tsu_capacity;
+  verify_options.num_kernels = options.kernels;
+  const core::VerifyReport report = core::verify(program, verify_options);
+  if (!options.quiet) {
+    for (const core::Diagnostic& d : report.diagnostics) {
+      out << program.name() << ": " << d.to_string(program) << "\n";
+    }
+  }
+  out << program.name() << ": " << program.num_app_threads()
+      << " DThreads in " << program.num_blocks() << " block(s): "
+      << report.num_errors << " error(s), " << report.num_warnings
+      << " warning(s)\n";
+  return report;
+}
+
+int run_lint(const LintOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << lint_usage();
+    return 0;
+  }
+
+  std::uint32_t errors = 0;
+  std::uint32_t warnings = 0;
+  auto account = [&](const core::VerifyReport& report) {
+    errors += report.num_errors;
+    warnings += report.num_warnings;
+  };
+
+  if (!options.graph_file.empty()) {
+    std::ifstream gin(options.graph_file);
+    if (!gin) {
+      throw TFluxError("tflux_lint: cannot open '" + options.graph_file +
+                       "'");
+    }
+    std::ostringstream gtext;
+    gtext << gin.rdbuf();
+    core::BuildOptions build_options;
+    build_options.num_kernels = options.kernels;
+    build_options.tsu_capacity = options.tsu_capacity;
+    // Lint wants diagnostics, not a build() throw, so materialize
+    // whatever the file describes and let verify() judge it.
+    build_options.validate = false;
+    account(lint_program(core::load_graph(gtext.str(), build_options),
+                         options, out));
+  } else {
+    apps::DdmParams params;
+    params.num_kernels = options.kernels;
+    params.unroll = options.unroll;
+    params.tsu_capacity = options.tsu_capacity;
+    std::vector<apps::AppKind> kinds =
+        options.all ? apps::all_apps()
+                    : std::vector<apps::AppKind>{options.app};
+    for (apps::AppKind kind : kinds) {
+      const apps::AppRun run = apps::build_app(
+          kind, options.size, apps::Platform::kSimulated, params);
+      account(lint_program(run.program, options, out));
+    }
+  }
+
+  const bool failed = errors != 0 || (options.strict && warnings != 0);
+  out << "tflux_lint: " << errors << " error(s), " << warnings
+      << " warning(s) total -> " << (failed ? "FAIL" : "ok") << "\n";
+  return failed ? 1 : 0;
+}
+
+}  // namespace tflux::tools

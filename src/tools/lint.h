@@ -1,0 +1,54 @@
+// The `tflux_lint` command-line driver, split into a testable library:
+// run the static verifier (core/verify.h) over any Table-1 benchmark,
+// every shipped benchmark at once (--all), or a ddmgraph file, and
+// print the structured diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/verify.h"
+
+namespace tflux::tools {
+
+struct LintOptions {
+  /// Lint one benchmark... (ignored with --all or --graph)
+  apps::AppKind app = apps::AppKind::kTrapez;
+  apps::SizeClass size = apps::SizeClass::kSmall;
+  /// ...or every shipped benchmark...
+  bool all = false;
+  /// ...or a ddmgraph file.
+  std::string graph_file;
+
+  std::uint16_t kernels = 4;
+  std::uint32_t unroll = 4;
+  std::uint32_t tsu_capacity = 512;
+  /// Exit nonzero on warnings too, not just errors.
+  bool strict = false;
+  /// Print only the per-program summary lines, not each diagnostic.
+  bool quiet = false;
+  bool help = false;
+};
+
+/// Parse argv-style arguments (without the program name). Throws
+/// core::TFluxError with a usable message on malformed input.
+LintOptions parse_lint_args(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string lint_usage();
+
+/// Lint one already-built program, printing diagnostics to `out`.
+/// Returns the report.
+core::VerifyReport lint_program(const core::Program& program,
+                                const LintOptions& options,
+                                std::ostream& out);
+
+/// Execute per the options, writing diagnostics to `out`. Returns a
+/// process exit code: 0 clean (no errors; no warnings under --strict),
+/// 1 findings.
+int run_lint(const LintOptions& options, std::ostream& out);
+
+}  // namespace tflux::tools

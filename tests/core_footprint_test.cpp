@@ -27,10 +27,16 @@ TEST(FootprintTest, BuilderChainsAndAccumulates) {
   EXPECT_TRUE(fp.ranges[1].write);
 }
 
-TEST(FootprintTest, ZeroByteRangesDropped) {
+TEST(FootprintTest, ZeroByteRangesAreRecorded) {
+  // Zero-byte ranges used to be silently dropped; they are now kept
+  // (and contribute no bytes) so ddmlint can warn about them - an
+  // empty extent almost always means a bug in footprint construction.
   Footprint fp;
   fp.read(0x1000, 0).write(0x2000, 0);
-  EXPECT_TRUE(fp.ranges.empty());
+  ASSERT_EQ(fp.ranges.size(), 2u);
+  EXPECT_EQ(fp.ranges[0].bytes, 0u);
+  EXPECT_EQ(fp.ranges[1].bytes, 0u);
+  EXPECT_EQ(fp.bytes_total(), 0u);
 }
 
 TEST(FootprintTest, StreamFlagDefaultsOffAndSticks) {

@@ -1,0 +1,125 @@
+// The preprocessor's lint hook: diagnostics from core/verify.h mapped
+// back to `#pragma ddm thread` source lines, and codegen refusal for
+// provably broken programs.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ddmcpp/lint.h"
+#include "ddmcpp/parser.h"
+
+namespace tflux::ddmcpp {
+namespace {
+
+LintResult lint_source(const std::string& source,
+                       std::uint16_t kernels = 2) {
+  const ProgramIR ir = parse(source, "test.ddm.c");
+  return lint(ir, "test.ddm.c", kernels);
+}
+
+TEST(DdmcppLintTest, CleanProgramHasNoFindings) {
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name clean
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) reads(4096:256) depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u);
+  EXPECT_TRUE(result.messages.empty());
+}
+
+TEST(DdmcppLintTest, OverlappingWritesWithoutDependsIsARace) {
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name racy
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) writes(4224:256)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  ASSERT_EQ(result.errors, 1u) << (result.messages.empty()
+                                       ? std::string("no messages")
+                                       : result.messages[0]);
+  EXPECT_TRUE(result.has_errors());
+  // The diagnostic carries the *source line* of the second thread's
+  // pragma (line 6 of the raw string) and the stable code name.
+  EXPECT_NE(result.messages[0].find("test.ddm.c:"), std::string::npos)
+      << result.messages[0];
+  EXPECT_NE(result.messages[0].find("footprint-race"), std::string::npos)
+      << result.messages[0];
+}
+
+TEST(DdmcppLintTest, DependsArcSuppressesTheRace) {
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name ordered
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) writes(4224:256) depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u) << (result.messages.empty()
+                                       ? std::string("no messages")
+                                       : result.messages[0]);
+}
+
+TEST(DdmcppLintTest, ZeroByteRangeIsAWarningNotAnError) {
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name degenerate
+#pragma ddm thread 1 cycles(100) writes(4096:0)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u);
+  ASSERT_EQ(result.warnings, 1u);
+  EXPECT_NE(result.messages[0].find("empty-range"), std::string::npos)
+      << result.messages[0];
+}
+
+TEST(DdmcppLintTest, PinnedKernelBeyondTargetCountIsAnError) {
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name pinned
+#pragma ddm thread 1 kernel 7 cycles(100)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)",
+                                        /*kernels=*/2);
+  ASSERT_EQ(result.errors, 1u);
+  EXPECT_NE(result.messages[0].find("home-kernel-out-of-range"),
+            std::string::npos)
+      << result.messages[0];
+}
+
+TEST(DdmcppLintTest, LoopThreadsAreModeledWithoutFalsePositives) {
+  // Loop bounds are runtime expressions; the lint models the loop as
+  // one representative DThread and must not invent races for it.
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 4 name loopy
+#pragma ddm for thread 1 unroll 8
+for (long i = 0; i < 100; i++) { }
+#pragma ddm endfor
+#pragma ddm thread 2 depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)",
+                                        /*kernels=*/4);
+  EXPECT_EQ(result.errors, 0u) << (result.messages.empty()
+                                       ? std::string("no messages")
+                                       : result.messages[0]);
+  EXPECT_EQ(result.warnings, 0u);
+}
+
+}  // namespace
+}  // namespace tflux::ddmcpp

@@ -1,0 +1,15 @@
+// Deliberately broken DDM program: threads 1 and 2 are unordered (no
+// depends clause) yet their writes() footprints overlap at [4224,4352).
+// ddmcpp's lint pass must refuse to generate code for this file; the
+// ddmcpp_cli_lint_rejects_race ctest entry asserts exactly that.
+#pragma ddm startprogram kernels 2 name racy
+
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ /* writes [4096, 4352) */ }
+#pragma ddm endthread
+
+#pragma ddm thread 2 cycles(100) writes(4224:256)
+{ /* writes [4224, 4480) - overlaps thread 1, no ordering arc */ }
+#pragma ddm endthread
+
+#pragma ddm endprogram

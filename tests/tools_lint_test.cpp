@@ -1,0 +1,138 @@
+// tflux_lint driver tests: argument parsing, exit codes, and linting
+// of ddmgraph files (the path a hand-written or generated graph takes
+// into the verifier).
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "tools/lint.h"
+
+namespace tflux::tools {
+namespace {
+
+std::string write_temp_graph(const std::string& name,
+                             const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream(path) << text;
+  return path;
+}
+
+TEST(ToolsLintTest, ParsesDefaults) {
+  const LintOptions options = parse_lint_args({});
+  EXPECT_FALSE(options.all);
+  EXPECT_TRUE(options.graph_file.empty());
+  EXPECT_EQ(options.kernels, 4u);
+  EXPECT_EQ(options.tsu_capacity, 512u);
+  EXPECT_FALSE(options.strict);
+}
+
+TEST(ToolsLintTest, ParsesAppAllAndStrict) {
+  const LintOptions options = parse_lint_args(
+      {"--app=qsort", "--size=medium", "--kernels=8", "--strict"});
+  EXPECT_EQ(options.app, apps::AppKind::kQsort);
+  EXPECT_EQ(options.size, apps::SizeClass::kMedium);
+  EXPECT_EQ(options.kernels, 8u);
+  EXPECT_TRUE(options.strict);
+
+  EXPECT_TRUE(parse_lint_args({"--all"}).all);
+}
+
+TEST(ToolsLintTest, RejectsUnknownOption) {
+  EXPECT_THROW(parse_lint_args({"--bogus"}), core::TFluxError);
+  EXPECT_THROW(parse_lint_args({"--app=doom"}), core::TFluxError);
+}
+
+TEST(ToolsLintTest, AllShippedAppsAreClean) {
+  LintOptions options;
+  options.all = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+  EXPECT_NE(out.str().find("-> ok"), std::string::npos) << out.str();
+}
+
+TEST(ToolsLintTest, SingleAppIsClean) {
+  LintOptions options;
+  options.app = apps::AppKind::kMmult;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+}
+
+TEST(ToolsLintTest, BackwardArcGraphFileFailsTheLint) {
+  // Declaration order: thread 0 in block 0, thread 1 in block 1; the
+  // arc makes the later block feed the earlier one.
+  const std::string path = write_temp_graph("backward.ddmg", R"(ddmgraph 1
+program backward
+block
+thread early compute 10
+block
+thread late compute 10
+arc 1 0
+)");
+  LintOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 1) << out.str();
+  EXPECT_NE(out.str().find("backward-cross-block-arc"), std::string::npos)
+      << out.str();
+}
+
+TEST(ToolsLintTest, RacyGraphFileFailsTheLint) {
+  const std::string path = write_temp_graph("racy.ddmg", R"(ddmgraph 1
+program racy
+block
+thread w1 compute 10
+write 4096 256
+thread w2 compute 10
+write 4200 256
+)");
+  LintOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 1) << out.str();
+  EXPECT_NE(out.str().find("footprint-race"), std::string::npos)
+      << out.str();
+}
+
+TEST(ToolsLintTest, StrictTurnsWarningsIntoFailure) {
+  // A zero-byte range lints as a warning: exit 0 normally, 1 under
+  // --strict.
+  const std::string path = write_temp_graph("warn.ddmg", R"(ddmgraph 1
+program warn
+block
+thread t compute 10
+read 4096 0
+)");
+  LintOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+  EXPECT_NE(out.str().find("empty-range"), std::string::npos) << out.str();
+
+  options.strict = true;
+  std::ostringstream strict_out;
+  EXPECT_EQ(run_lint(options, strict_out), 1) << strict_out.str();
+}
+
+TEST(ToolsLintTest, CleanGraphFilePasses) {
+  const std::string path = write_temp_graph("clean.ddmg", R"(ddmgraph 1
+program clean
+block
+thread producer compute 10
+write 4096 256
+thread consumer compute 10
+read 4096 256
+arc 0 1
+)");
+  LintOptions options;
+  options.graph_file = path;
+  options.strict = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+}
+
+}  // namespace
+}  // namespace tflux::tools
