@@ -12,11 +12,14 @@
 #include <cstdio>
 
 #include "apps/suite.h"
+#include "json_out.h"
 #include "machine/config.h"
 #include "machine/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("ablation_policy");
 
   std::printf("=== Ablation: TSU ready-thread policy (locality vs FIFO) "
               "===\n");
@@ -50,6 +53,14 @@ int main() {
                   static_cast<unsigned long long>(st.mem.l2_misses),
                   static_cast<unsigned long long>(st.mem.c2c_transfers),
                   vs_fifo);
+      json.begin_row();
+      json.field("app", apps::to_string(app));
+      json.field("policy", core::to_string(policy));
+      json.field("cycles", static_cast<std::uint64_t>(st.total_cycles));
+      json.field("l2_misses", static_cast<std::uint64_t>(st.mem.l2_misses));
+      json.field("c2c_transfers",
+                 static_cast<std::uint64_t>(st.mem.c2c_transfers));
+      json.field("speedup_vs_fifo", vs_fifo);
       if (policy == core::PolicyKind::kLocality && vs_fifo < 1.0) {
         locality_wins_everywhere = false;
       }
@@ -63,5 +74,5 @@ int main() {
               locality_wins_everywhere
                   ? "(holds on both workloads)"
                   : "(did NOT hold on every workload - see numbers)");
-  return 0;
+  return json.write_file(json_path) ? 0 : 2;
 }

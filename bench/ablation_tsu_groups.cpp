@@ -14,11 +14,14 @@
 #include <vector>
 
 #include "apps/suite.h"
+#include "json_out.h"
 #include "machine/config.h"
 #include "machine/machine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("ablation_tsu_groups");
 
   const std::vector<std::uint16_t> kernel_counts = {8, 16, 27};
   const std::vector<std::uint16_t> group_counts = {1, 2, 4};
@@ -55,13 +58,21 @@ int main() {
       for (core::Cycles b : st.tsu_group_busy) {
         max_busy = std::max(max_busy, b);
       }
+      const double speedup = static_cast<double>(base) /
+                             static_cast<double>(st.total_cycles);
+      const double port_busy = 100.0 * static_cast<double>(max_busy) /
+                               static_cast<double>(st.total_cycles);
       std::printf("%-8u %-7u | %10.2f %13.1f%% %16llu\n", kernels, groups,
-                  static_cast<double>(base) /
-                      static_cast<double>(st.total_cycles),
-                  100.0 * static_cast<double>(max_busy) /
-                      static_cast<double>(st.total_cycles),
+                  speedup, port_busy,
                   static_cast<unsigned long long>(
                       st.tsu_intergroup_updates));
+      json.begin_row();
+      json.field("kernels", static_cast<std::uint32_t>(kernels));
+      json.field("groups", static_cast<std::uint32_t>(groups));
+      json.field("speedup", speedup);
+      json.field("port_busy_pct", port_busy);
+      json.field("intergroup_updates",
+                 static_cast<std::uint64_t>(st.tsu_intergroup_updates));
     }
     std::printf("-----------------+--------------------------------------"
                 "----\n");
@@ -70,5 +81,5 @@ int main() {
               "near-saturated and extra\ngroups recover speedup; at 8 "
               "kernels one group suffices (grouping only adds\ncross-group "
               "traffic, as the paper's TSU-Group argument predicts).\n");
-  return 0;
+  return json.write_file(json_path) ? 0 : 2;
 }

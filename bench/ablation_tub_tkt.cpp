@@ -11,9 +11,18 @@
 //    access the correct SM, consequently eliminating any unnecessary
 //    search operation". Disabling it makes the emulator pay a
 //    sequential SM search per Ready Count update.
+//  - the lock-free hot path vs the paper's structures: the same
+//    fan-out workload run end-to-end with RuntimeOptions::lockfree
+//    toggled - SPSC TUB lanes + ring mailboxes against the segmented
+//    try-lock TUB + mutex mailboxes (the acceptance ablation for the
+//    lock-free runtime rework).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/builder.h"
+#include "json_out.h"
 #include "runtime/runtime.h"
 
 namespace {
@@ -47,6 +56,7 @@ void BM_TubSegments(benchmark::State& state) {
     state.ResumeTiming();
     runtime::RuntimeOptions options;
     options.num_kernels = kKernels;
+    options.lockfree = false;  // segments only exist on the mutex path
     options.tub_segments = segments;
     const runtime::RuntimeStats st = runtime::Runtime(p, options).run();
     trylock_failures += st.tub.trylock_failures;
@@ -64,6 +74,33 @@ BENCHMARK(BM_TubSegments)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end Kernel -> TUB -> Emulator -> Mailbox round trips on the
+/// two hot paths. lockfree=1 is the SPSC rework; lockfree=0 the
+/// paper-faithful mutex/try-lock baseline.
+void BM_LockfreeVsMutex(benchmark::State& state) {
+  const bool lockfree = state.range(0) != 0;
+  const auto kernels = static_cast<std::uint16_t>(state.range(1));
+  constexpr int kWidth = 4096;
+  std::uint64_t full_stalls = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Program p = make_fanout_program(kernels, kWidth);
+    state.ResumeTiming();
+    runtime::RuntimeOptions options;
+    options.num_kernels = kernels;
+    options.lockfree = lockfree;
+    const runtime::RuntimeStats st = runtime::Runtime(p, options).run();
+    full_stalls += st.tub.full_skips;
+  }
+  state.SetItemsProcessed(state.iterations() * kWidth);
+  state.counters["lane_full_stalls"] = benchmark::Counter(
+      static_cast<double>(full_stalls), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_LockfreeVsMutex)
+    ->ArgsProduct({{1, 0}, {1, 2, 4}})
+    ->ArgNames({"lockfree", "kernels"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ThreadIndexing(benchmark::State& state) {
@@ -123,4 +160,25 @@ BENCHMARK(BM_EmulatorGroups)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the repo-wide `--json <path>` flag, translated
+// into google-benchmark's own JSON reporter.
+int main(int argc, char** argv) {
+  const std::string json_path = tflux::bench::parse_json_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

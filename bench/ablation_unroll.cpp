@@ -18,6 +18,7 @@
 
 #include "apps/suite.h"
 #include "cell/cell_machine.h"
+#include "json_out.h"
 #include "machine/config.h"
 #include "machine/machine.h"
 
@@ -62,7 +63,9 @@ double run_cell(std::uint32_t unroll) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("ablation_unroll");
   const std::vector<std::uint32_t> unrolls = {1, 2, 4, 8, 16, 32, 64};
 
   std::printf("=== Ablation: unroll factor vs speedup, TRAPEZ Medium ===\n");
@@ -78,6 +81,11 @@ int main() {
     cellv.push_back(run_cell(u));
     std::printf("%-8u | %10.2f %10.2f %10.2f\n", u, hard.back(),
                 soft.back(), cellv.back());
+    json.begin_row();
+    json.field("unroll", u);
+    json.field("hard_speedup", hard.back());
+    json.field("soft_speedup", soft.back());
+    json.field("cell_speedup", cellv.back());
   }
 
   auto best_at = [&unrolls](const std::vector<double>& v) {
@@ -103,5 +111,5 @@ int main() {
               reached_by(cellv));
   std::printf("  (peak unrolls: hard=%u soft=%u cell=%u)\n", best_at(hard),
               best_at(soft), best_at(cellv));
-  return 0;
+  return json.write_file(json_path) ? 0 : 2;
 }

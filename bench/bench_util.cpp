@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "json_out.h"
 #include "machine/machine.h"
 
 namespace tflux::bench {
@@ -97,6 +98,24 @@ double average_large_speedup(const std::vector<SpeedupCell>& cells,
     }
   }
   return n == 0 ? 0.0 : sum / n;
+}
+
+bool write_cells_json(const std::string& path, const std::string& bench,
+                      const std::vector<SpeedupCell>& cells) {
+  if (path.empty()) return true;
+  JsonWriter json(bench);
+  for (const SpeedupCell& c : cells) {
+    json.begin_row();
+    json.field("app", apps::to_string(c.app));
+    json.field("size", apps::to_string(c.size));
+    json.field("kernels", static_cast<std::uint32_t>(c.kernels));
+    json.field("speedup", c.speedup);
+    json.field("parallel_cycles",
+               static_cast<std::uint64_t>(c.parallel_cycles));
+    json.field("baseline_cycles",
+               static_cast<std::uint64_t>(c.baseline_cycles));
+  }
+  return json.write_file(path);
 }
 
 }  // namespace tflux::bench

@@ -51,4 +51,10 @@ void print_figure(const std::string& title,
 double average_large_speedup(const std::vector<SpeedupCell>& cells,
                              std::uint16_t kernels);
 
+/// Mirror a figure's cells into a JSON file (no-op when `path` is
+/// empty); one row per cell with app/size/kernels/speedup/cycles.
+/// Returns false when the file cannot be written.
+bool write_cells_json(const std::string& path, const std::string& bench,
+                      const std::vector<SpeedupCell>& cells);
+
 }  // namespace tflux::bench

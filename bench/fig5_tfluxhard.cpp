@@ -9,10 +9,12 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "json_out.h"
 #include "machine/config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
 
   const std::vector<std::uint16_t> kernel_counts = {2, 4, 8, 16, 27};
   apps::DdmParams params;
@@ -43,5 +45,5 @@ int main() {
               bench::average_large_speedup(cells, 27));
   std::printf("paper anchors @27 Large: TRAPEZ 25.6, SUSAN 24.8, "
               "MMULT 24.1, FFT 13.6-18.8, QSORT 7.5\n");
-  return 0;
+  return bench::write_cells_json(json_path, "fig5_tfluxhard", cells) ? 0 : 2;
 }

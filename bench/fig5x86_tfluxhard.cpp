@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "json_out.h"
 #include "machine/config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
 
   const std::vector<std::uint16_t> kernel_counts = {2, 4, 8};
   apps::DdmParams params;
@@ -37,5 +39,6 @@ int main() {
   std::printf("\nexpected: trends similar to Figure 5 at matching kernel "
               "counts (near-linear TRAPEZ/SUSAN/MMULT, QSORT merge-bound, "
               "FFT phase-bound)\n");
-  return 0;
+  return bench::write_cells_json(json_path, "fig5x86_tfluxhard", cells) ? 0
+                                                                        : 2;
 }

@@ -12,10 +12,12 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "json_out.h"
 #include "machine/config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
 
   const std::vector<std::uint16_t> kernel_counts = {2, 4, 6};
   apps::DdmParams params;
@@ -47,5 +49,5 @@ int main() {
               bench::average_large_speedup(cells, 6));
   std::printf("paper anchors @6 Large: TRAPEZ 4.9, MMULT 4.9, SUSAN 4.5, "
               "QSORT 4.0, FFT 3.6\n");
-  return 0;
+  return bench::write_cells_json(json_path, "fig6_tfluxsoft", cells) ? 0 : 2;
 }

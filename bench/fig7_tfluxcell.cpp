@@ -12,6 +12,7 @@
 #include "apps/suite.h"
 #include "cell/cell_machine.h"
 #include "cell/config.h"
+#include "json_out.h"
 #include "machine/config.h"
 
 namespace {
@@ -25,8 +26,9 @@ struct Cell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
 
   const std::vector<std::uint16_t> spe_counts = {2, 4, 6};
   const std::vector<std::uint32_t> unrolls = {16, 32, 64};
@@ -95,5 +97,14 @@ int main() {
               n ? avg / n : 0.0);
   std::printf("paper anchors @6 Large: TRAPEZ 5.5, MMULT 5.1, SUSAN 5.0, "
               "QSORT ~2.1 (LS-bound sizes)\n");
-  return 0;
+
+  bench::JsonWriter json("fig7_tfluxcell");
+  for (const Cell& c : cells) {
+    json.begin_row();
+    json.field("app", apps::to_string(c.app));
+    json.field("size", apps::to_string(c.size));
+    json.field("spes", static_cast<std::uint32_t>(c.spes));
+    json.field("speedup", c.speedup);
+  }
+  return json.write_file(json_path) ? 0 : 2;
 }

@@ -5,13 +5,23 @@
 // minimal because Kernel and DThread code share one function;
 // BM_NullDThread measures our equivalent: the full per-DThread cost
 // (mailbox take, body call, Local-TSU publish, emulator update,
-// dispatch) with empty bodies.
+// dispatch) with empty bodies. Every benchmark that touches a hot-path
+// structure carries a `lockfree` dimension so the SPSC-ring fast path
+// can be compared against the paper-faithful mutex/try-lock baseline
+// (RuntimeOptions::lockfree == false).
+//
+// `--json <path>` mirrors the results into google-benchmark's JSON
+// format (bench/run_benchmarks.sh collects them at the repo root).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/builder.h"
+#include "json_out.h"
+#include "runtime/lane_tub.h"
 #include "runtime/mailbox.h"
 #include "runtime/runtime.h"
 #include "runtime/sync_memory.h"
@@ -22,9 +32,11 @@ namespace {
 using namespace tflux;
 
 /// Full runtime execution of `threads` empty DThreads per iteration:
-/// the per-item time is the whole DThread lifecycle overhead.
+/// the per-item time is the whole DThread lifecycle overhead, on
+/// either hot path (lockfree=1 rings+lanes, lockfree=0 mutex TUB).
 void BM_NullDThread(benchmark::State& state) {
   const auto kernels = static_cast<std::uint16_t>(state.range(0));
+  const bool lockfree = state.range(1) != 0;
   constexpr int kThreads = 4096;
   for (auto _ : state) {
     state.PauseTiming();
@@ -36,38 +48,69 @@ void BM_NullDThread(benchmark::State& state) {
     core::Program p = b.build(core::BuildOptions{.num_kernels = kernels});
     state.ResumeTiming();
 
-    runtime::Runtime rt(p, runtime::RuntimeOptions{.num_kernels = kernels});
+    runtime::Runtime rt(p, runtime::RuntimeOptions{.num_kernels = kernels,
+                                                   .lockfree = lockfree});
     rt.run();
   }
   state.SetItemsProcessed(state.iterations() * kThreads);
 }
-BENCHMARK(BM_NullDThread)->Arg(1)->Arg(2)->Arg(4)->Unit(
-    benchmark::kMillisecond);
+BENCHMARK(BM_NullDThread)
+    ->ArgsProduct({{1, 2, 4}, {1, 0}})
+    ->ArgNames({"kernels", "lockfree"})
+    ->Unit(benchmark::kMillisecond);
 
+/// Single-producer publish+drain round trip through the TUB structure
+/// itself: per-kernel SPSC lane (lockfree=1) vs the segmented
+/// try-lock Tub (lockfree=0).
 void BM_TubPublishDrain(benchmark::State& state) {
   const auto batch_size = static_cast<std::size_t>(state.range(0));
-  runtime::Tub tub(8, 256);
+  const bool lockfree = state.range(1) != 0;
+  std::unique_ptr<runtime::TubQueue> tub;
+  if (lockfree) {
+    tub = std::make_unique<runtime::LaneTub>(/*num_lanes=*/1,
+                                             /*lane_capacity=*/256);
+  } else {
+    tub = std::make_unique<runtime::Tub>(8, 256);
+  }
   std::vector<runtime::TubEntry> batch(
       batch_size, runtime::TubEntry{runtime::TubEntry::Kind::kUpdate, 7});
   std::vector<runtime::TubEntry> out;
   for (auto _ : state) {
-    tub.publish(batch, 0);
+    tub->publish(batch, 0);
     out.clear();
-    benchmark::DoNotOptimize(tub.drain(out));
+    benchmark::DoNotOptimize(tub->drain(out));
   }
   state.SetItemsProcessed(state.iterations() * batch_size);
 }
-BENCHMARK(BM_TubPublishDrain)->Arg(1)->Arg(16)->Arg(128);
+BENCHMARK(BM_TubPublishDrain)
+    ->ArgsProduct({{1, 16, 128}, {1, 0}})
+    ->ArgNames({"batch", "lockfree"});
 
+/// Mailbox put/take round trip: SPSC ring + parker vs mutex+condvar.
 void BM_MailboxPutTake(benchmark::State& state) {
-  runtime::Mailbox mb;
+  const bool lockfree = state.range(0) != 0;
+  runtime::Mailbox mb(lockfree, /*capacity=*/1024);
   for (auto _ : state) {
     mb.put(42);
     benchmark::DoNotOptimize(mb.take());
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MailboxPutTake);
+BENCHMARK(BM_MailboxPutTake)->Arg(1)->Arg(0)->ArgNames({"lockfree"});
+
+/// The emulator's routing fast path asks every mailbox whether it is
+/// backlogged before choosing a kernel; this is that probe.
+void BM_MailboxProbe(benchmark::State& state) {
+  const bool lockfree = state.range(0) != 0;
+  runtime::Mailbox mb(lockfree, /*capacity=*/1024);
+  mb.put(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mb.size());
+    benchmark::DoNotOptimize(mb.probably_empty());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailboxProbe)->Arg(1)->Arg(0)->ArgNames({"lockfree"});
 
 core::Program make_wide_program(std::uint16_t kernels, int width) {
   core::ProgramBuilder b("wide");
@@ -109,4 +152,25 @@ BENCHMARK(BM_SmDecrement)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the repo-wide `--json <path>` flag, translated
+// into google-benchmark's own JSON reporter.
+int main(int argc, char** argv) {
+  const std::string json_path = tflux::bench::parse_json_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

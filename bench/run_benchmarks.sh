@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Produce the repo's machine-readable benchmark artifacts.
+#
+# Default (fast) mode writes the two tracked files at the repo root:
+#   BENCH_micro_runtime.json - runtime-primitive microbenches, both
+#                              hot paths (lockfree vs mutex)
+#   BENCH_fig6.json          - the Figure 6 TFluxSoft speedup sweep
+#
+# FULL=1 additionally runs every other bench binary into
+# BENCH_<name>.json. Usage:
+#   bench/run_benchmarks.sh [build_dir] [out_dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -x "$BENCH_DIR/micro_runtime" ]; then
+  echo "error: $BENCH_DIR/micro_runtime not built" \
+       "(cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+# MIN_TIME trades precision for wall time (google-benchmark seconds
+# per measurement); CI smoke uses a small value.
+MIN_TIME="${MIN_TIME:-0.1}"
+
+echo "== micro_runtime -> $OUT_DIR/BENCH_micro_runtime.json"
+"$BENCH_DIR/micro_runtime" \
+  --benchmark_min_time="$MIN_TIME" \
+  --json "$OUT_DIR/BENCH_micro_runtime.json"
+
+echo "== fig6_tfluxsoft -> $OUT_DIR/BENCH_fig6.json"
+"$BENCH_DIR/fig6_tfluxsoft" --json "$OUT_DIR/BENCH_fig6.json"
+
+if [ "${FULL:-0}" = "1" ]; then
+  echo "== ablation_tub_tkt -> $OUT_DIR/BENCH_ablation_tub_tkt.json"
+  "$BENCH_DIR/ablation_tub_tkt" \
+    --benchmark_min_time="$MIN_TIME" \
+    --json "$OUT_DIR/BENCH_ablation_tub_tkt.json"
+  for b in fig5_tfluxhard fig5x86_tfluxhard fig7_tfluxcell \
+           table1_workloads ablation_policy ablation_tsu_groups \
+           ablation_tsu_latency ablation_unroll; do
+    echo "== $b -> $OUT_DIR/BENCH_$b.json"
+    "$BENCH_DIR/$b" --json "$OUT_DIR/BENCH_$b.json"
+  done
+fi
+
+echo "done."

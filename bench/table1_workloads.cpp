@@ -7,9 +7,12 @@
 
 #include "apps/suite.h"
 #include "core/scheduler.h"
+#include "json_out.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tflux;
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("table1_workloads");
 
   std::printf("=== Table 1: Experimental workload description and problem "
               "sizes ===\n\n");
@@ -63,6 +66,11 @@ int main() {
     all_ok &= ok;
     std::printf("  %-8s %s\n", apps::to_string(app),
                 ok ? "matches sequential reference" : "MISMATCH");
+    json.begin_row();
+    json.field("app", apps::to_string(app));
+    json.field("programs_built", static_cast<std::uint64_t>(built));
+    json.field("functional_ok", ok);
   }
+  if (!json.write_file(json_path)) return 2;
   return all_ok ? 0 : 1;
 }

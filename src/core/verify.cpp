@@ -53,6 +53,8 @@ const char* to_string(Diag code) {
       return "home-kernel-out-of-range";
     case Diag::kHomeKernelUnassigned:
       return "home-kernel-unassigned";
+    case Diag::kLaneCapacityStall:
+      return "lane-capacity-stall";
   }
   return "?";
 }
@@ -350,6 +352,21 @@ void check_capacity_and_kernels(const Program& program,
                       " TSU slots (incl. Inlet/Outlet) but the target "
                       "TSU holds " + std::to_string(options.tsu_capacity) +
                       "; split the program into more DDM Blocks");
+      }
+    }
+  }
+  if (options.tub_lane_capacity != 0) {
+    for (const DThread& t : program.threads()) {
+      if (!t.is_application()) continue;
+      if (t.consumers.size() > options.tub_lane_capacity) {
+        out.warn(Diag::kLaneCapacityStall, t.id, t.block,
+                 thread_ref(program, t.id) + " has " +
+                     std::to_string(t.consumers.size()) +
+                     " consumers but a lock-free TUB lane holds " +
+                     std::to_string(options.tub_lane_capacity) +
+                     "; its completion publish must be chunked and can "
+                     "stall the kernel until the TSU emulator drains - "
+                     "raise tub_lane_capacity or reduce the fan-out");
       }
     }
   }

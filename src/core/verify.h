@@ -58,6 +58,7 @@ enum class Diag : std::uint8_t {
   kCapacityExceeded,      ///< block needs more TSU slots than available
   kHomeKernelOutOfRange,  ///< home kernel >= target kernel count
   kHomeKernelUnassigned,  ///< built program left a thread unpinned
+  kLaneCapacityStall,     ///< out-degree exceeds a TUB lane's capacity
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -83,6 +84,12 @@ struct VerifyOptions {
   std::uint32_t tsu_capacity = 0;
   /// Target kernel count for the home-kernel range check; 0 disables.
   std::uint16_t num_kernels = 0;
+  /// Capacity of one lock-free TUB lane (RuntimeOptions::
+  /// tub_lane_capacity) for the lane-capacity-stall check: a DThread
+  /// whose consumer list exceeds this cannot publish its completion
+  /// in one batch - the runtime must chunk and may stall the kernel
+  /// mid-publish until the emulator drains. 0 disables.
+  std::uint32_t tub_lane_capacity = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

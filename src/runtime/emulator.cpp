@@ -8,7 +8,7 @@ namespace tflux::runtime {
 
 TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
                          SyncMemoryGroup& sm,
-                         std::vector<Mailbox>& mailboxes, Options options)
+                         std::deque<Mailbox>& mailboxes, Options options)
     : program_(program),
       tubs_(tubs),
       tub_(tubs.tub(options.group)),

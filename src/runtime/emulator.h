@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/program.h"
@@ -24,7 +25,10 @@
 
 namespace tflux::runtime {
 
-struct EmulatorStats {
+/// Live per-emulator counters: cache-line aligned so two TSU Groups'
+/// stat bumps (emulators sit in one contiguous container) never
+/// false-share.
+struct alignas(kCacheLine) EmulatorStats {
   std::uint64_t updates_processed = 0;  ///< Ready Count decrements
   std::uint64_t dispatches = 0;         ///< ready DThreads delivered
   std::uint64_t home_dispatches = 0;    ///< delivered to home kernel
@@ -60,7 +64,7 @@ class TsuEmulator {
   /// `mailboxes` covers all kernels (this emulator only touches the
   /// ones in its group).
   TsuEmulator(const core::Program& program, TubGroup& tubs,
-              SyncMemoryGroup& sm, std::vector<Mailbox>& mailboxes,
+              SyncMemoryGroup& sm, std::deque<Mailbox>& mailboxes,
               Options options);
 
   /// Thread main. Emulator 0 arms the program (dispatches block 0's
@@ -79,9 +83,9 @@ class TsuEmulator {
 
   const core::Program& program_;
   TubGroup& tubs_;
-  Tub& tub_;  ///< this group's TUB
+  TubQueue& tub_;  ///< this group's TUB (LaneTub or segmented Tub)
   SyncMemoryGroup& sm_;
-  std::vector<Mailbox>& mailboxes_;
+  std::deque<Mailbox>& mailboxes_;
   Options options_;
   std::vector<core::KernelId> my_kernels_;
   EmulatorStats stats_;

@@ -21,7 +21,7 @@ void Kernel::post_process(const core::DThread& t) {
       break;
     case core::ThreadKind::kApplication:
       stats_.updates_published +=
-          tubs_.publish_updates(t.consumers, id_);
+          tubs_.publish_updates(t.consumers, id_, scratch_);
       break;
   }
 }

@@ -3,6 +3,10 @@
 // its body uninterrupted, then runs the Local-TSU half of the
 // post-processing phase: translating the completion into TUB commands
 // (consumer updates, or block load/unload events for Inlets/Outlets).
+// The post-processing phase is batched: one publish call carries all
+// consumer updates of the completed DThread (per target group),
+// through a per-kernel scratch buffer that never reallocates in
+// steady state.
 #pragma once
 
 #include <cstdint>
@@ -10,11 +14,14 @@
 #include "core/program.h"
 #include "core/types.h"
 #include "runtime/mailbox.h"
+#include "runtime/spsc_ring.h"
 #include "runtime/tub_group.h"
 
 namespace tflux::runtime {
 
-struct KernelStats {
+/// Live per-kernel counters: cache-line aligned so two kernels' stat
+/// bumps (kernels sit in one contiguous container) never false-share.
+struct alignas(kCacheLine) KernelStats {
   std::uint64_t threads_executed = 0;  ///< including inlets/outlets
   std::uint64_t app_threads_executed = 0;
   std::uint64_t updates_published = 0;
@@ -39,6 +46,7 @@ class Kernel {
   core::KernelId id_;
   Mailbox& mailbox_;
   TubGroup& tubs_;
+  TubGroup::PublishScratch scratch_;
   KernelStats stats_;
 };
 

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 
 #include "core/error.h"
@@ -44,9 +45,28 @@ RuntimeStats Runtime::run() {
   ran_ = true;
 
   SyncMemoryGroup sm(program_, options_.num_kernels);
-  TubGroup tubs(program_, sm, options_.tsu_groups, options_.tub_segments,
-                options_.tub_segment_capacity);
-  std::vector<Mailbox> mailboxes(options_.num_kernels);
+  TubGroup tubs(program_, sm,
+                TubGroupOptions{
+                    .num_groups = options_.tsu_groups,
+                    .lockfree = options_.lockfree,
+                    .num_lanes = options_.num_kernels,
+                    .lane_capacity = options_.tub_lane_capacity,
+                    .segments = options_.tub_segments,
+                    .segment_capacity = options_.tub_segment_capacity,
+                });
+  // Size each mailbox ring to the largest block (plus chaining slack:
+  // next block's inlet and the exit sentinel can be queued alongside),
+  // so the emulator's put() never blocks on a full ring in practice.
+  std::size_t peak_block = 0;
+  for (const core::Block& blk : program_.blocks()) {
+    peak_block = std::max(peak_block, blk.app_threads.size());
+  }
+  const std::size_t mailbox_capacity = std::max<std::size_t>(
+      64, peak_block + 4);
+  std::deque<Mailbox> mailboxes;
+  for (core::KernelId k = 0; k < options_.num_kernels; ++k) {
+    mailboxes.emplace_back(options_.lockfree, mailbox_capacity);
+  }
 
   std::vector<TsuEmulator> emulators;
   emulators.reserve(options_.tsu_groups);

@@ -25,7 +25,17 @@ namespace tflux::runtime {
 struct RuntimeOptions {
   std::uint16_t num_kernels = 1;
   core::PolicyKind policy = core::PolicyKind::kLocality;
+  /// Lock-free hot path (default): per-kernel SPSC TUB lanes + SPSC
+  /// ring mailboxes with spin-then-park waiting. false selects the
+  /// paper-faithful mutex/try-lock structures (the ablation baseline).
+  bool lockfree = true;
+  /// Lane capacity per kernel in lock-free mode (rounded up to a
+  /// power of two). A completion whose consumer list exceeds this is
+  /// chunked across several publishes (ddmlint's lane-capacity check
+  /// warns about such DThreads ahead of time).
+  std::uint32_t tub_lane_capacity = 256;
   /// TUB geometry (paper: segmented to keep try-lock contention low).
+  /// Used only when lockfree == false.
   std::uint32_t tub_segments = 8;
   std::uint32_t tub_segment_capacity = 256;
   /// Thread Indexing (TKT). Disable only for the ablation study.

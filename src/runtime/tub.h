@@ -2,10 +2,14 @@
 // Kernels publish TSU commands (consumer Ready Count updates, block
 // load/unload events) to the TSU Emulator.
 //
-// As in the paper (section 4.2), the TUB is partitioned into segments
-// and Kernels use try-lock to grab "the first available segment", so a
-// Kernel never blocks behind another Kernel's publish - only one
-// segment is locked by each kernel at any time point.
+// Two implementations share the TubQueue interface:
+//  - Tub (this header): the paper-faithful segmented try-lock buffer
+//    (section 4.2) - Kernels grab "the first available segment" and
+//    entries carry a global publish sequence so drains can restore
+//    publish order. Kept as the RuntimeOptions::lockfree=false
+//    ablation baseline.
+//  - LaneTub (lane_tub.h): per-kernel SPSC lanes - the lock-free hot
+//    path (no try-lock scan, no global sequence atomic).
 #pragma once
 
 #include <atomic>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "runtime/spsc_ring.h"
 
 namespace tflux::runtime {
 
@@ -33,16 +38,53 @@ struct TubEntry {
   friend bool operator==(const TubEntry&, const TubEntry&) = default;
 };
 
-/// Contention/occupancy statistics of the TUB.
+/// Contention/occupancy statistics of the TUB (snapshot; the live
+/// counters are per-producer and cache-line padded internally).
 struct TubStats {
   std::uint64_t publishes = 0;          ///< successful batch publishes
   std::uint64_t entries_published = 0;  ///< total entries written
   std::uint64_t trylock_failures = 0;   ///< segment skipped: lock held
-  std::uint64_t full_skips = 0;         ///< segment skipped: no space
+  std::uint64_t full_skips = 0;         ///< segment/lane skipped or
+                                        ///< stalled: no space
   std::uint64_t drains = 0;             ///< emulator drain sweeps
 };
 
-class Tub {
+/// The Kernel<->Emulator command-queue contract both TUB flavors
+/// implement. Publishes happen once per completed DThread (batched),
+/// drains once per emulator sweep, so the virtual dispatch is far off
+/// the per-entry hot path.
+class TubQueue {
+ public:
+  virtual ~TubQueue() = default;
+
+  /// Kernel side: publish a batch atomically. `hint` identifies the
+  /// publishing kernel (segment start hint / lane id). The batch must
+  /// fit in max_batch().
+  virtual void publish(std::span<const TubEntry> batch,
+                       std::uint32_t hint) = 0;
+
+  /// Emulator side: move all currently published entries into `out`
+  /// (appended), preserving per-producer publish order (see each
+  /// implementation for the cross-producer merge rule). Returns the
+  /// number drained.
+  virtual std::size_t drain(std::vector<TubEntry>& out) = 0;
+
+  /// Emulator side: wait until entries are (probably) available or
+  /// shutdown_wake was called. Returns immediately if entries exist.
+  virtual void wait_nonempty() = 0;
+
+  /// Wake any waiter (used at shutdown).
+  virtual void shutdown_wake() = 0;
+
+  /// Largest batch a single publish may carry.
+  virtual std::size_t max_batch() const = 0;
+
+  /// Snapshot of the counters (approximate under concurrency).
+  virtual TubStats stats() const = 0;
+};
+
+/// The paper's segmented try-lock TUB (ablation baseline).
+class Tub final : public TubQueue {
  public:
   /// `num_segments` independent try-lock segments, each able to hold
   /// `segment_capacity` entries between emulator drains.
@@ -55,7 +97,7 @@ class Tub {
   /// segments starting at `hint` (use the kernel id), try-locking each;
   /// spins across segments until one with space is acquired. The batch
   /// must fit in one segment (batch.size() <= segment_capacity).
-  void publish(std::span<const TubEntry> batch, std::uint32_t hint);
+  void publish(std::span<const TubEntry> batch, std::uint32_t hint) override;
 
   /// Emulator side: move all currently published entries into `out`
   /// (appended), in global publish order - entries are sequence-
@@ -63,22 +105,22 @@ class Tub {
   /// merely because it landed in a lower-numbered segment (that
   /// ordering matters once block loads and updates travel through the
   /// same TUB from different kernels). Returns the number drained.
-  std::size_t drain(std::vector<TubEntry>& out);
+  std::size_t drain(std::vector<TubEntry>& out) override;
 
   /// Emulator side: sleep until entries are (probably) available or
   /// `stop` becomes visible. Returns immediately if entries exist.
-  void wait_nonempty();
+  void wait_nonempty() override;
 
   /// Wake any waiter (used at shutdown).
-  void shutdown_wake();
+  void shutdown_wake() override;
 
   std::uint32_t num_segments() const {
     return static_cast<std::uint32_t>(segments_.size());
   }
   std::uint32_t segment_capacity() const { return segment_capacity_; }
+  std::size_t max_batch() const override { return segment_capacity_; }
 
-  /// Snapshot of the counters (approximate under concurrency).
-  TubStats stats() const;
+  TubStats stats() const override;
 
  private:
   struct Segment {
@@ -90,19 +132,22 @@ class Tub {
   std::uint32_t segment_capacity_;
   std::vector<Segment> segments_;
 
-  std::atomic<std::uint64_t> published_count_{0};  // grows on publish
-  std::atomic<std::uint64_t> drained_count_{0};    // grows on drain
-  std::atomic<std::uint64_t> publish_seq_{0};      // global entry order
+  // Each cross-thread-contended atomic gets its own cache line so a
+  // kernel bumping a stat cannot false-share with the emulator's
+  // progress checks (or with another kernel's stat).
+  alignas(kCacheLine) std::atomic<std::uint64_t> published_count_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> drained_count_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> publish_seq_{0};
 
   std::mutex wait_mutex_;
   std::condition_variable wait_cv_;
   std::atomic<bool> shutdown_{false};
 
-  std::atomic<std::uint64_t> publishes_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> publishes_{0};
   std::atomic<std::uint64_t> entries_published_{0};
-  std::atomic<std::uint64_t> trylock_failures_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> trylock_failures_{0};
   std::atomic<std::uint64_t> full_skips_{0};
-  std::atomic<std::uint64_t> drains_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> drains_{0};
 };
 
 }  // namespace tflux::runtime

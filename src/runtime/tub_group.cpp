@@ -7,32 +7,57 @@
 namespace tflux::runtime {
 
 TubGroup::TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
-                   std::uint16_t num_groups, std::uint32_t segments,
-                   std::uint32_t segment_capacity)
+                   TubGroupOptions options)
     : sm_(sm) {
   (void)program;
-  if (num_groups == 0) {
+  if (options.num_groups == 0) {
     throw core::TFluxError("TubGroup: num_groups must be >= 1");
   }
-  tubs_.reserve(num_groups);
-  for (std::uint16_t g = 0; g < num_groups; ++g) {
-    tubs_.push_back(std::make_unique<Tub>(segments, segment_capacity));
+  tubs_.reserve(options.num_groups);
+  for (std::uint16_t g = 0; g < options.num_groups; ++g) {
+    if (options.lockfree) {
+      tubs_.push_back(std::make_unique<LaneTub>(
+          std::max(options.num_lanes, 1u), options.lane_capacity));
+    } else {
+      tubs_.push_back(std::make_unique<Tub>(options.segments,
+                                            options.segment_capacity));
+    }
   }
 }
 
 std::size_t TubGroup::publish_updates(
-    const std::vector<core::ThreadId>& consumers, std::uint32_t hint) {
+    const std::vector<core::ThreadId>& consumers, std::uint32_t hint,
+    PublishScratch& scratch) {
   if (consumers.empty()) return 0;
-  // Sort consumers into per-group batches, then publish each batch in
-  // segment-capacity chunks.
-  std::vector<std::vector<TubEntry>> batches(num_groups());
+  scratch.per_group.resize(num_groups());
+
+  if (num_groups() == 1) {
+    // Fast path: one group means no routing - translate the consumer
+    // list once into the reused scratch batch and publish it whole.
+    std::vector<TubEntry>& batch = scratch.per_group[0];
+    batch.clear();
+    batch.reserve(consumers.size());
+    for (core::ThreadId consumer : consumers) {
+      batch.push_back(TubEntry{TubEntry::Kind::kUpdate, consumer});
+    }
+    const std::size_t cap = tubs_[0]->max_batch();
+    for (std::size_t i = 0; i < batch.size(); i += cap) {
+      const std::size_t n = std::min(cap, batch.size() - i);
+      tubs_[0]->publish({batch.data() + i, n}, hint);
+    }
+    return consumers.size();
+  }
+
+  // Sort consumers into per-group batches (reused buffers), then
+  // publish each batch in max_batch chunks.
+  for (auto& batch : scratch.per_group) batch.clear();
   for (core::ThreadId consumer : consumers) {
-    batches[group_of_thread(consumer)].push_back(
+    scratch.per_group[group_of_thread(consumer)].push_back(
         TubEntry{TubEntry::Kind::kUpdate, consumer});
   }
   for (std::uint16_t g = 0; g < num_groups(); ++g) {
-    const auto& batch = batches[g];
-    const std::size_t cap = tubs_[g]->segment_capacity();
+    const auto& batch = scratch.per_group[g];
+    const std::size_t cap = tubs_[g]->max_batch();
     for (std::size_t i = 0; i < batch.size(); i += cap) {
       const std::size_t n = std::min(cap, batch.size() - i);
       tubs_[g]->publish({batch.data() + i, n}, hint);

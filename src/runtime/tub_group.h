@@ -9,6 +9,11 @@
 // home kernel (a TKT lookup); block-load events broadcast to every
 // group (each initializes its own SM partition); outlet events go to
 // group 0, the block-chaining coordinator.
+//
+// Each group's TUB is either a LaneTub (per-kernel SPSC lanes, the
+// lock-free default) or a segmented try-lock Tub (the paper-faithful
+// RuntimeOptions::lockfree=false ablation baseline); routing is
+// identical either way.
 #pragma once
 
 #include <cstdint>
@@ -16,22 +21,51 @@
 #include <vector>
 
 #include "core/program.h"
+#include "runtime/lane_tub.h"
 #include "runtime/sync_memory.h"
 #include "runtime/tub.h"
 
 namespace tflux::runtime {
 
+struct TubGroupOptions {
+  std::uint16_t num_groups = 1;
+  /// LaneTub (true) vs segmented try-lock Tub (false).
+  bool lockfree = true;
+  /// Lock-free geometry: one lane per publishing kernel.
+  std::uint32_t num_lanes = 1;
+  std::uint32_t lane_capacity = 256;
+  /// Mutex geometry (paper: segmented to keep try-lock contention low).
+  std::uint32_t segments = 8;
+  std::uint32_t segment_capacity = 256;
+};
+
 class TubGroup {
  public:
+  /// Per-kernel scratch for batched publishes: reused across
+  /// post-processing calls so the hot path never allocates after the
+  /// first few DThreads.
+  struct PublishScratch {
+    std::vector<std::vector<TubEntry>> per_group;
+  };
+
   /// `sm` provides the TKT used for routing; it must outlive this.
   TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
+           TubGroupOptions options);
+
+  /// Legacy convenience (mutex-mode geometry), kept for tests.
+  TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
            std::uint16_t num_groups, std::uint32_t segments,
-           std::uint32_t segment_capacity);
+           std::uint32_t segment_capacity)
+      : TubGroup(program, sm,
+                 TubGroupOptions{.num_groups = num_groups,
+                                 .lockfree = false,
+                                 .segments = segments,
+                                 .segment_capacity = segment_capacity}) {}
 
   std::uint16_t num_groups() const {
     return static_cast<std::uint16_t>(tubs_.size());
   }
-  Tub& tub(std::uint16_t group) { return *tubs_[group]; }
+  TubQueue& tub(std::uint16_t group) { return *tubs_[group]; }
 
   /// Group owning a kernel's Synchronization Memory.
   std::uint16_t group_of_kernel(core::KernelId k) const {
@@ -49,11 +83,19 @@ class TubGroup {
   }
 
   /// Kernel side: route a completed DThread's whole consumer list,
-  /// batched per owning group (one TUB publish per group per
-  /// segment-capacity chunk - the batch form the paper's Local TSU
-  /// uses). Returns the number of updates published.
+  /// batched per owning group - one publish per group carries every
+  /// update of the completion (chunked only if a batch exceeds the
+  /// TUB's max_batch). `scratch` is the calling kernel's reusable
+  /// buffer. Returns the number of updates published.
   std::size_t publish_updates(const std::vector<core::ThreadId>& consumers,
-                              std::uint32_t hint);
+                              std::uint32_t hint, PublishScratch& scratch);
+
+  /// Allocating convenience overload (tests / one-off callers).
+  std::size_t publish_updates(const std::vector<core::ThreadId>& consumers,
+                              std::uint32_t hint) {
+    PublishScratch scratch;
+    return publish_updates(consumers, hint, scratch);
+  }
 
   /// Kernel side: an Inlet finished - every group loads its partition.
   void publish_load_block(core::BlockId block, std::uint32_t hint) {
@@ -80,7 +122,7 @@ class TubGroup {
 
  private:
   const SyncMemoryGroup& sm_;
-  std::vector<std::unique_ptr<Tub>> tubs_;
+  std::vector<std::unique_ptr<TubQueue>> tubs_;
 };
 
 }  // namespace tflux::runtime

@@ -118,6 +118,10 @@ std::string usage() {
       "  --tsu-groups=N                       TSU Groups, hard targets "
       "(default 1)\n"
       "  --policy=fifo|locality               ready-thread policy\n"
+      "  --mutex-runtime                      soft platform: use the "
+      "paper-faithful\n"
+      "                                       mutex/try-lock runtime "
+      "(ablation)\n"
       "  --no-validate                        skip result validation\n"
       "  --no-baseline                        skip the sequential "
       "baseline\n"
@@ -168,6 +172,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       }
     } else if (arg.rfind("--policy=", 0) == 0) {
       options.policy = parse_policy(value_of("--policy="));
+    } else if (arg == "--mutex-runtime") {
+      options.lockfree = false;
     } else if (arg == "--no-validate") {
       options.validate = false;
     } else if (arg == "--no-baseline") {
@@ -235,6 +241,10 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     core::VerifyOptions verify_options;
     verify_options.tsu_capacity = options.tsu_capacity;
     verify_options.num_kernels = options.kernels;
+    if (options.platform == CliPlatform::kSoft && options.lockfree) {
+      verify_options.tub_lane_capacity =
+          runtime::RuntimeOptions{}.tub_lane_capacity;
+    }
     const core::VerifyReport report =
         core::verify(run.program, verify_options);
     for (const core::Diagnostic& d : report.diagnostics) {
@@ -281,9 +291,11 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       runtime::RuntimeOptions rt_options;
       rt_options.num_kernels = options.kernels;
       rt_options.policy = options.policy;
+      rt_options.lockfree = options.lockfree;
       runtime::Runtime rt(run.program, rt_options);
       const runtime::RuntimeStats st = rt.run();
-      out << "  wall time " << st.wall_seconds * 1e3 << " ms, "
+      out << "  " << (options.lockfree ? "lock-free" : "mutex")
+          << " hot path: wall time " << st.wall_seconds * 1e3 << " ms, "
           << st.emulator.updates_processed << " Ready Count updates, "
           << st.tub.entries_published << " TUB entries\n";
       break;

@@ -35,6 +35,9 @@ struct CliOptions {
   std::uint32_t tsu_capacity = 512;
   std::uint16_t tsu_groups = 1;
   core::PolicyKind policy = core::PolicyKind::kLocality;
+  /// Native runtime (--platform=soft): lock-free hot path (default) vs
+  /// the paper-faithful mutex/try-lock structures (--mutex-runtime).
+  bool lockfree = true;
   bool validate = true;
   bool baseline = true;        ///< also simulate the sequential baseline
   /// Run the ddmlint static verifier on the program before executing;

@@ -61,6 +61,10 @@ std::string lint_usage() {
       "(default 4)\n"
       "  --tsu-capacity=N                     target TSU capacity "
       "(default 512)\n"
+      "  --lane-capacity=N                    lock-free TUB lane "
+      "capacity for the\n"
+      "                                       lane-capacity-stall check "
+      "(0 = off)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --quiet                              summaries only\n"
@@ -99,6 +103,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--tsu-capacity=", 0) == 0) {
       options.tsu_capacity = static_cast<std::uint32_t>(
           parse_uint("--tsu-capacity", value_of("--tsu-capacity=")));
+    } else if (arg.rfind("--lane-capacity=", 0) == 0) {
+      options.tub_lane_capacity = static_cast<std::uint32_t>(
+          parse_uint("--lane-capacity", value_of("--lane-capacity=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--quiet") {
@@ -117,6 +124,7 @@ core::VerifyReport lint_program(const core::Program& program,
   core::VerifyOptions verify_options;
   verify_options.tsu_capacity = options.tsu_capacity;
   verify_options.num_kernels = options.kernels;
+  verify_options.tub_lane_capacity = options.tub_lane_capacity;
   const core::VerifyReport report = core::verify(program, verify_options);
   if (!options.quiet) {
     for (const core::Diagnostic& d : report.diagnostics) {

@@ -26,6 +26,9 @@ struct LintOptions {
   std::uint16_t kernels = 4;
   std::uint32_t unroll = 4;
   std::uint32_t tsu_capacity = 512;
+  /// Lock-free TUB lane capacity for the lane-capacity-stall check
+  /// (0 disables; the native runtime default is 256).
+  std::uint32_t tub_lane_capacity = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Print only the per-program summary lines, not each diagnostic.

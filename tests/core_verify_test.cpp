@@ -377,6 +377,33 @@ TEST(VerifyTest, BlockExceedingTsuCapacityIsAnError) {
   EXPECT_TRUE(verify(program, options).clean());
 }
 
+TEST(VerifyTest, FanOutBeyondLaneCapacityIsWarned) {
+  // source -> 6 consumers: publishing the source's completion in the
+  // lock-free runtime needs 6 lane slots; a 4-entry lane forces a
+  // chunked, possibly-stalling publish.
+  ProgramBuilder builder("fanout");
+  const BlockId blk = builder.add_block();
+  const ThreadId source = builder.add_thread(blk, "source", {});
+  for (int i = 0; i < 6; ++i) {
+    builder.add_arc(source, builder.add_thread(blk, "w", {}));
+  }
+  const Program program = builder.build();
+
+  VerifyOptions options;
+  options.tub_lane_capacity = 4;
+  const VerifyReport report = verify(program, options);
+  const auto found = with_code(report, Diag::kLaneCapacityStall);
+  ASSERT_EQ(found.size(), 1u) << report.to_string(program);
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_EQ(found[0]->thread, source);
+  EXPECT_FALSE(report.has_errors());
+
+  options.tub_lane_capacity = 6;
+  EXPECT_TRUE(verify(program, options).clean());
+  options.tub_lane_capacity = 0;  // disabled
+  EXPECT_TRUE(verify(program, options).clean());
+}
+
 TEST(VerifyTest, HomeKernelOutOfRangeIsAnError) {
   ProgramBuilder builder("pinned");
   const BlockId blk = builder.add_block();

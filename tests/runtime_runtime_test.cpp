@@ -245,19 +245,21 @@ TEST(RuntimeTest, StatsAreInternallyConsistent) {
 
 // ---------------------------------------------------------------------------
 // Property sweep: the native runtime upholds the DDM contract for
-// random graphs across kernel counts, policies, TUB geometries.
+// random graphs across kernel counts, policies, and both hot paths
+// (tub_mode 0 = lock-free lanes; otherwise the mutex TUB with that
+// many try-lock segments).
 // ---------------------------------------------------------------------------
 
 using SweepParam =
     std::tuple<std::uint32_t /*seed*/, std::uint16_t /*kernels*/,
                std::uint16_t /*blocks*/, PolicyKind,
-               std::uint32_t /*tub_segments*/, bool /*tkt*/,
+               std::uint32_t /*tub_mode*/, bool /*tkt*/,
                std::uint16_t /*tsu_groups*/>;
 
 class RuntimePropertyTest : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(RuntimePropertyTest, DdmContractHolds) {
-  const auto [seed, kernels, blocks, policy, segments, tkt, groups] =
+  const auto [seed, kernels, blocks, policy, tub_mode, tkt, groups] =
       GetParam();
   if (groups > kernels) GTEST_SKIP() << "groups must be <= kernels";
   tflux::testing::RandomGraphSpec spec;
@@ -271,7 +273,8 @@ TEST_P(RuntimePropertyTest, DdmContractHolds) {
   RuntimeOptions options;
   options.num_kernels = kernels;
   options.policy = policy;
-  options.tub_segments = segments;
+  options.lockfree = tub_mode == 0;
+  if (tub_mode != 0) options.tub_segments = tub_mode;
   options.thread_indexing = tkt;
   options.tsu_groups = groups;
   const RuntimeStats st = Runtime(rp.program, options).run();
@@ -290,7 +293,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::uint16_t>(1, 4),
                        ::testing::Values(PolicyKind::kFifo,
                                          PolicyKind::kLocality),
-                       ::testing::Values(1u, 8u),
+                       ::testing::Values(0u, 1u, 8u),
                        ::testing::Values(true, false),
                        ::testing::Values<std::uint16_t>(1, 2)));
 

@@ -19,9 +19,14 @@ TEST(CliParseTest, Defaults) {
   EXPECT_EQ(o.size, apps::SizeClass::kSmall);
   EXPECT_EQ(o.platform, CliPlatform::kHard);
   EXPECT_EQ(o.kernels, 4u);
+  EXPECT_TRUE(o.lockfree);
   EXPECT_TRUE(o.validate);
   EXPECT_TRUE(o.baseline);
   EXPECT_FALSE(o.help);
+}
+
+TEST(CliParseTest, MutexRuntimeFlagSelectsAblationPath) {
+  EXPECT_FALSE(parse_args({"--mutex-runtime"}).lockfree);
 }
 
 TEST(CliParseTest, AllFlags) {
