@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Produce the repo's machine-readable benchmark artifacts.
 #
-# Default (fast) mode writes the two tracked files at the repo root:
+# Default (fast) mode writes the tracked files at the repo root:
 #   BENCH_micro_runtime.json - runtime-primitive microbenches, both
 #                              hot paths (lockfree vs mutex)
 #   BENCH_fig6.json          - the Figure 6 TFluxSoft speedup sweep
+#   BENCH_blocks.json        - block-transition pipeline ablation
+#                              (pipelined vs synchronous SM reload)
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
@@ -32,6 +34,9 @@ echo "== micro_runtime -> $OUT_DIR/BENCH_micro_runtime.json"
 
 echo "== fig6_tfluxsoft -> $OUT_DIR/BENCH_fig6.json"
 "$BENCH_DIR/fig6_tfluxsoft" --json "$OUT_DIR/BENCH_fig6.json"
+
+echo "== ablation_blocks -> $OUT_DIR/BENCH_blocks.json"
+"$BENCH_DIR/ablation_blocks" --json "$OUT_DIR/BENCH_blocks.json"
 
 if [ "${FULL:-0}" = "1" ]; then
   echo "== ablation_tub_tkt -> $OUT_DIR/BENCH_ablation_tub_tkt.json"

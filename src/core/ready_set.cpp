@@ -10,6 +10,8 @@ const char* to_string(PolicyKind kind) {
       return "fifo";
     case PolicyKind::kLocality:
       return "locality";
+    case PolicyKind::kAdaptive:
+      return "adaptive";
   }
   return "?";
 }

@@ -17,6 +17,13 @@ namespace tflux::core {
 enum class PolicyKind : std::uint8_t {
   kFifo,      ///< single global FIFO, ignores locality
   kLocality,  ///< per-kernel queues keyed by home kernel; steal on empty
+  /// Occupancy-aware locality: keep a DThread on its home kernel while
+  /// that kernel's backlog stays below a threshold, otherwise give it
+  /// to the least-loaded kernel. In the single-threaded TSUs (ReadySet)
+  /// this degenerates to kLocality - a requester pulling its own queue
+  /// first *is* backlog-driven routing; the native runtime's TSU
+  /// Emulator implements the real mailbox-depth probe.
+  kAdaptive,
 };
 
 const char* to_string(PolicyKind kind);

@@ -55,6 +55,8 @@ const char* to_string(Diag code) {
       return "home-kernel-unassigned";
     case Diag::kLaneCapacityStall:
       return "lane-capacity-stall";
+    case Diag::kStallProneBlock:
+      return "stall-prone-block";
   }
   return "?";
 }
@@ -352,6 +354,25 @@ void check_capacity_and_kernels(const Program& program,
                       " TSU slots (incl. Inlet/Outlet) but the target "
                       "TSU holds " + std::to_string(options.tsu_capacity) +
                       "; split the program into more DDM Blocks");
+      }
+    }
+  }
+  if (options.min_block_threads != 0 && program.num_blocks() > 1) {
+    // Every block but the last feeds a transition the block pipeline
+    // wants to hide; a too-small block drains before the prefetch of
+    // the next one can overlap anything.
+    for (const Block& blk : program.blocks()) {
+      if (blk.id + 1u >= program.num_blocks()) continue;
+      if (blk.app_threads.size() < options.min_block_threads) {
+        out.warn(Diag::kStallProneBlock, kInvalidThread, blk.id,
+                 "block " + std::to_string(blk.id) + " has only " +
+                     std::to_string(blk.app_threads.size()) +
+                     " application DThread(s), fewer than the stall-"
+                     "prone threshold " +
+                     std::to_string(options.min_block_threads) +
+                     " (num_kernels x 2); it cannot keep the kernels "
+                     "busy across its block transition - merge blocks "
+                     "or raise the TSU capacity");
       }
     }
   }

@@ -59,6 +59,7 @@ enum class Diag : std::uint8_t {
   kHomeKernelOutOfRange,  ///< home kernel >= target kernel count
   kHomeKernelUnassigned,  ///< built program left a thread unpinned
   kLaneCapacityStall,     ///< out-degree exceeds a TUB lane's capacity
+  kStallProneBlock,       ///< block too small to cover a transition
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -90,6 +91,14 @@ struct VerifyOptions {
   /// in one batch - the runtime must chunk and may stall the kernel
   /// mid-publish until the emulator drains. 0 disables.
   std::uint32_t tub_lane_capacity = 0;
+  /// Minimum application-DThread count per DDM Block for the
+  /// stall-prone-block check (0 disables). The native runtime's block
+  /// pipeline prefetches the next block's Ready Counts while the
+  /// current block drains; a block with fewer DThreads than
+  /// num_kernels x 2 cannot keep every kernel busy across the
+  /// transition, so its boundary degrades toward a synchronous stall.
+  /// The last block is exempt (no following transition to cover).
+  std::uint32_t min_block_threads = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -1,5 +1,6 @@
 #include "runtime/emulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "core/error.h"
@@ -30,41 +31,172 @@ TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
         "TsuEmulator: group " + std::to_string(options_.group) +
         " owns no kernels (more TSU groups than kernels)");
   }
+  low_water_ = options_.prefetch_low_water != 0
+                   ? options_.prefetch_low_water
+                   : static_cast<std::uint32_t>(2 * my_kernels_.size());
 }
 
 void TsuEmulator::dispatch(core::ThreadId tid) {
   ++stats_.dispatches;
   // The consumer's home kernel belongs to this group by construction
   // (the TubGroup routed the update here via the TKT).
-  core::KernelId home = sm_.tkt(tid).kernel;
+  const core::KernelId home = sm_.tkt(tid).kernel;
   assert(owns_kernel(home));
 
   core::KernelId target = home;
-  if (options_.policy == core::PolicyKind::kLocality) {
-    // Prefer the home kernel if it is hungry; otherwise any hungry
-    // kernel of this group; otherwise queue at home.
-    if (!mailboxes_[home].probably_empty()) {
-      for (core::KernelId k : my_kernels_) {
-        if (k != home && mailboxes_[k].probably_empty()) {
-          target = k;
-          break;
+  switch (options_.policy) {
+    case core::PolicyKind::kLocality:
+      // Prefer the home kernel if it is hungry; otherwise any hungry
+      // kernel of this group; otherwise queue at home.
+      if (!mailboxes_[home].probably_empty()) {
+        for (core::KernelId k : my_kernels_) {
+          if (k != home && mailboxes_[k].probably_empty()) {
+            target = k;
+            break;
+          }
         }
       }
-    }
-  } else {
-    // FIFO: round-robin over the group's kernels.
-    target = my_kernels_[rr_next_];
-    rr_next_ = (rr_next_ + 1) % my_kernels_.size();
+      break;
+    case core::PolicyKind::kAdaptive:
+      // Keep spatial locality while the home backlog is shallow;
+      // beyond the threshold, hand the DThread to the least-loaded
+      // owned kernel (relaxed occupancy reads - a heuristic, so a
+      // stale depth only costs placement, never correctness).
+      if (mailboxes_[home].size() > options_.adaptive_backlog) {
+        std::size_t best = mailboxes_[home].size();
+        for (core::KernelId k : my_kernels_) {
+          const std::size_t depth = mailboxes_[k].size();
+          if (depth < best) {
+            best = depth;
+            target = k;
+          }
+        }
+      }
+      break;
+    case core::PolicyKind::kFifo:
+      // Round-robin over the group's kernels.
+      target = my_kernels_[rr_next_];
+      rr_next_ = (rr_next_ + 1) % my_kernels_.size();
+      break;
   }
-  if (target == home) ++stats_.home_dispatches;
+  if (target == home) {
+    ++stats_.home_dispatches;
+  } else if (options_.policy != core::PolicyKind::kFifo) {
+    ++stats_.steal_dispatches;
+  }
   mailboxes_[target].put(tid);
+
+  if (program_.thread(tid).block == my_block_ &&
+      partition_outstanding_ > 0) {
+    --partition_outstanding_;
+    maybe_prefetch();
+  }
+}
+
+void TsuEmulator::maybe_prefetch() {
+  if (!options_.block_pipeline || my_block_ == core::kInvalidBlock) return;
+  const auto next = static_cast<core::BlockId>(my_block_ + 1);
+  if (next >= program_.num_blocks()) return;
+  if (sm_.shadow_block(options_.group) == next) return;  // already staged
+  if (partition_outstanding_ > low_water_) return;
+  sm_.preload_shadow(next, options_.group, options_.num_groups);
+}
+
+bool TsuEmulator::handle_update(const TubEntry& entry) {
+  const auto tid = static_cast<core::ThreadId>(entry.id);
+  const core::BlockId block = program_.thread(tid).block;
+  if (block == my_block_) {
+    ++stats_.updates_processed;
+    if (sm_.decrement(tid, options_.thread_indexing,
+                      &stats_.sm_search_steps)) {
+      dispatch(tid);
+    }
+    return true;
+  }
+  if (options_.block_pipeline) {
+    // An update can only race one block ahead of this group: a DThread
+    // of block b+1 is dispatchable only after OutletDone(b), i.e.
+    // after every group (this one included) finished block b's
+    // updates. Apply it to the shadow generation, staging it first if
+    // the low-water prefetch has not fired yet.
+    const auto next = my_block_ == core::kInvalidBlock
+                          ? static_cast<core::BlockId>(0)
+                          : static_cast<core::BlockId>(my_block_ + 1);
+    if (block == next && next < program_.num_blocks()) {
+      if (sm_.shadow_block(options_.group) != next) {
+        sm_.preload_shadow(next, options_.group, options_.num_groups);
+      }
+      ++stats_.updates_processed;
+      if (sm_.decrement_shadow(tid, options_.thread_indexing,
+                               &stats_.sm_search_steps)) {
+        dispatch(tid);
+        ++shadow_predispatched_;
+      }
+      return true;
+    }
+  }
+  // Raced ahead of a block this group cannot account yet (only
+  // possible with several TSU groups); defer until activation.
+  deferred_updates_.push_back(entry);
+  return false;
+}
+
+void TsuEmulator::activate_block(core::BlockId block, bool dispatch_inlet) {
+  const core::Block& blk = program_.block(block);
+  if (options_.block_pipeline) {
+    if (sm_.shadow_block(options_.group) == block) {
+      ++stats_.prefetch_hits;
+    } else {
+      ++stats_.prefetch_misses;
+      sm_.preload_shadow(block, options_.group, options_.num_groups);
+    }
+    sm_.promote_shadow(options_.group, options_.num_groups);
+  } else {
+    sm_.load_block_partition(block, options_.group, options_.num_groups);
+  }
+  my_block_ = block;
+  ++stats_.blocks_loaded;
+  partition_outstanding_ =
+      sm_.partition_slots(block, options_.group, options_.num_groups);
+  // DThreads already delivered through the shadow path are not
+  // outstanding anymore.
+  partition_outstanding_ -=
+      std::min(partition_outstanding_, shadow_predispatched_);
+  shadow_predispatched_ = 0;
+
+  if (dispatch_inlet) dispatch(blk.inlet);
+  for (core::ThreadId tid : blk.app_threads) {
+    if (program_.thread(tid).ready_count_init == 0 &&
+        owns_kernel(sm_.tkt(tid).kernel)) {
+      dispatch(tid);
+    }
+  }
+  // Replay updates that arrived ahead of this activation.
+  std::vector<TubEntry> pending;
+  pending.swap(deferred_updates_);
+  for (const TubEntry& u : pending) {
+    if (handle_update(u)) ++stats_.deferred_replays;
+  }
+  maybe_prefetch();
 }
 
 void TsuEmulator::run() {
+  if (options_.block_pipeline) {
+    // Stage block 0 before anything executes, so the coordinator's
+    // activation (and every other group's first LoadBlock) is a hit.
+    sm_.preload_shadow(0, options_.group, options_.num_groups);
+  }
   if (options_.group == 0) {
-    // Arm the program: the first block's Inlet (homed on kernel 0,
-    // which group 0 always owns).
-    dispatch(program_.block(0).inlet);
+    if (options_.block_pipeline) {
+      // Arm the program: activate block 0 and dispatch its first wave
+      // together with the Inlet (which now only does accounting - its
+      // SM load became the flip above).
+      activate_block(0, /*dispatch_inlet=*/true);
+    } else {
+      // Arm the program: the first block's Inlet (homed on kernel 0,
+      // which group 0 always owns).
+      dispatch(program_.block(0).inlet);
+    }
   }
 
   std::vector<TubEntry> buf;
@@ -76,56 +208,31 @@ void TsuEmulator::run() {
     for (const TubEntry& e : buf) {
       switch (e.kind) {
         case TubEntry::Kind::kLoadBlock: {
-          const core::Block& blk =
-              program_.block(static_cast<core::BlockId>(e.id));
-          sm_.load_block_partition(blk.id, options_.group,
-                                   options_.num_groups);
-          my_block_ = blk.id;
-          ++stats_.blocks_loaded;
-          for (core::ThreadId tid : blk.app_threads) {
-            if (program_.thread(tid).ready_count_init == 0 &&
-                owns_kernel(sm_.tkt(tid).kernel)) {
-              dispatch(tid);
-            }
-          }
-          // Replay updates that arrived ahead of this load.
-          std::vector<TubEntry> pending;
-          pending.swap(deferred_updates_);
-          for (const TubEntry& u : pending) {
-            const auto tid = static_cast<core::ThreadId>(u.id);
-            if (program_.thread(tid).block != my_block_) {
-              deferred_updates_.push_back(u);
-              continue;
-            }
-            ++stats_.updates_processed;
-            if (sm_.decrement(tid, options_.thread_indexing,
-                              &stats_.sm_search_steps)) {
-              dispatch(tid);
-            }
-          }
+          const auto block = static_cast<core::BlockId>(e.id);
+          // In pipelined mode the coordinator activated this block at
+          // OutletDone already; its own Inlet broadcast is a no-op.
+          if (options_.block_pipeline && my_block_ == block) break;
+          activate_block(block, /*dispatch_inlet=*/false);
           break;
         }
         case TubEntry::Kind::kUpdate: {
-          const auto tid = static_cast<core::ThreadId>(e.id);
-          if (program_.thread(tid).block != my_block_) {
-            // Raced ahead of our LoadBlock broadcast (only possible
-            // with several TSU groups); defer until the load arrives.
-            deferred_updates_.push_back(e);
-            break;
-          }
-          ++stats_.updates_processed;
-          const bool ready = sm_.decrement(tid, options_.thread_indexing,
-                                           &stats_.sm_search_steps);
-          if (ready) dispatch(tid);
+          handle_update(e);
           break;
         }
         case TubEntry::Kind::kOutletDone: {
           // Routed to group 0 only (the block-chaining coordinator).
           assert(options_.group == 0);
           const auto block = static_cast<core::BlockId>(e.id);
-          const core::BlockId next = static_cast<core::BlockId>(block + 1);
+          const auto next = static_cast<core::BlockId>(block + 1);
           if (next < program_.num_blocks()) {
-            dispatch(program_.block(next).inlet);
+            if (options_.block_pipeline) {
+              // Coordinator fast path: flip to the (pre)staged next
+              // block and push its first wave right now, instead of
+              // waiting a full kernel round trip for the Inlet.
+              activate_block(next, /*dispatch_inlet=*/true);
+            } else {
+              dispatch(program_.block(next).inlet);
+            }
           } else {
             // Program finished: every emulator (including this one)
             // receives the shutdown through its TUB.

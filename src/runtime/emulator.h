@@ -10,6 +10,20 @@
 // with G groups, emulator g owns kernels k where k % G == g; the
 // Kernel-side TubGroup routes each command to the owning emulator's
 // TUB, and emulator 0 coordinates block chaining and shutdown.
+//
+// Block pipeline (Options::block_pipeline, default on): instead of a
+// synchronous SyncMemoryGroup reload at every block boundary, the
+// emulator stages the next block's Ready Counts in the shadow SM
+// generation once the current block's outstanding-dispatch count falls
+// below a low-water mark, applies cross-block updates that race ahead
+// of the flip directly to that shadow, and activates the next block
+// with a single generation flip. The coordinator flips at OutletDone -
+// before the next Inlet has even been scheduled - so the first wave of
+// the next block reaches the mailboxes without waiting for a kernel
+// round trip. The Inlet still executes (accounting parity with the
+// paper's protocol); only its SM-load work has moved off the critical
+// path. The synchronous reload path stays selectable as the ablation
+// baseline, mirroring the lockfree / --mutex-runtime pattern.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +49,19 @@ struct alignas(kCacheLine) EmulatorStats {
   std::uint64_t blocks_loaded = 0;      ///< partition loads by this one
   std::uint64_t sm_search_steps = 0;  ///< slots scanned without TKT
   std::uint64_t drain_sweeps = 0;
+  /// Block activations whose shadow generation was already staged when
+  /// the flip happened (the pipeline hid the whole SM load).
+  std::uint64_t prefetch_hits = 0;
+  /// Activations that had to load the shadow synchronously (flip
+  /// happened before the low-water prefetch fired). hits + misses ==
+  /// blocks_loaded in pipelined mode; both stay 0 in synchronous mode.
+  std::uint64_t prefetch_misses = 0;
+  /// Updates applied from the deferred queue (raced ahead of a block
+  /// neither current nor next; rare once the shadow path exists).
+  std::uint64_t deferred_replays = 0;
+  /// Dispatches routed away from the home kernel by the kLocality /
+  /// kAdaptive policies (kFifo round-robin is not counted).
+  std::uint64_t steal_dispatches = 0;
 
   EmulatorStats& operator+=(const EmulatorStats& other) {
     updates_processed += other.updates_processed;
@@ -43,6 +70,10 @@ struct alignas(kCacheLine) EmulatorStats {
     blocks_loaded += other.blocks_loaded;
     sm_search_steps += other.sm_search_steps;
     drain_sweeps += other.drain_sweeps;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_misses += other.prefetch_misses;
+    deferred_replays += other.deferred_replays;
+    steal_dispatches += other.steal_dispatches;
     return *this;
   }
 };
@@ -58,6 +89,16 @@ class TsuEmulator {
     /// This emulator's TSU Group and the total group count.
     std::uint16_t group = 0;
     std::uint16_t num_groups = 1;
+    /// Pipelined block transitions (shadow-generation preload + flip).
+    /// Off = synchronous SM reload at every boundary (ablation).
+    bool block_pipeline = true;
+    /// Outstanding-dispatch low-water mark that triggers the shadow
+    /// preload of the next block. 0 = auto (2 x owned kernels).
+    std::uint32_t prefetch_low_water = 0;
+    /// kAdaptive only: keep a DThread on its home kernel while that
+    /// mailbox holds at most this many undelivered DThreads; beyond
+    /// it, route to the shallowest owned mailbox.
+    std::uint32_t adaptive_backlog = 2;
   };
 
   /// `sm` is shared between emulators (slot ownership is disjoint);
@@ -67,9 +108,9 @@ class TsuEmulator {
               SyncMemoryGroup& sm, std::deque<Mailbox>& mailboxes,
               Options options);
 
-  /// Thread main. Emulator 0 arms the program (dispatches block 0's
-  /// Inlet); every emulator processes its TUB until the shutdown
-  /// broadcast, then releases its kernels and returns.
+  /// Thread main. Emulator 0 arms the program (activates block 0 /
+  /// dispatches its Inlet); every emulator processes its TUB until the
+  /// shutdown broadcast, then releases its kernels and returns.
   void run();
 
   const EmulatorStats& stats() const { return stats_; }
@@ -80,6 +121,19 @@ class TsuEmulator {
     return k % options_.num_groups == options_.group;
   }
   void dispatch(core::ThreadId tid);
+  /// Make `block` the group's current block: flip the (pre)loaded
+  /// shadow generation in (or reload synchronously in the ablation
+  /// baseline), reset the outstanding count, optionally dispatch the
+  /// block's Inlet (coordinator fast path), dispatch the zero-Ready-
+  /// Count first wave, and replay any applicable deferred updates.
+  void activate_block(core::BlockId block, bool dispatch_inlet);
+  /// Apply one kUpdate: to the current generation, to the shadow
+  /// (pipelined cross-block update), or defer it. Returns true when
+  /// the update was applied.
+  bool handle_update(const TubEntry& entry);
+  /// Stage the next block's partition in the shadow generation once
+  /// the current block is nearly drained.
+  void maybe_prefetch();
 
   const core::Program& program_;
   TubGroup& tubs_;
@@ -90,12 +144,19 @@ class TsuEmulator {
   std::vector<core::KernelId> my_kernels_;
   EmulatorStats stats_;
   std::size_t rr_next_ = 0;  // round-robin cursor for kFifo routing
-  /// Block this group has loaded its SM partition for.
+  /// Block this group has activated (current SM generation).
   core::BlockId my_block_ = core::kInvalidBlock;
-  /// Updates that raced ahead of their block's LoadBlock broadcast:
-  /// with several groups, a fast group can dispatch a next-block
-  /// DThread whose completion update reaches this group before this
-  /// group drains its own LoadBlock. Deferred until the load arrives.
+  /// Partition slots of my_block_ not yet dispatched; reaching
+  /// low_water_ triggers the shadow preload of the next block.
+  std::size_t partition_outstanding_ = 0;
+  /// Next-block DThreads already dispatched through the shadow path
+  /// (subtracted from partition_outstanding_ at activation).
+  std::size_t shadow_predispatched_ = 0;
+  std::uint32_t low_water_ = 0;  ///< resolved prefetch_low_water
+  /// Updates that raced ahead of a block neither current nor next
+  /// (only possible with several TSU groups, and rare even then now
+  /// that next-block updates go straight to the shadow generation).
+  /// Replayed at the next activation.
   std::vector<TubEntry> deferred_updates_;
 };
 

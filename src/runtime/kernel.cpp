@@ -1,5 +1,6 @@
 #include "runtime/kernel.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace tflux::runtime {
@@ -30,6 +31,9 @@ void Kernel::run() {
   for (;;) {
     const core::ThreadId tid = mailbox_.take();
     if (tid == core::kInvalidThread) break;  // exit sentinel
+    stats_.mailbox_backlog_peak =
+        std::max<std::uint64_t>(stats_.mailbox_backlog_peak,
+                                mailbox_.size() + 1);
     const core::DThread& t = program_.thread(tid);
     if (t.body) {
       t.body(core::ExecContext{id_, tid});

@@ -25,6 +25,9 @@ struct alignas(kCacheLine) KernelStats {
   std::uint64_t threads_executed = 0;  ///< including inlets/outlets
   std::uint64_t app_threads_executed = 0;
   std::uint64_t updates_published = 0;
+  /// Deepest mailbox backlog observed on take() (the DThread taken
+  /// included) - what the kAdaptive dispatch policy tries to flatten.
+  std::uint64_t mailbox_backlog_peak = 0;
 };
 
 class Kernel {

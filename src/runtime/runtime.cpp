@@ -73,8 +73,15 @@ RuntimeStats Runtime::run() {
   for (std::uint16_t g = 0; g < options_.tsu_groups; ++g) {
     emulators.emplace_back(
         program_, tubs, sm, mailboxes,
-        TsuEmulator::Options{options_.thread_indexing, options_.policy, g,
-                             options_.tsu_groups});
+        TsuEmulator::Options{
+            .thread_indexing = options_.thread_indexing,
+            .policy = options_.policy,
+            .group = g,
+            .num_groups = options_.tsu_groups,
+            .block_pipeline = options_.block_pipeline,
+            .prefetch_low_water = options_.prefetch_low_water,
+            .adaptive_backlog = options_.adaptive_backlog,
+        });
   }
 
   std::vector<Kernel> kernels;

@@ -50,6 +50,17 @@ struct RuntimeOptions {
   /// Groups extension, software flavor). Emulator g owns kernels k
   /// with k % tsu_groups == g; must be <= num_kernels.
   std::uint16_t tsu_groups = 1;
+  /// Pipelined block transitions (default): each emulator pre-stages
+  /// the next block's Ready Counts in the shadow SM generation and
+  /// activates it with a flip at the Outlet. false selects the
+  /// synchronous per-boundary reload (the ablation baseline).
+  bool block_pipeline = true;
+  /// Outstanding-dispatch low-water mark triggering the shadow
+  /// preload. 0 = auto (2 x kernels owned by the group).
+  std::uint32_t prefetch_low_water = 0;
+  /// kAdaptive policy only: home-kernel mailbox depth tolerated
+  /// before a ready DThread is routed to the shallowest mailbox.
+  std::uint32_t adaptive_backlog = 2;
 };
 
 struct RuntimeStats {

@@ -34,10 +34,15 @@ SyncMemoryGroup::SyncMemoryGroup(const core::Program& program,
           max_slots[k], static_cast<std::uint32_t>(per_kernel[k].size()));
     }
   }
-  sm_.resize(num_kernels);
-  for (std::uint16_t k = 0; k < num_kernels; ++k) {
-    sm_[k].assign(max_slots[k], 0);
+  for (auto& generation : sm_) {
+    generation.resize(num_kernels);
+    for (std::uint16_t k = 0; k < num_kernels; ++k) {
+      generation[k].assign(max_slots[k], 0);
+    }
   }
+  cur_gen_.assign(num_kernels, 0);
+  gen_block_.assign(num_kernels,
+                    {core::kInvalidBlock, core::kInvalidBlock});
 }
 
 void SyncMemoryGroup::load_block(core::BlockId block) {
@@ -57,48 +62,107 @@ void SyncMemoryGroup::load_block_partition(core::BlockId block,
   const auto& per_kernel = block_threads_[block];
   for (std::size_t k = group; k < per_kernel.size();
        k += static_cast<std::size_t>(groups)) {
+    auto& counts = sm_[cur_gen_[k]][k];
     for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
-      sm_[k][s] = program_.thread(per_kernel[k][s]).ready_count_init;
+      counts[s] = program_.thread(per_kernel[k][s]).ready_count_init;
     }
+    gen_block_[k][cur_gen_[k]] = block;
   }
 }
 
-bool SyncMemoryGroup::decrement(core::ThreadId tid, bool use_tkt,
-                                std::uint64_t* search_steps) {
-  assert(loaded_block() != core::kInvalidBlock);
-  assert(program_.thread(tid).block == loaded_block());
-  SmSlot slot;
-  if (use_tkt) {
-    slot = tkt_[tid];
-  } else {
-    // Sequential search over the SMs - the cost Thread Indexing
-    // eliminates (paper section 4.2).
-    bool found = false;
-    const auto& per_kernel = block_threads_[loaded_block()];
-    for (std::size_t k = 0; k < per_kernel.size() && !found; ++k) {
-      for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
-        if (search_steps) ++*search_steps;
-        if (per_kernel[k][s] == tid) {
-          slot = SmSlot{static_cast<core::KernelId>(k),
-                        static_cast<std::uint32_t>(s)};
-          found = true;
-          break;
-        }
+void SyncMemoryGroup::preload_shadow(core::BlockId block,
+                                     std::uint16_t group,
+                                     std::uint16_t groups) {
+  if (block >= program_.num_blocks()) {
+    throw core::TFluxError("SyncMemoryGroup::preload_shadow: bad block id");
+  }
+  if (groups == 0) {
+    throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
+  }
+  const auto& per_kernel = block_threads_[block];
+  for (std::size_t k = group; k < per_kernel.size();
+       k += static_cast<std::size_t>(groups)) {
+    const std::uint8_t shadow = cur_gen_[k] ^ 1u;
+    auto& counts = sm_[shadow][k];
+    for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
+      counts[s] = program_.thread(per_kernel[k][s]).ready_count_init;
+    }
+    gen_block_[k][shadow] = block;
+  }
+}
+
+void SyncMemoryGroup::promote_shadow(std::uint16_t group,
+                                     std::uint16_t groups) {
+  if (groups == 0) {
+    throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
+  }
+  assert(shadow_block(group) != core::kInvalidBlock);
+  for (std::size_t k = group; k < cur_gen_.size();
+       k += static_cast<std::size_t>(groups)) {
+    cur_gen_[k] ^= 1u;
+  }
+  loaded_block_.store(current_block(group), std::memory_order_relaxed);
+}
+
+SyncMemoryGroup::SmSlot SyncMemoryGroup::find_slot(
+    core::ThreadId tid, std::uint64_t* search_steps) const {
+  // Sequential search over the SMs - the cost Thread Indexing
+  // eliminates (paper section 4.2).
+  const auto& per_kernel = block_threads_[program_.thread(tid).block];
+  for (std::size_t k = 0; k < per_kernel.size(); ++k) {
+    for (std::size_t s = 0; s < per_kernel[k].size(); ++s) {
+      if (search_steps) ++*search_steps;
+      if (per_kernel[k][s] == tid) {
+        return SmSlot{static_cast<core::KernelId>(k),
+                      static_cast<std::uint32_t>(s)};
       }
     }
-    if (!found) {
-      throw core::TFluxError(
-          "SyncMemoryGroup::decrement: DThread not in loaded block");
-    }
   }
-  std::uint32_t& count = sm_[slot.kernel][slot.slot];
+  throw core::TFluxError(
+      "SyncMemoryGroup::decrement: DThread not in loaded block");
+}
+
+bool SyncMemoryGroup::decrement_in(bool shadow, core::ThreadId tid,
+                                   bool use_tkt,
+                                   std::uint64_t* search_steps) {
+  const SmSlot slot = use_tkt ? tkt_[tid] : find_slot(tid, search_steps);
+  const std::uint8_t gen = cur_gen_[slot.kernel] ^ (shadow ? 1u : 0u);
+  assert(gen_block_[slot.kernel][gen] == program_.thread(tid).block);
+  std::uint32_t& count = sm_[gen][slot.kernel][slot.slot];
   assert(count > 0);
   return --count == 0;
 }
 
+bool SyncMemoryGroup::decrement(core::ThreadId tid, bool use_tkt,
+                                std::uint64_t* search_steps) {
+  return decrement_in(/*shadow=*/false, tid, use_tkt, search_steps);
+}
+
+bool SyncMemoryGroup::decrement_shadow(core::ThreadId tid, bool use_tkt,
+                                       std::uint64_t* search_steps) {
+  return decrement_in(/*shadow=*/true, tid, use_tkt, search_steps);
+}
+
 std::uint32_t SyncMemoryGroup::count(core::ThreadId tid) const {
   const SmSlot slot = tkt_[tid];
-  return sm_[slot.kernel][slot.slot];
+  return sm_[cur_gen_[slot.kernel]][slot.kernel][slot.slot];
+}
+
+std::uint32_t SyncMemoryGroup::shadow_count(core::ThreadId tid) const {
+  const SmSlot slot = tkt_[tid];
+  return sm_[cur_gen_[slot.kernel] ^ 1u][slot.kernel][slot.slot];
+}
+
+std::size_t SyncMemoryGroup::partition_slots(core::BlockId block,
+                                             std::uint16_t group,
+                                             std::uint16_t groups) const {
+  std::size_t n = 0;
+  const auto& per_kernel = block_threads_[block];
+  for (std::size_t k = group; k < per_kernel.size();
+       k += static_cast<std::size_t>(groups)) {
+    n += per_kernel[k].size();
+  }
+  return n;
 }
 
 }  // namespace tflux::runtime

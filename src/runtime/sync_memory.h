@@ -8,10 +8,22 @@
 // Ready Count - eliminating the search.
 //
 // The SM group is reloaded per DDM Block (that is what bounds TSU size
-// and motivates blocks). Only the TSU Emulator touches these
-// structures, so they are unsynchronized by design.
+// and motivates blocks). The SMs are *double-buffered*: each kernel's
+// Ready Count array exists in two generations, so an emulator can
+// stage the next block's counts in the shadow generation
+// (preload_shadow) while the current block is still executing, then
+// make them live with a cheap per-group flip (promote_shadow) instead
+// of a synchronous reload at the block boundary. Cross-block updates
+// that race ahead of a group's flip can be applied directly to the
+// shadow (decrement_shadow), which is what retires the old
+// deferred-update replay.
+//
+// Ownership discipline: kernel k's SM slots, generation cursor, and
+// staged-block markers are touched only by the TSU Emulator of the
+// group owning kernel k (k % groups), so none of it needs locking.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -32,8 +44,9 @@ class SyncMemoryGroup {
 
   SyncMemoryGroup(const core::Program& program, std::uint16_t num_kernels);
 
-  /// Initialize the SMs with `block`'s Ready Counts (the Inlet's load
-  /// operation). Any previous block's slots are dead after this.
+  /// Initialize the *current* generation with `block`'s Ready Counts
+  /// (the Inlet's synchronous load). Any previous block's slots are
+  /// dead after this.
   void load_block(core::BlockId block);
 
   /// Multiple-TSU-Groups variant: initialize only the SMs of the
@@ -43,36 +56,84 @@ class SyncMemoryGroup {
   void load_block_partition(core::BlockId block, std::uint16_t group,
                             std::uint16_t groups);
 
-  /// Decrement `tid`'s Ready Count; returns true when it reaches zero.
-  /// With `use_tkt` the slot comes from the TKT (O(1)); without it the
-  /// emulator searches the SMs sequentially, `*search_steps` (if non
-  /// null) accumulating the number of slots inspected - the cost Thread
-  /// Indexing removes.
+  /// Stage `block`'s Ready Counts for `group`'s partition in the
+  /// shadow (non-current) generation. What decrement()/count() see is
+  /// untouched until promote_shadow().
+  void preload_shadow(core::BlockId block, std::uint16_t group,
+                      std::uint16_t groups);
+
+  /// Make `group`'s shadow generation current (the block-transition
+  /// flip). The old current generation becomes the new shadow.
+  void promote_shadow(std::uint16_t group, std::uint16_t groups);
+
+  /// Block staged in `group`'s shadow generation (kInvalidBlock until
+  /// the first preload). After a promote this reports the *retired*
+  /// block, since the generations swapped. Group g's first owned
+  /// kernel is kernel g, whose cursor speaks for the whole partition
+  /// (loads and flips cover a partition atomically w.r.t. its owner).
+  core::BlockId shadow_block(std::uint16_t group) const {
+    return gen_block_[group][cur_gen_[group] ^ 1u];
+  }
+  /// Block live in `group`'s current generation.
+  core::BlockId current_block(std::uint16_t group) const {
+    return gen_block_[group][cur_gen_[group]];
+  }
+
+  /// Decrement `tid`'s Ready Count in the current generation; returns
+  /// true when it reaches zero. With `use_tkt` the slot comes from the
+  /// TKT (O(1)); without it the emulator searches the SMs
+  /// sequentially, `*search_steps` (if non null) accumulating the
+  /// number of slots inspected - the cost Thread Indexing removes.
   bool decrement(core::ThreadId tid, bool use_tkt,
                  std::uint64_t* search_steps = nullptr);
 
-  /// Current Ready Count of `tid` (must belong to the loaded block).
+  /// Decrement `tid`'s Ready Count in the shadow generation (a
+  /// cross-block update arriving before the owning group flipped).
+  bool decrement_shadow(core::ThreadId tid, bool use_tkt,
+                        std::uint64_t* search_steps = nullptr);
+
+  /// Current-generation Ready Count of `tid` (must belong to the block
+  /// loaded for its home kernel's group).
   std::uint32_t count(core::ThreadId tid) const;
 
-  /// TKT lookup (always valid, block-independent).
+  /// Shadow-generation Ready Count of `tid` (tests/diagnostics).
+  std::uint32_t shadow_count(core::ThreadId tid) const;
+
+  /// TKT lookup (always valid, block/generation-independent).
   SmSlot tkt(core::ThreadId tid) const { return tkt_[tid]; }
 
+  /// Number of `block`'s SM slots (app threads + inlet/outlet) homed
+  /// on kernels of `group` - the partition the owning emulator loads
+  /// and dispatches.
+  std::size_t partition_slots(core::BlockId block, std::uint16_t group,
+                              std::uint16_t groups) const;
+
   std::uint16_t num_kernels() const {
-    return static_cast<std::uint16_t>(sm_.size());
+    return static_cast<std::uint16_t>(sm_[0].size());
   }
   core::BlockId loaded_block() const {
     return loaded_block_.load(std::memory_order_relaxed);
   }
 
  private:
+  bool decrement_in(bool shadow, core::ThreadId tid, bool use_tkt,
+                    std::uint64_t* search_steps);
+  SmSlot find_slot(core::ThreadId tid, std::uint64_t* search_steps) const;
+
   const core::Program& program_;
   /// TKT: ThreadId -> SM slot. Built once from the Program, exactly as
   /// the preprocessor would embed it into the binary.
   std::vector<SmSlot> tkt_;
   /// Per block, per kernel: the DThreads homed there, in slot order.
   std::vector<std::vector<std::vector<core::ThreadId>>> block_threads_;
-  /// The SMs: one Ready Count array per Kernel.
-  std::vector<std::vector<std::uint32_t>> sm_;
+  /// The SMs, double-buffered: sm_[gen][kernel][slot].
+  std::vector<std::vector<std::uint32_t>> sm_[2];
+  /// Per *kernel*: which generation is current, and which block each
+  /// generation holds. Loads/preloads/promotes set all of a group's
+  /// kernels together, and only the owning emulator thread touches a
+  /// kernel's entries, so none of this needs synchronization.
+  std::vector<std::uint8_t> cur_gen_;
+  std::vector<std::array<core::BlockId, 2>> gen_block_;
   std::atomic<core::BlockId> loaded_block_{core::kInvalidBlock};
 };
 

@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -71,8 +72,9 @@ CliPlatform parse_platform(const std::string& name) {
 core::PolicyKind parse_policy(const std::string& name) {
   if (name == "fifo") return core::PolicyKind::kFifo;
   if (name == "locality") return core::PolicyKind::kLocality;
+  if (name == "adaptive") return core::PolicyKind::kAdaptive;
   throw TFluxError("tflux_run: unknown policy '" + name +
-                   "' (fifo, locality)");
+                   "' (fifo, locality, adaptive)");
 }
 
 std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
@@ -115,12 +117,16 @@ std::string usage() {
       "(default 4)\n"
       "  --tsu-capacity=N                     DThreads per DDM block "
       "(default 512)\n"
-      "  --tsu-groups=N                       TSU Groups, hard targets "
-      "(default 1)\n"
-      "  --policy=fifo|locality               ready-thread policy\n"
+      "  --tsu-groups=N                       TSU Groups, hard/soft "
+      "targets (default 1)\n"
+      "  --policy=fifo|locality|adaptive      ready-thread policy\n"
       "  --mutex-runtime                      soft platform: use the "
       "paper-faithful\n"
       "                                       mutex/try-lock runtime "
+      "(ablation)\n"
+      "  --no-block-pipeline                  soft platform: synchronous "
+      "SM reload at\n"
+      "                                       block boundaries "
       "(ablation)\n"
       "  --no-validate                        skip result validation\n"
       "  --no-baseline                        skip the sequential "
@@ -174,6 +180,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.policy = parse_policy(value_of("--policy="));
     } else if (arg == "--mutex-runtime") {
       options.lockfree = false;
+    } else if (arg == "--no-block-pipeline") {
+      options.block_pipeline = false;
     } else if (arg == "--no-validate") {
       options.validate = false;
     } else if (arg == "--no-baseline") {
@@ -245,6 +253,10 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       verify_options.tub_lane_capacity =
           runtime::RuntimeOptions{}.tub_lane_capacity;
     }
+    if (options.platform == CliPlatform::kSoft && options.block_pipeline) {
+      // Blocks smaller than this cannot cover a pipelined transition.
+      verify_options.min_block_threads = 2u * options.kernels;
+    }
     const core::VerifyReport report =
         core::verify(run.program, verify_options);
     for (const core::Diagnostic& d : report.diagnostics) {
@@ -292,12 +304,30 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       rt_options.num_kernels = options.kernels;
       rt_options.policy = options.policy;
       rt_options.lockfree = options.lockfree;
+      rt_options.tsu_groups =
+          std::min(options.tsu_groups, options.kernels);
+      rt_options.block_pipeline = options.block_pipeline;
       runtime::Runtime rt(run.program, rt_options);
       const runtime::RuntimeStats st = rt.run();
       out << "  " << (options.lockfree ? "lock-free" : "mutex")
           << " hot path: wall time " << st.wall_seconds * 1e3 << " ms, "
           << st.emulator.updates_processed << " Ready Count updates, "
           << st.tub.entries_published << " TUB entries\n";
+      std::uint64_t backlog_peak = 0;
+      for (const runtime::KernelStats& k : st.kernels) {
+        backlog_peak = std::max(backlog_peak, k.mailbox_backlog_peak);
+      }
+      out << "  " << (options.block_pipeline ? "pipelined" : "synchronous")
+          << " block transitions: " << st.emulator.blocks_loaded
+          << " partition loads, " << st.emulator.prefetch_hits
+          << " prefetch hits, " << st.emulator.prefetch_misses
+          << " misses, " << st.emulator.deferred_replays
+          << " deferred replays\n";
+      out << "  dispatch (" << core::to_string(options.policy)
+          << "): " << st.emulator.dispatches << " total, "
+          << st.emulator.home_dispatches << " home, "
+          << st.emulator.steal_dispatches << " stolen, mailbox backlog "
+          << "peak " << backlog_peak << "\n";
       break;
     }
     case CliPlatform::kHard:

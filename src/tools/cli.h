@@ -38,6 +38,9 @@ struct CliOptions {
   /// Native runtime (--platform=soft): lock-free hot path (default) vs
   /// the paper-faithful mutex/try-lock structures (--mutex-runtime).
   bool lockfree = true;
+  /// Native runtime: pipelined block transitions (default) vs the
+  /// synchronous per-boundary SM reload (--no-block-pipeline).
+  bool block_pipeline = true;
   bool validate = true;
   bool baseline = true;        ///< also simulate the sequential baseline
   /// Run the ddmlint static verifier on the program before executing;

@@ -65,6 +65,12 @@ std::string lint_usage() {
       "capacity for the\n"
       "                                       lane-capacity-stall check "
       "(0 = off)\n"
+      "  --min-block-threads=N                stall-prone-block "
+      "threshold: warn when a\n"
+      "                                       non-final block has fewer "
+      "app DThreads\n"
+      "                                       (0 = off; try kernels x "
+      "2)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --quiet                              summaries only\n"
@@ -106,6 +112,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--lane-capacity=", 0) == 0) {
       options.tub_lane_capacity = static_cast<std::uint32_t>(
           parse_uint("--lane-capacity", value_of("--lane-capacity=")));
+    } else if (arg.rfind("--min-block-threads=", 0) == 0) {
+      options.min_block_threads = static_cast<std::uint32_t>(parse_uint(
+          "--min-block-threads", value_of("--min-block-threads=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--quiet") {
@@ -125,6 +134,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.tsu_capacity = options.tsu_capacity;
   verify_options.num_kernels = options.kernels;
   verify_options.tub_lane_capacity = options.tub_lane_capacity;
+  verify_options.min_block_threads = options.min_block_threads;
   const core::VerifyReport report = core::verify(program, verify_options);
   if (!options.quiet) {
     for (const core::Diagnostic& d : report.diagnostics) {

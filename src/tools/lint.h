@@ -29,6 +29,10 @@ struct LintOptions {
   /// Lock-free TUB lane capacity for the lane-capacity-stall check
   /// (0 disables; the native runtime default is 256).
   std::uint32_t tub_lane_capacity = 0;
+  /// Minimum app-DThread count per non-final block for the
+  /// stall-prone-block check (0 disables; num_kernels x 2 is the
+  /// block pipeline's rule of thumb).
+  std::uint32_t min_block_threads = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Print only the per-program summary lines, not each diagnostic.

@@ -404,6 +404,45 @@ TEST(VerifyTest, FanOutBeyondLaneCapacityIsWarned) {
   EXPECT_TRUE(verify(program, options).clean());
 }
 
+TEST(VerifyTest, StallProneBlockIsWarned) {
+  // Two-block program: block 0 has 2 app threads, block 1 has 6. With
+  // a threshold of 4 (kernels x 2 for 2 kernels), block 0 cannot keep
+  // the kernels busy across its transition; block 1, being last, has
+  // no following transition and is exempt however small.
+  ProgramBuilder builder("thin");
+  const BlockId b0 = builder.add_block();
+  for (int i = 0; i < 2; ++i) builder.add_thread(b0, "a", {});
+  const BlockId b1 = builder.add_block();
+  for (int i = 0; i < 6; ++i) builder.add_thread(b1, "b", {});
+  const Program program = builder.build();
+
+  VerifyOptions options;
+  options.min_block_threads = 4;
+  const VerifyReport report = verify(program, options);
+  const auto found = with_code(report, Diag::kStallProneBlock);
+  ASSERT_EQ(found.size(), 1u) << report.to_string(program);
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_EQ(found[0]->block, b0);
+  EXPECT_FALSE(report.has_errors());
+
+  options.min_block_threads = 2;  // block 0 meets the bar
+  EXPECT_TRUE(verify(program, options).clean());
+  options.min_block_threads = 0;  // disabled (the default)
+  EXPECT_TRUE(verify(program, options).clean());
+}
+
+TEST(VerifyTest, SingleBlockProgramIsNeverStallProne) {
+  // One block = no transitions to cover, whatever the threshold.
+  ProgramBuilder builder("single");
+  const BlockId blk = builder.add_block();
+  builder.add_thread(blk, "t", {});
+  const Program program = builder.build();
+
+  VerifyOptions options;
+  options.min_block_threads = 64;
+  EXPECT_TRUE(verify(program, options).clean());
+}
+
 TEST(VerifyTest, HomeKernelOutOfRangeIsAnError) {
   ProgramBuilder builder("pinned");
   const BlockId blk = builder.add_block();

@@ -1,0 +1,145 @@
+// Determinism of the block-transition ablation switch: the pipelined
+// runtime (shadow SM generation, flip at OutletDone, coordinator fast
+// activation) and the synchronous per-boundary reload must execute the
+// exact same DThread sets - same app results, same thread counts, same
+// block loads - on every shipped application, at several kernel and
+// TSU-group counts. Also covers the kAdaptive occupancy-aware dispatch
+// policy: placement changes, the executed set must not.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "apps/suite.h"
+#include "core/scheduler.h"
+#include "runtime/runtime.h"
+
+namespace tflux::runtime {
+namespace {
+
+using apps::AppKind;
+using apps::AppRun;
+using apps::DdmParams;
+using apps::Platform;
+using apps::SizeClass;
+
+struct ModeResult {
+  bool valid = false;
+  std::uint64_t app_threads = 0;
+  std::uint64_t threads_executed = 0;
+  std::uint64_t blocks_loaded = 0;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_misses = 0;
+};
+
+ModeResult run_mode(AppKind kind, std::uint16_t kernels,
+                    std::uint16_t groups, bool pipeline,
+                    core::PolicyKind policy = core::PolicyKind::kLocality) {
+  DdmParams params;
+  params.num_kernels = kernels;
+  params.unroll = 8;
+  params.tsu_capacity = 64;  // force multi-block programs
+  AppRun run =
+      apps::build_app(kind, SizeClass::kSmall, Platform::kSimulated, params);
+  RuntimeOptions options;
+  options.num_kernels = kernels;
+  options.policy = policy;
+  options.tsu_groups = groups;
+  options.block_pipeline = pipeline;
+  const RuntimeStats st = Runtime(run.program, options).run();
+  ModeResult r;
+  r.valid = run.validate();
+  r.app_threads = st.total_app_threads_executed();
+  for (const KernelStats& k : st.kernels) {
+    r.threads_executed += k.threads_executed;
+  }
+  r.blocks_loaded = st.emulator.blocks_loaded;
+  r.updates_processed = st.emulator.updates_processed;
+  r.prefetch_hits = st.emulator.prefetch_hits;
+  r.prefetch_misses = st.emulator.prefetch_misses;
+  return r;
+}
+
+using Config = std::tuple<AppKind, std::uint16_t, std::uint16_t>;
+
+class BlockPipelineTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(BlockPipelineTest, PipelinedMatchesSynchronousAccounting) {
+  const auto [kind, kernels, groups] = GetParam();
+  if (groups > kernels) GTEST_SKIP() << "more groups than kernels";
+  const ModeResult pipe = run_mode(kind, kernels, groups, /*pipeline=*/true);
+  const ModeResult sync = run_mode(kind, kernels, groups, /*pipeline=*/false);
+  EXPECT_TRUE(pipe.valid) << "pipelined run produced wrong results";
+  EXPECT_TRUE(sync.valid) << "synchronous run produced wrong results";
+  EXPECT_EQ(pipe.app_threads, sync.app_threads);
+  // Inlets and Outlets still execute once per block in pipelined mode
+  // (the flip replaced only their SM-load work), so total executed
+  // DThreads match too.
+  EXPECT_EQ(pipe.threads_executed, sync.threads_executed);
+  EXPECT_EQ(pipe.blocks_loaded, sync.blocks_loaded);
+  // Updates are program-determined (one per consumer arc fired), not
+  // schedule-determined: both transition modes process the same count,
+  // whether an update landed in the current or the shadow generation.
+  EXPECT_EQ(pipe.updates_processed, sync.updates_processed);
+  // Every pipelined activation is either a prefetch hit or a miss;
+  // the synchronous baseline never touches the shadow machinery.
+  EXPECT_EQ(pipe.prefetch_hits + pipe.prefetch_misses, pipe.blocks_loaded);
+  EXPECT_EQ(sync.prefetch_hits + sync.prefetch_misses, 0u);
+}
+
+TEST_P(BlockPipelineTest, AdaptivePolicyMatchesLocalityAccounting) {
+  const auto [kind, kernels, groups] = GetParam();
+  if (groups > kernels) GTEST_SKIP() << "more groups than kernels";
+  const ModeResult adaptive = run_mode(kind, kernels, groups, true,
+                                       core::PolicyKind::kAdaptive);
+  const ModeResult locality = run_mode(kind, kernels, groups, true,
+                                       core::PolicyKind::kLocality);
+  EXPECT_TRUE(adaptive.valid) << "adaptive run produced wrong results";
+  EXPECT_TRUE(locality.valid) << "locality run produced wrong results";
+  EXPECT_EQ(adaptive.app_threads, locality.app_threads);
+  EXPECT_EQ(adaptive.threads_executed, locality.threads_executed);
+  EXPECT_EQ(adaptive.updates_processed, locality.updates_processed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, BlockPipelineTest,
+    ::testing::Combine(::testing::ValuesIn(apps::all_apps()),
+                       ::testing::Values<std::uint16_t>(1, 2, 4),
+                       ::testing::Values<std::uint16_t>(1, 2)),
+    [](const auto& info) {
+      return std::string(apps::to_string(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_g" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(BlockPipelineAdaptiveTest, MatchesReferenceSchedulerThreadCount) {
+  // The single-threaded oracle executes the same DThread set the
+  // native runtime dispatches under kAdaptive (where ReadySet
+  // degenerates to backlog-driven locality).
+  DdmParams params;
+  params.num_kernels = 4;
+  params.unroll = 8;
+  params.tsu_capacity = 64;
+  AppRun run = apps::build_app(AppKind::kTrapez, SizeClass::kSmall,
+                               Platform::kSimulated, params);
+  core::ReferenceScheduler sched(run.program, 4,
+                                 core::PolicyKind::kAdaptive);
+  const core::ScheduleResult oracle = sched.run();
+  ASSERT_TRUE(run.validate());
+
+  AppRun native = apps::build_app(AppKind::kTrapez, SizeClass::kSmall,
+                                  Platform::kSimulated, params);
+  RuntimeOptions options;
+  options.num_kernels = 4;
+  options.policy = core::PolicyKind::kAdaptive;
+  const RuntimeStats st = Runtime(native.program, options).run();
+  EXPECT_TRUE(native.validate());
+  std::uint64_t executed = 0;
+  for (const KernelStats& k : st.kernels) executed += k.threads_executed;
+  EXPECT_EQ(executed, oracle.records.size());
+}
+
+}  // namespace
+}  // namespace tflux::runtime

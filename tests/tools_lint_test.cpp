@@ -46,6 +46,42 @@ TEST(ToolsLintTest, RejectsUnknownOption) {
   EXPECT_THROW(parse_lint_args({"--app=doom"}), core::TFluxError);
 }
 
+TEST(ToolsLintTest, ParsesMinBlockThreads) {
+  EXPECT_EQ(parse_lint_args({}).min_block_threads, 0u);  // off by default
+  EXPECT_EQ(parse_lint_args({"--min-block-threads=8"}).min_block_threads,
+            8u);
+  EXPECT_THROW(parse_lint_args({"--min-block-threads=lots"}),
+               core::TFluxError);
+}
+
+TEST(ToolsLintTest, MinBlockThreadsFlagsThinBlocks) {
+  // Two blocks of one thread each: block 0 (non-final) is stall-prone
+  // under a threshold of 8; the final block is exempt.
+  const std::string path = write_temp_graph("thin.ddmg", R"(ddmgraph 1
+program thin
+block
+thread a compute 10
+block
+thread b compute 10
+)");
+  LintOptions options;
+  options.graph_file = path;
+  options.min_block_threads = 8;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();  // warning, not error
+  EXPECT_NE(out.str().find("stall-prone-block"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("block 0"), std::string::npos) << out.str();
+
+  options.strict = true;
+  std::ostringstream strict_out;
+  EXPECT_EQ(run_lint(options, strict_out), 1) << strict_out.str();
+
+  options.min_block_threads = 0;  // disabled: clean even under strict
+  std::ostringstream off_out;
+  EXPECT_EQ(run_lint(options, off_out), 0) << off_out.str();
+}
+
 TEST(ToolsLintTest, AllShippedAppsAreClean) {
   LintOptions options;
   options.all = true;
