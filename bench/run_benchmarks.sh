@@ -7,6 +7,8 @@
 #   BENCH_fig6.json          - the Figure 6 TFluxSoft speedup sweep
 #   BENCH_blocks.json        - block-transition pipeline ablation
 #                              (pipelined vs synchronous SM reload)
+#   BENCH_trace_overhead.json - ddmcheck execution-tracing cost
+#                              (traced vs untraced wall time)
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
@@ -37,6 +39,9 @@ echo "== fig6_tfluxsoft -> $OUT_DIR/BENCH_fig6.json"
 
 echo "== ablation_blocks -> $OUT_DIR/BENCH_blocks.json"
 "$BENCH_DIR/ablation_blocks" --json "$OUT_DIR/BENCH_blocks.json"
+
+echo "== trace_overhead -> $OUT_DIR/BENCH_trace_overhead.json"
+"$BENCH_DIR/trace_overhead" --json "$OUT_DIR/BENCH_trace_overhead.json"
 
 if [ "${FULL:-0}" = "1" ]; then
   echo "== ablation_tub_tkt -> $OUT_DIR/BENCH_ablation_tub_tkt.json"

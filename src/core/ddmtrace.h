@@ -1,0 +1,90 @@
+// ddmtrace: text serialization of runtime *execution traces* - the
+// dynamic complement of graph_io.h's structural ddmgraph format. The
+// native runtime (runtime/trace_log.h) appends fixed-size records to
+// per-actor lock-free lanes while a program executes; this module
+// defines the record, the trace container, and a line-oriented
+// reader/writer so traces can be saved by `tflux_run --trace=<file>`
+// and replayed offline by the ddmcheck verifier (core/check.h,
+// `tflux_check`).
+//
+// Format (line oriented, '#' comments):
+//   ddmtrace 1
+//   program <name>
+//   config kernels <K> groups <G> policy <P> pipeline <0|1> lockfree <0|1>
+//   app <name> <size> unroll <N> tsu-capacity <N>    # optional
+//   e <seq> <event> <actor> <a> <b>
+//
+// Events and their operands (actor = lane: kernel k is lane k, TSU
+// Emulator of group g is lane K+g):
+//   dispatch          a=thread  b=target kernel   (emulator lane)
+//   complete          a=thread  b=block           (kernel lane)
+//   update            a=producer b=consumer       (kernel lane)
+//   shadow-decrement  a=thread  b=reached zero    (emulator lane)
+//   inlet-load        a=block   b=group           (emulator lane)
+//   outlet-done       a=block   b=0               (kernel lane)
+//   block-promote     a=block   b=group           (emulator lane)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tflux::core {
+
+enum class TraceEvent : std::uint8_t {
+  kDispatch,         ///< emulator delivered a ready DThread to a kernel
+  kComplete,         ///< kernel finished a DThread's body
+  kUpdate,           ///< kernel published one Ready Count update
+  kShadowDecrement,  ///< emulator applied an update to the shadow SM
+  kInletLoad,        ///< emulator activated a block (synchronous load)
+  kOutletDone,       ///< kernel published a block's Outlet completion
+  kBlockPromote,     ///< emulator activated a block (shadow-SM flip)
+};
+
+/// Stable kebab-case name of an event (e.g. "shadow-decrement").
+const char* to_string(TraceEvent event);
+
+/// One fixed-size trace record. `seq` is a global sequence ticket
+/// drawn from a single atomic counter at the instant the event
+/// happened; because every cross-thread handoff in the runtime is a
+/// release/acquire pair, sorting by seq yields a linearization
+/// consistent with happens-before - the property the offline checker
+/// replays against.
+struct TraceRecord {
+  std::uint64_t seq = 0;
+  TraceEvent event = TraceEvent::kDispatch;
+  std::uint16_t actor = 0;  ///< lane: kernel id, or kernels + group
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// A complete execution trace: the run's configuration (enough for
+/// `tflux_check` to rebuild the Program it claims to execute) plus the
+/// records, sorted by seq.
+struct ExecTrace {
+  std::string program = "unknown";
+  std::uint16_t kernels = 1;
+  std::uint16_t groups = 1;
+  std::string policy = "locality";
+  bool pipelined = true;
+  bool lockfree = true;
+  /// Benchmark provenance, filled by the CLI when the trace came from
+  /// a Table-1 app (empty `app` = unknown; pass `tflux_check --graph=`
+  /// instead).
+  std::string app;
+  std::string size = "small";
+  std::uint32_t unroll = 0;
+  std::uint32_t tsu_capacity = 0;
+  std::vector<TraceRecord> records;
+};
+
+/// Serialize a trace in the ddmtrace text format.
+std::string save_trace(const ExecTrace& trace);
+
+/// Parse the format back. Records are sorted by seq on return. Throws
+/// TFluxError with a line number on malformed input.
+ExecTrace load_trace(const std::string& text);
+
+}  // namespace tflux::core

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/error.h"
+#include "runtime/trace_log.h"
 
 namespace tflux::runtime {
 
@@ -34,6 +35,9 @@ TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
   low_water_ = options_.prefetch_low_water != 0
                    ? options_.prefetch_low_water
                    : static_cast<std::uint32_t>(2 * my_kernels_.size());
+  if (options_.trace) {
+    trace_lane_ = options_.trace->emulator_lane(options_.group);
+  }
 }
 
 void TsuEmulator::dispatch(core::ThreadId tid) {
@@ -84,6 +88,12 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
   } else if (options_.policy != core::PolicyKind::kFifo) {
     ++stats_.steal_dispatches;
   }
+  // Ticket drawn before the mailbox put: the Dispatch seq always
+  // precedes the Complete seq the receiving kernel will draw.
+  if (options_.trace) {
+    options_.trace->record(trace_lane_, core::TraceEvent::kDispatch, tid,
+                           target);
+  }
   mailboxes_[target].put(tid);
 
   if (program_.thread(tid).block == my_block_ &&
@@ -127,8 +137,14 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
         sm_.preload_shadow(next, options_.group, options_.num_groups);
       }
       ++stats_.updates_processed;
-      if (sm_.decrement_shadow(tid, options_.thread_indexing,
-                               &stats_.sm_search_steps)) {
+      const bool zero = sm_.decrement_shadow(tid, options_.thread_indexing,
+                                             &stats_.sm_search_steps);
+      if (options_.trace) {
+        options_.trace->record(trace_lane_,
+                               core::TraceEvent::kShadowDecrement, tid,
+                               zero ? 1 : 0);
+      }
+      if (zero) {
         dispatch(tid);
         ++shadow_predispatched_;
       }
@@ -143,6 +159,14 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
 
 void TsuEmulator::activate_block(core::BlockId block, bool dispatch_inlet) {
   const core::Block& blk = program_.block(block);
+  // Activation ticket drawn before any of the block's dispatches.
+  if (options_.trace) {
+    options_.trace->record(trace_lane_,
+                           options_.block_pipeline
+                               ? core::TraceEvent::kBlockPromote
+                               : core::TraceEvent::kInletLoad,
+                           block, options_.group);
+  }
   if (options_.block_pipeline) {
     if (sm_.shadow_block(options_.group) == block) {
       ++stats_.prefetch_hits;
@@ -209,9 +233,16 @@ void TsuEmulator::run() {
       switch (e.kind) {
         case TubEntry::Kind::kLoadBlock: {
           const auto block = static_cast<core::BlockId>(e.id);
-          // In pipelined mode the coordinator activated this block at
-          // OutletDone already; its own Inlet broadcast is a no-op.
-          if (options_.block_pipeline && my_block_ == block) break;
+          // In pipelined mode the Inlet is pure accounting, so nothing
+          // orders its broadcast before the block's OutletDone: a
+          // backlogged Inlet of block b may land after the coordinator
+          // already chained past b. Any broadcast at or behind the
+          // current block is stale; re-activating would re-dispatch
+          // that block's first wave.
+          if (options_.block_pipeline &&
+              my_block_ != core::kInvalidBlock && block <= my_block_) {
+            break;
+          }
           activate_block(block, /*dispatch_inlet=*/false);
           break;
         }

@@ -39,6 +39,8 @@
 
 namespace tflux::runtime {
 
+class TraceLog;
+
 /// Live per-emulator counters: cache-line aligned so two TSU Groups'
 /// stat bumps (emulators sit in one contiguous container) never
 /// false-share.
@@ -99,6 +101,8 @@ class TsuEmulator {
     /// mailbox holds at most this many undelivered DThreads; beyond
     /// it, route to the shallowest owned mailbox.
     std::uint32_t adaptive_backlog = 2;
+    /// Execution-trace sink (null = tracing off, the default).
+    TraceLog* trace = nullptr;
   };
 
   /// `sm` is shared between emulators (slot ownership is disjoint);
@@ -142,6 +146,7 @@ class TsuEmulator {
   std::deque<Mailbox>& mailboxes_;
   Options options_;
   std::vector<core::KernelId> my_kernels_;
+  std::uint16_t trace_lane_ = 0;  ///< this emulator's TraceLog lane
   EmulatorStats stats_;
   std::size_t rr_next_ = 0;  // round-robin cursor for kFifo routing
   /// Block this group has activated (current SM generation).

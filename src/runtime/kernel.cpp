@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <vector>
 
+#include "runtime/trace_log.h"
+
 namespace tflux::runtime {
 
 Kernel::Kernel(const core::Program& program, core::KernelId id,
-               Mailbox& mailbox, TubGroup& tubs)
-    : program_(program), id_(id), mailbox_(mailbox), tubs_(tubs) {}
+               Mailbox& mailbox, TubGroup& tubs, TraceLog* trace)
+    : program_(program), id_(id), mailbox_(mailbox), tubs_(tubs),
+      trace_(trace) {}
 
 void Kernel::post_process(const core::DThread& t) {
   // Local TSU: translate the completion into TSU commands, routed to
@@ -18,9 +21,19 @@ void Kernel::post_process(const core::DThread& t) {
       tubs_.publish_load_block(t.block, id_);
       break;
     case core::ThreadKind::kOutlet:
+      // Recorded before the publish so the OutletDone ticket precedes
+      // every ticket the next block's activation draws.
+      if (trace_) {
+        trace_->record(id_, core::TraceEvent::kOutletDone, t.block, 0);
+      }
       tubs_.publish_outlet_done(t.block, id_);
       break;
     case core::ThreadKind::kApplication:
+      if (trace_) {
+        for (const core::ThreadId consumer : t.consumers) {
+          trace_->record(id_, core::TraceEvent::kUpdate, t.id, consumer);
+        }
+      }
       stats_.updates_published +=
           tubs_.publish_updates(t.consumers, id_, scratch_);
       break;
@@ -40,6 +53,9 @@ void Kernel::run() {
     }
     ++stats_.threads_executed;
     if (t.is_application()) ++stats_.app_threads_executed;
+    if (trace_) {
+      trace_->record(id_, core::TraceEvent::kComplete, tid, t.block);
+    }
     post_process(t);
   }
 }

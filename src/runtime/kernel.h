@@ -19,6 +19,8 @@
 
 namespace tflux::runtime {
 
+class TraceLog;
+
 /// Live per-kernel counters: cache-line aligned so two kernels' stat
 /// bumps (kernels sit in one contiguous container) never false-share.
 struct alignas(kCacheLine) KernelStats {
@@ -33,7 +35,7 @@ struct alignas(kCacheLine) KernelStats {
 class Kernel {
  public:
   Kernel(const core::Program& program, core::KernelId id, Mailbox& mailbox,
-         TubGroup& tubs);
+         TubGroup& tubs, TraceLog* trace = nullptr);
 
   /// Thread main: Figure 2's loop. Returns when the exit sentinel
   /// arrives (sent by the emulator after the last Outlet).
@@ -50,6 +52,7 @@ class Kernel {
   Mailbox& mailbox_;
   TubGroup& tubs_;
   TubGroup::PublishScratch scratch_;
+  TraceLog* trace_;  ///< null unless RuntimeOptions::trace was set
   KernelStats stats_;
 };
 

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <thread>
 
 #include "core/error.h"
+#include "runtime/trace_log.h"
 
 namespace tflux::runtime {
 namespace {
@@ -68,6 +70,12 @@ RuntimeStats Runtime::run() {
     mailboxes.emplace_back(options_.lockfree, mailbox_capacity);
   }
 
+  std::unique_ptr<TraceLog> trace_log;
+  if (options_.trace != nullptr) {
+    trace_log = std::make_unique<TraceLog>(options_.num_kernels,
+                                           options_.tsu_groups);
+  }
+
   std::vector<TsuEmulator> emulators;
   emulators.reserve(options_.tsu_groups);
   for (std::uint16_t g = 0; g < options_.tsu_groups; ++g) {
@@ -81,13 +89,14 @@ RuntimeStats Runtime::run() {
             .block_pipeline = options_.block_pipeline,
             .prefetch_low_water = options_.prefetch_low_water,
             .adaptive_backlog = options_.adaptive_backlog,
+            .trace = trace_log.get(),
         });
   }
 
   std::vector<Kernel> kernels;
   kernels.reserve(options_.num_kernels);
   for (core::KernelId k = 0; k < options_.num_kernels; ++k) {
-    kernels.emplace_back(program_, k, mailboxes[k], tubs);
+    kernels.emplace_back(program_, k, mailboxes[k], tubs, trace_log.get());
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -112,6 +121,17 @@ RuntimeStats Runtime::run() {
   for (std::thread& t : threads) t.join();
   for (std::thread& t : emulator_threads) t.join();
   const auto t1 = std::chrono::steady_clock::now();
+
+  if (trace_log) {
+    core::ExecTrace& trace = *options_.trace;
+    trace.program = program_.name();
+    trace.kernels = options_.num_kernels;
+    trace.groups = options_.tsu_groups;
+    trace.policy = core::to_string(options_.policy);
+    trace.pipelined = options_.block_pipeline;
+    trace.lockfree = options_.lockfree;
+    trace.records = trace_log->finish();
+  }
 
   RuntimeStats stats;
   stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/ddmtrace.h"
 #include "core/program.h"
 #include "core/ready_set.h"
 #include "runtime/emulator.h"
@@ -61,6 +62,12 @@ struct RuntimeOptions {
   /// kAdaptive policy only: home-kernel mailbox depth tolerated
   /// before a ready DThread is routed to the shallowest mailbox.
   std::uint32_t adaptive_backlog = 2;
+  /// Execution tracing for the ddmcheck verifier: when set, every
+  /// actor records Dispatch/Complete/Update/... events into lock-free
+  /// lanes (runtime/trace_log.h) and run() fills this trace with the
+  /// run's configuration and seq-sorted records. Null (the default)
+  /// costs one predictable branch per event.
+  core::ExecTrace* trace = nullptr;
 };
 
 struct RuntimeStats {

@@ -1,0 +1,51 @@
+#include "runtime/trace_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tflux::runtime {
+
+TraceLog::TraceLog(std::uint16_t num_kernels, std::uint16_t num_groups,
+                   std::size_t lane_capacity)
+    : num_kernels_(num_kernels) {
+  const std::size_t lanes =
+      static_cast<std::size_t>(num_kernels) + num_groups;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(
+        std::make_unique<SpscRing<core::TraceRecord>>(lane_capacity));
+  }
+  flusher_ = std::thread([this] { flush_loop(); });
+}
+
+TraceLog::~TraceLog() {
+  if (!finished_) finish();
+}
+
+void TraceLog::drain_all() {
+  for (auto& lane : lanes_) lane->pop_all(records_);
+}
+
+void TraceLog::flush_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_all();
+    // Sleeping (not spinning) keeps the flusher off the workers' CPUs,
+    // and sleeping long keeps its wakeups from preempting workers on
+    // oversubscribed machines; 64k-deep lanes absorb several
+    // milliseconds of events even at full dispatch rate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  }
+}
+
+std::vector<core::TraceRecord> TraceLog::finish() {
+  stop_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) flusher_.join();
+  drain_all();
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const core::TraceRecord& a,
+                      const core::TraceRecord& b) { return a.seq < b.seq; });
+  finished_ = true;
+  return std::move(records_);
+}
+
+}  // namespace tflux::runtime

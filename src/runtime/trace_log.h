@@ -1,0 +1,77 @@
+// Lock-free execution-trace collection for the native runtime. Each
+// actor (kernel worker or TSU Emulator group) owns one SPSC lane; the
+// hot-path record() is a relaxed fetch_add on a shared sequence ticket
+// plus a single-producer ring push - no locks, no syscalls. A
+// background flusher drains every lane into the final record vector so
+// lanes stay shallow even on long runs.
+//
+// Sequence tickets come from ONE atomic counter. Cache coherence makes
+// the tickets totally ordered, and because every cross-thread handoff
+// in the runtime (TUB ring publish -> emulator drain, mailbox put ->
+// kernel take) is a release/acquire pair, any two causally ordered
+// events also draw their tickets in causal order. Sorting by seq thus
+// yields a linearization consistent with happens-before, which is what
+// the offline checker (core/check.h) replays.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/ddmtrace.h"
+#include "runtime/spsc_ring.h"
+
+namespace tflux::runtime {
+
+/// In-memory trace sink shared by all actors of one Runtime::run().
+/// Created only when tracing is requested; a null TraceLog* everywhere
+/// else keeps the disabled cost to one predictable branch per event.
+class TraceLog {
+ public:
+  /// `lane_capacity` is rounded up to a power of two by SpscRing.
+  TraceLog(std::uint16_t num_kernels, std::uint16_t num_groups,
+           std::size_t lane_capacity = 1 << 16);
+  ~TraceLog();
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  std::uint16_t kernel_lane(std::uint16_t kernel) const { return kernel; }
+  std::uint16_t emulator_lane(std::uint16_t group) const {
+    return static_cast<std::uint16_t>(num_kernels_ + group);
+  }
+
+  /// Append one record from actor `lane`. Single producer per lane.
+  void record(std::uint16_t lane, core::TraceEvent event, std::uint32_t a,
+              std::uint32_t b) {
+    core::TraceRecord r;
+    r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    r.event = event;
+    r.actor = lane;
+    r.a = a;
+    r.b = b;
+    // The flusher drains lanes far faster than actors fill them; a
+    // full lane only means the flusher is momentarily behind.
+    while (!lanes_[lane]->try_push(r)) cpu_relax();
+  }
+
+  /// Stop the flusher, drain every lane, and return all records
+  /// sorted by seq. Call after the actor threads have joined.
+  std::vector<core::TraceRecord> finish();
+
+ private:
+  void flush_loop();
+  void drain_all();
+
+  std::uint16_t num_kernels_;
+  std::vector<std::unique_ptr<SpscRing<core::TraceRecord>>> lanes_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<bool> stop_{false};
+  bool finished_ = false;
+  std::vector<core::TraceRecord> records_;
+  std::thread flusher_;
+};
+
+}  // namespace tflux::runtime

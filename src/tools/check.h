@@ -1,0 +1,43 @@
+// The `tflux_check` command-line driver, split into a testable
+// library: replay a recorded ddmtrace execution trace (written by
+// `tflux_run --platform=soft --trace=FILE`) through the ddmcheck
+// verifier (core/check.h). The Program is rebuilt from the trace's
+// benchmark provenance (app/size/unroll/tsu-capacity metadata) or,
+// for traces of loaded graphs, from a ddmgraph file via --graph.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tflux::tools {
+
+struct CheckCliOptions {
+  /// The ddmtrace file to verify (also accepted as a bare positional
+  /// argument).
+  std::string trace_file;
+  /// Rebuild the Program from this ddmgraph file instead of the
+  /// trace's benchmark metadata.
+  std::string graph_file;
+  /// Run the happens-before footprint race pass (--no-races disables).
+  bool races = true;
+  /// Stop after this many findings (0 = unlimited).
+  std::uint32_t max_findings = 256;
+  /// Print only the summary line, not each finding.
+  bool quiet = false;
+  bool help = false;
+};
+
+/// Parse argv-style arguments (without the program name). Throws
+/// core::TFluxError with a usable message on malformed input.
+CheckCliOptions parse_check_args(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string check_usage();
+
+/// Execute per the options, writing findings to `out`. Returns a
+/// process exit code: 0 clean, 1 findings.
+int run_check(const CheckCliOptions& options, std::ostream& out);
+
+}  // namespace tflux::tools

@@ -7,6 +7,8 @@
 #include "cell/cell_machine.h"
 #include "cell/config.h"
 #include "core/analysis.h"
+#include "core/check.h"
+#include "core/ddmtrace.h"
 #include "core/graph_io.h"
 #include "core/error.h"
 #include "core/scheduler.h"
@@ -133,11 +135,22 @@ std::string usage() {
       "baseline\n"
       "  --lint                               run the ddmlint static "
       "verifier first\n"
+      "  --check                              soft platform: replay the "
+      "recorded trace\n"
+      "                                       through the ddmcheck "
+      "verifier (exit 1 on\n"
+      "                                       findings)\n"
+      "  --json=FILE                          soft platform: write a "
+      "JSON run summary\n"
+      "                                       (emulator stats under a "
+      "stable key)\n"
       "  --graph=FILE                         simulate a ddmgraph file "
       "instead of a benchmark\n"
       "  --dot=FILE                           write the graph as DOT\n"
-      "  --trace=FILE                         write a Chrome trace "
-      "(simulated targets)\n"
+      "  --trace=FILE                         write an execution trace: "
+      "ddmtrace on the\n"
+      "                                       soft platform, Chrome JSON "
+      "on simulated ones\n"
       "  --help\n";
 }
 
@@ -188,6 +201,10 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.baseline = false;
     } else if (arg == "--lint") {
       options.lint = true;
+    } else if (arg == "--check") {
+      options.check = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_file = value_of("--json=");
     } else if (arg.rfind("--graph=", 0) == 0) {
       options.graph_file = value_of("--graph=");
     } else if (arg.rfind("--dot=", 0) == 0) {
@@ -203,6 +220,17 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.app == apps::AppKind::kFft) {
     throw TFluxError(
         "tflux_run: FFT is not part of the Cell evaluation (Figure 7)");
+  }
+  if (options.check && options.platform != CliPlatform::kSoft) {
+    throw TFluxError(
+        "tflux_run: --check replays a native execution trace and "
+        "requires --platform=soft");
+  }
+  if (!options.json_file.empty() &&
+      options.platform != CliPlatform::kSoft) {
+    throw TFluxError(
+        "tflux_run: --json reports the native runtime's emulator "
+        "stats and requires --platform=soft");
   }
   return options;
 }
@@ -286,9 +314,13 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   }
 
   sim::Trace trace;
-  const bool want_trace = !options.trace_file.empty();
+  // The soft platform writes its own (ddmtrace) format below; the
+  // Chrome span trace applies to the simulated targets only.
+  const bool want_trace = !options.trace_file.empty() &&
+                          options.platform != CliPlatform::kSoft;
   core::Cycles parallel_cycles = 0;
   core::Cycles baseline_cycles = 0;
+  bool check_failed = false;
 
   switch (options.platform) {
     case CliPlatform::kReference: {
@@ -307,6 +339,10 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       rt_options.tsu_groups =
           std::min(options.tsu_groups, options.kernels);
       rt_options.block_pipeline = options.block_pipeline;
+      core::ExecTrace exec_trace;
+      const bool want_exec_trace =
+          options.check || !options.trace_file.empty();
+      if (want_exec_trace) rt_options.trace = &exec_trace;
       runtime::Runtime rt(run.program, rt_options);
       const runtime::RuntimeStats st = rt.run();
       out << "  " << (options.lockfree ? "lock-free" : "mutex")
@@ -328,6 +364,69 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           << st.emulator.home_dispatches << " home, "
           << st.emulator.steal_dispatches << " stolen, mailbox backlog "
           << "peak " << backlog_peak << "\n";
+      if (!options.json_file.empty()) {
+        const runtime::EmulatorStats& e = st.emulator;
+        std::ostringstream json;
+        json << "{\n"
+             << "  \"app\": \"" << run.name << "\",\n"
+             << "  \"platform\": \"soft\",\n"
+             << "  \"kernels\": " << options.kernels << ",\n"
+             << "  \"tsu_groups\": " << rt_options.tsu_groups << ",\n"
+             << "  \"policy\": \"" << core::to_string(options.policy)
+             << "\",\n"
+             << "  \"lockfree\": " << (options.lockfree ? "true" : "false")
+             << ",\n"
+             << "  \"block_pipeline\": "
+             << (options.block_pipeline ? "true" : "false") << ",\n"
+             << "  \"wall_seconds\": " << st.wall_seconds << ",\n"
+             << "  \"emulator\": {\n"
+             << "    \"dispatches\": " << e.dispatches << ",\n"
+             << "    \"home_dispatches\": " << e.home_dispatches << ",\n"
+             << "    \"steal_dispatches\": " << e.steal_dispatches
+             << ",\n"
+             << "    \"updates_processed\": " << e.updates_processed
+             << ",\n"
+             << "    \"blocks_loaded\": " << e.blocks_loaded << ",\n"
+             << "    \"prefetch_hits\": " << e.prefetch_hits << ",\n"
+             << "    \"prefetch_misses\": " << e.prefetch_misses << ",\n"
+             << "    \"deferred_replays\": " << e.deferred_replays << "\n"
+             << "  }\n"
+             << "}\n";
+        std::ofstream(options.json_file) << json.str();
+        out << "  wrote " << options.json_file << "\n";
+      }
+      if (want_exec_trace) {
+        if (options.graph_file.empty()) {
+          // Benchmark provenance so `tflux_check` can rebuild the
+          // exact Program without a saved ddmgraph.
+          std::string app_name = apps::to_string(options.app);
+          std::string size_name = apps::to_string(options.size);
+          for (char& c : app_name) c = static_cast<char>(std::tolower(c));
+          for (char& c : size_name) {
+            c = static_cast<char>(std::tolower(c));
+          }
+          exec_trace.app = app_name;
+          exec_trace.size = size_name;
+          exec_trace.unroll = options.unroll;
+          exec_trace.tsu_capacity = options.tsu_capacity;
+        }
+        if (!options.trace_file.empty()) {
+          std::ofstream(options.trace_file)
+              << core::save_trace(exec_trace);
+          out << "  wrote " << options.trace_file << " ("
+              << exec_trace.records.size() << " records)\n";
+        }
+        if (options.check) {
+          const core::CheckReport report =
+              core::check_trace(run.program, exec_trace);
+          std::istringstream lines(report.to_string(run.program));
+          std::string line;
+          while (std::getline(lines, line)) {
+            out << "  check: " << line << "\n";
+          }
+          check_failed = !report.clean();
+        }
+      }
       break;
     }
     case CliPlatform::kHard:
@@ -388,13 +487,17 @@ int run_cli(const CliOptions& options, std::ostream& out) {
 
   // Validation only applies when bodies ran (reference/soft always run
   // them; hard/cell run them when --no-validate was not given).
+  int rc = check_failed ? 1 : 0;
   if (validate) {
     const bool ok = run.validate();
     out << "  results " << (ok ? "match" : "DO NOT match")
         << " the sequential reference\n";
-    return ok ? 0 : 1;
+    if (!ok) rc = 1;
   }
-  return 0;
+  if (check_failed) {
+    out << "tflux_run: ddmcheck found protocol violations\n";
+  }
+  return rc;
 }
 
 }  // namespace tflux::tools

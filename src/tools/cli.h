@@ -46,8 +46,17 @@ struct CliOptions {
   /// Run the ddmlint static verifier on the program before executing;
   /// abort (exit 1) when it reports errors.
   bool lint = false;
+  /// Soft platform only: record an execution trace and replay it
+  /// through the ddmcheck verifier after the run (exit 1 on findings).
+  bool check = false;
   std::string dot_file;        ///< write DOT here if non-empty
-  std::string trace_file;      ///< write Chrome trace here if non-empty
+  /// Trace output: a ddmtrace execution trace on the soft platform, a
+  /// Chrome JSON trace on the simulated ones.
+  std::string trace_file;
+  /// Soft platform only: write a machine-readable JSON run summary
+  /// (wall time plus the emulator counters under a stable "emulator"
+  /// key) here if non-empty.
+  std::string json_file;
   /// Instead of a benchmark, load a ddmgraph file and simulate it
   /// (timing-plane only; implies --no-validate).
   std::string graph_file;

@@ -73,6 +73,8 @@ std::string lint_usage() {
       "2)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
+      "  --werror                             promote warnings to "
+      "errors\n"
       "  --quiet                              summaries only\n"
       "  --help\n"
       "Diagnostic catalog: docs/LINTING.md\n";
@@ -117,6 +119,8 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
           "--min-block-threads", value_of("--min-block-threads=")));
     } else if (arg == "--strict") {
       options.strict = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -135,7 +139,16 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.num_kernels = options.kernels;
   verify_options.tub_lane_capacity = options.tub_lane_capacity;
   verify_options.min_block_threads = options.min_block_threads;
-  const core::VerifyReport report = core::verify(program, verify_options);
+  core::VerifyReport report = core::verify(program, verify_options);
+  if (options.werror) {
+    for (core::Diagnostic& d : report.diagnostics) {
+      if (d.severity == core::Severity::kWarning) {
+        d.severity = core::Severity::kError;
+        --report.num_warnings;
+        ++report.num_errors;
+      }
+    }
+  }
   if (!options.quiet) {
     for (const core::Diagnostic& d : report.diagnostics) {
       out << program.name() << ": " << d.to_string(program) << "\n";

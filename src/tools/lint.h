@@ -35,6 +35,9 @@ struct LintOptions {
   std::uint32_t min_block_threads = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
+  /// Promote every warning to an error (CI gate: the diagnostics are
+  /// reported as errors, and the exit code follows suit).
+  bool werror = false;
   /// Print only the per-program summary lines, not each diagnostic.
   bool quiet = false;
   bool help = false;

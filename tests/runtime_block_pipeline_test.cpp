@@ -8,12 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "apps/suite.h"
+#include "core/builder.h"
 #include "core/scheduler.h"
+#include "runtime/emulator.h"
+#include "runtime/mailbox.h"
 #include "runtime/runtime.h"
+#include "runtime/sync_memory.h"
+#include "runtime/tub_group.h"
 
 namespace tflux::runtime {
 namespace {
@@ -139,6 +146,79 @@ TEST(BlockPipelineAdaptiveTest, MatchesReferenceSchedulerThreadCount) {
   std::uint64_t executed = 0;
   for (const KernelStats& k : st.kernels) executed += k.threads_executed;
   EXPECT_EQ(executed, oracle.records.size());
+}
+
+TEST(DeferredReplayTest, UpdateAheadOfActivationIsDeferredThenReplayed) {
+  // Drive a non-coordinator TsuEmulator (group 1 of 2) directly. An
+  // update for a block the group has not activated - and, with the
+  // pipeline off, cannot shadow-apply - must park in the deferred
+  // queue and replay exactly once at that block's activation.
+  core::ProgramBuilder b("deferred");
+  const core::BlockId b0 = b.add_block();
+  b.add_thread(b0, "p0", {}, {}, /*home=*/0);
+  b.add_thread(b0, "p1", {}, {}, /*home=*/1);
+  const core::BlockId b1 = b.add_block();
+  const core::ThreadId y = b.add_thread(b1, "y", {}, {}, /*home=*/0);
+  const core::ThreadId x = b.add_thread(b1, "x", {}, {}, /*home=*/1);
+  b.add_arc(y, x);  // x has Ready Count 1
+  const core::Program program = b.build(core::BuildOptions{.num_kernels = 2});
+
+  SyncMemoryGroup sm(program, 2);
+  TubGroup tubs(program, sm,
+                TubGroupOptions{.num_groups = 2,
+                                .lockfree = true,
+                                .num_lanes = 2,
+                                .lane_capacity = 64});
+  std::deque<Mailbox> mailboxes;
+  mailboxes.emplace_back(true, 64);
+  mailboxes.emplace_back(true, 64);
+  ASSERT_EQ(tubs.group_of_thread(x), 1);  // x is homed on kernel 1
+
+  // Same lane (hint 0) keeps the three commands FIFO: the update
+  // arrives while the group's current block is still invalid.
+  tubs.publish_update(x, /*hint=*/0);
+  tubs.publish_load_block(b1, /*hint=*/0);
+  tubs.broadcast_shutdown();
+
+  TsuEmulator emu(program, tubs, sm, mailboxes,
+                  TsuEmulator::Options{.group = 1,
+                                       .num_groups = 2,
+                                       .block_pipeline = false});
+  std::thread t([&emu] { emu.run(); });
+  t.join();
+
+  EXPECT_EQ(emu.stats().deferred_replays, 1u);
+  EXPECT_EQ(emu.stats().blocks_loaded, 1u);
+  EXPECT_EQ(emu.stats().updates_processed, 1u);
+  // The replayed update zeroed x's Ready Count: x was dispatched to
+  // its home mailbox, followed by the shutdown sentinel.
+  EXPECT_EQ(mailboxes[1].take(), x);
+  EXPECT_EQ(mailboxes[1].take(), core::kInvalidThread);
+}
+
+TEST(DeferredReplayTest, AdaptiveMultiBlockRunsAccountDeferredReplays) {
+  // The live deferred path: kAdaptive routing across 2 TSU Groups over
+  // a program with more than two DDM Blocks. Deferred replays are
+  // schedule-dependent (usually zero with the shadow generation in
+  // front), but whatever raced ahead must be replayed - never lost -
+  // so both transition modes still process the identical update total
+  // and produce correct results.
+  DdmParams params;
+  params.num_kernels = 4;
+  params.unroll = 8;
+  params.tsu_capacity = 64;
+  AppRun probe = apps::build_app(AppKind::kTrapez, SizeClass::kSmall,
+                                 Platform::kSimulated, params);
+  ASSERT_GT(probe.program.num_blocks(), 2u);
+
+  const ModeResult pipe = run_mode(AppKind::kTrapez, 4, 2, /*pipeline=*/true,
+                                   core::PolicyKind::kAdaptive);
+  const ModeResult sync = run_mode(AppKind::kTrapez, 4, 2, /*pipeline=*/false,
+                                   core::PolicyKind::kAdaptive);
+  EXPECT_TRUE(pipe.valid);
+  EXPECT_TRUE(sync.valid);
+  EXPECT_EQ(pipe.app_threads, sync.app_threads);
+  EXPECT_EQ(pipe.updates_processed, sync.updates_processed);
 }
 
 }  // namespace

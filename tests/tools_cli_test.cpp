@@ -73,6 +73,18 @@ TEST(CliParseTest, Errors) {
                core::TFluxError);
 }
 
+TEST(CliParseTest, CheckAndJsonFlags) {
+  const CliOptions o = parse_args(
+      {"--platform=soft", "--check", "--json=run.json"});
+  EXPECT_TRUE(o.check);
+  EXPECT_EQ(o.json_file, "run.json");
+  EXPECT_FALSE(parse_args({"--platform=soft"}).check);
+  // ddmcheck and the JSON stats report are native-runtime features.
+  EXPECT_THROW(parse_args({"--check"}), core::TFluxError);
+  EXPECT_THROW(parse_args({"--json=x.json", "--platform=hard"}),
+               core::TFluxError);
+}
+
 TEST(CliRunTest, HelpPrintsUsage) {
   std::ostringstream out;
   CliOptions o;
@@ -128,6 +140,38 @@ TEST(CliRunTest, MissingGraphFileFails) {
   std::ostringstream out;
   const CliOptions o = parse_args({"--graph=/nonexistent/x.ddmg"});
   EXPECT_THROW(run_cli(o, out), core::TFluxError);
+}
+
+TEST(CliRunTest, SoftPlatformChecksTraceAndWritesJson) {
+  const std::string json = ::testing::TempDir() + "cli_stats.json";
+  const std::string trace = ::testing::TempDir() + "cli_run.ddmtrace";
+  std::ostringstream out;
+  const CliOptions o = parse_args(
+      {"--app=trapez", "--platform=soft", "--kernels=2", "--unroll=8",
+       "--tsu-capacity=64", "--no-baseline", "--check",
+       std::string("--json=") + json, std::string("--trace=") + trace});
+  EXPECT_EQ(run_cli(o, out), 0) << out.str();
+  EXPECT_NE(out.str().find("ddmcheck"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("0 finding(s)"), std::string::npos) << out.str();
+
+  std::ifstream jf(json);
+  ASSERT_TRUE(jf.good());
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  // The machine-readable emulator block carries the pipeline counters
+  // benches scrape; the key names are part of the stable interface.
+  EXPECT_NE(jbuf.str().find("\"emulator\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"prefetch_hits\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"deferred_replays\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"steal_dispatches\""), std::string::npos);
+
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good());
+  std::string first_line;
+  std::getline(tf, first_line);
+  EXPECT_EQ(first_line, "ddmtrace 1");
+  std::remove(json.c_str());
+  std::remove(trace.c_str());
 }
 
 TEST(CliRunTest, TsuGroupsFlagReachesMachine) {

@@ -153,6 +153,33 @@ read 4096 0
   EXPECT_EQ(run_lint(options, strict_out), 1) << strict_out.str();
 }
 
+TEST(ToolsLintTest, ParsesWerror) {
+  EXPECT_FALSE(parse_lint_args({}).werror);
+  EXPECT_TRUE(parse_lint_args({"--werror"}).werror);
+}
+
+TEST(ToolsLintTest, WerrorTurnsWarningsIntoFailure) {
+  // Same zero-byte-range warning as the --strict test: --werror
+  // promotes it to an error (for CI, where a warning-only report must
+  // still fail the build).
+  const std::string path = write_temp_graph("werror.ddmg", R"(ddmgraph 1
+program werror
+block
+thread t compute 10
+read 4096 0
+)");
+  LintOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+
+  options.werror = true;
+  std::ostringstream werror_out;
+  EXPECT_EQ(run_lint(options, werror_out), 1) << werror_out.str();
+  EXPECT_NE(werror_out.str().find("empty-range"), std::string::npos)
+      << werror_out.str();
+}
+
 TEST(ToolsLintTest, CleanGraphFilePasses) {
   const std::string path = write_temp_graph("clean.ddmg", R"(ddmgraph 1
 program clean
