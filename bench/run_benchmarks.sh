@@ -9,15 +9,35 @@
 #                              (pipelined vs synchronous SM reload)
 #   BENCH_trace_overhead.json - ddmcheck execution-tracing cost
 #                              (traced vs untraced wall time)
+#   BENCH_coalesce.json      - range-update coalescing ablation
+#                              (coalesced vs unit update publishing)
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
 #   bench/run_benchmarks.sh [build_dir] [out_dir]
-set -eu
+#
+# Any bench binary exiting nonzero aborts the script (its partial JSON
+# is deleted) instead of silently leaving a stale or truncated
+# artifact behind.
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 BENCH_DIR="$BUILD_DIR/bench"
+
+# run_bench <binary> <json_path> [extra args...]: run one bench with
+# --json, deleting the artifact and failing loudly on nonzero exit.
+run_bench() {
+  local bin="$1" json="$2" rc
+  shift 2
+  echo "== $(basename "$bin") -> $json"
+  "$bin" "$@" --json "$json" || {
+    rc=$?
+    rm -f "$json"
+    echo "error: $(basename "$bin") exited with status $rc" >&2
+    exit "$rc"
+  }
+}
 
 if [ ! -x "$BENCH_DIR/micro_runtime" ]; then
   echo "error: $BENCH_DIR/micro_runtime not built" \
@@ -29,30 +49,21 @@ fi
 # per measurement); CI smoke uses a small value.
 MIN_TIME="${MIN_TIME:-0.1}"
 
-echo "== micro_runtime -> $OUT_DIR/BENCH_micro_runtime.json"
-"$BENCH_DIR/micro_runtime" \
-  --benchmark_min_time="$MIN_TIME" \
-  --json "$OUT_DIR/BENCH_micro_runtime.json"
-
-echo "== fig6_tfluxsoft -> $OUT_DIR/BENCH_fig6.json"
-"$BENCH_DIR/fig6_tfluxsoft" --json "$OUT_DIR/BENCH_fig6.json"
-
-echo "== ablation_blocks -> $OUT_DIR/BENCH_blocks.json"
-"$BENCH_DIR/ablation_blocks" --json "$OUT_DIR/BENCH_blocks.json"
-
-echo "== trace_overhead -> $OUT_DIR/BENCH_trace_overhead.json"
-"$BENCH_DIR/trace_overhead" --json "$OUT_DIR/BENCH_trace_overhead.json"
+run_bench "$BENCH_DIR/micro_runtime" "$OUT_DIR/BENCH_micro_runtime.json" \
+  --benchmark_min_time="$MIN_TIME"
+run_bench "$BENCH_DIR/fig6_tfluxsoft" "$OUT_DIR/BENCH_fig6.json"
+run_bench "$BENCH_DIR/ablation_blocks" "$OUT_DIR/BENCH_blocks.json"
+run_bench "$BENCH_DIR/trace_overhead" "$OUT_DIR/BENCH_trace_overhead.json"
+run_bench "$BENCH_DIR/update_coalesce" "$OUT_DIR/BENCH_coalesce.json"
 
 if [ "${FULL:-0}" = "1" ]; then
-  echo "== ablation_tub_tkt -> $OUT_DIR/BENCH_ablation_tub_tkt.json"
-  "$BENCH_DIR/ablation_tub_tkt" \
-    --benchmark_min_time="$MIN_TIME" \
-    --json "$OUT_DIR/BENCH_ablation_tub_tkt.json"
+  run_bench "$BENCH_DIR/ablation_tub_tkt" \
+    "$OUT_DIR/BENCH_ablation_tub_tkt.json" \
+    --benchmark_min_time="$MIN_TIME"
   for b in fig5_tfluxhard fig5x86_tfluxhard fig7_tfluxcell \
            table1_workloads ablation_policy ablation_tsu_groups \
            ablation_tsu_latency ablation_unroll; do
-    echo "== $b -> $OUT_DIR/BENCH_$b.json"
-    "$BENCH_DIR/$b" --json "$OUT_DIR/BENCH_$b.json"
+    run_bench "$BENCH_DIR/$b" "$OUT_DIR/BENCH_$b.json"
   done
 fi
 

@@ -33,6 +33,15 @@ void ProgramBuilder::add_arc(ThreadId producer, ThreadId consumer) {
   arcs_.push_back(Arc{producer, consumer});
 }
 
+void ProgramBuilder::add_arc_range(ThreadId producer, ThreadId c_lo,
+                                   ThreadId c_hi) {
+  if (c_lo > c_hi) {
+    throw TFluxError("ProgramBuilder: add_arc_range with c_lo " +
+                     std::to_string(c_lo) + " > c_hi " + std::to_string(c_hi));
+  }
+  range_arcs_.push_back(RangeArc{producer, c_lo, c_hi});
+}
+
 Program ProgramBuilder::build(const BuildOptions& options) {
   if (options.num_kernels == 0) {
     throw TFluxError("BuildOptions: num_kernels must be >= 1");
@@ -59,6 +68,19 @@ Program ProgramBuilder::build(const BuildOptions& options) {
     t.footprint = std::move(p.footprint);
     t.home_kernel = p.home;
     program.threads_.push_back(std::move(t));
+  }
+
+  // Range arcs are just a compact wire form: expand them into unit
+  // arcs so every validation pass below (legality, dedup, Ready
+  // Counts, acyclicity) sees one uniform arc list. The runtime-side
+  // coalescing is recovered afterwards from the consumer-run
+  // precomputation, which finds maximal consecutive-id runs whether
+  // they were declared via add_arc or add_arc_range.
+  for (const RangeArc& r : range_arcs_) {
+    for (ThreadId c = r.c_lo;; ++c) {
+      arcs_.push_back(Arc{r.producer, c});
+      if (c == r.c_hi) break;
+    }
   }
 
   // Validate arcs; split into same-block (TSU-visible) and forward
@@ -220,9 +242,24 @@ Program ProgramBuilder::build(const BuildOptions& options) {
   }
   program.max_kernels_ = static_cast<std::uint16_t>(max_kernel_seen + 1);
 
+  // Precompute maximal consecutive-id consumer runs for every thread
+  // (consumers are sorted + deduplicated, and Outlet appends above keep
+  // them sorted because Inlet/Outlet ids exceed all application ids).
+  // The runtime publishes each run >= 2 wide as one range update.
+  for (DThread& t : program.threads_) {
+    for (ThreadId c : t.consumers) {
+      if (!t.consumer_runs.empty() && c == t.consumer_runs.back().hi + 1) {
+        t.consumer_runs.back().hi = c;
+      } else {
+        t.consumer_runs.push_back({c, c});
+      }
+    }
+  }
+
   // Builder is consumed: bodies were moved out.
   pending_.clear();
   arcs_.clear();
+  range_arcs_.clear();
 
   // Opt-in strict mode: the full static verifier (ready counts,
   // deadlock, footprint races, capacity, kernel ranges) must pass.

@@ -66,6 +66,15 @@ class ProgramBuilder {
   /// rejected at build().
   void add_arc(ThreadId producer, ThreadId consumer);
 
+  /// Declare arcs from `producer` to every consumer in [c_lo, c_hi]
+  /// inclusive - the range-arc form the DDMCPP preprocessor emits for
+  /// loop fan-outs (chunk ids of one loop DThread are consecutive by
+  /// construction). Stored as one compact record; build() expands it
+  /// into the consumer lists and the precomputed consumer runs, so the
+  /// runtime publishes the whole range as a single range update with
+  /// no per-completion detection. Throws if c_lo > c_hi.
+  void add_arc_range(ThreadId producer, ThreadId c_lo, ThreadId c_hi);
+
   std::uint32_t num_threads() const {
     return static_cast<std::uint32_t>(pending_.size());
   }
@@ -92,11 +101,17 @@ class ProgramBuilder {
     ThreadId producer;
     ThreadId consumer;
   };
+  struct RangeArc {
+    ThreadId producer;
+    ThreadId c_lo;
+    ThreadId c_hi;
+  };
 
   std::string name_;
   BlockId next_block_ = 0;
   std::vector<PendingThread> pending_;
   std::vector<Arc> arcs_;
+  std::vector<RangeArc> range_arcs_;
 };
 
 }  // namespace tflux::core

@@ -35,6 +35,8 @@ const char* to_string(CheckDiag code) {
       return "block-lifecycle";
     case CheckDiag::kFootprintRace:
       return "footprint-race";
+    case CheckDiag::kTruncatedTrace:
+      return "truncated-trace";
   }
   return "?";
 }
@@ -290,6 +292,46 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
 
   auto valid_thread = [&](std::uint32_t id) { return id < n_threads; };
 
+  // Replay one unit Ready Count update producer -> consumer (the body
+  // shared by the update record and each member a range-update record
+  // expands to).
+  auto apply_update = [&](ThreadId producer, ThreadId consumer,
+                          std::uint64_t seq) {
+    const DThread& p = program.thread(producer);
+    const DThread& c = program.thread(consumer);
+    const bool declared =
+        std::find(p.consumers.begin(), p.consumers.end(), consumer) !=
+        p.consumers.end();
+    if (!declared) {
+      out.add(CheckDiag::kUndeclaredArc, producer, consumer, p.block, seq,
+              "update " + thread_ref(program, producer) + " -> " +
+                  thread_ref(program, consumer) +
+                  " travels along no declared Synchronization Graph "
+                  "arc");
+    } else {
+      std::uint32_t& count = fired[{producer, consumer}];
+      if (++count == 2) {
+        out.add(CheckDiag::kDuplicateUpdate, producer, consumer, p.block,
+                seq,
+                "arc " + thread_ref(program, producer) + " -> " +
+                    thread_ref(program, consumer) +
+                    " fired more than once; one completion must "
+                    "decrement each consumer exactly once");
+      }
+    }
+    ThreadState& s = st[consumer];
+    ++s.updates;
+    if (s.updates == c.ready_count_init + 1) {
+      out.add(CheckDiag::kNegativeReadyCount, consumer, kInvalidThread,
+              c.block, seq,
+              thread_ref(program, consumer) + " received " +
+                  std::to_string(s.updates) +
+                  " update(s) against an initial Ready Count of " +
+                  std::to_string(c.ready_count_init) +
+                  "; the count went negative");
+    }
+  };
+
   for (const TraceRecord& r : records) {
     ++report.records_checked;
     if (out.full()) {
@@ -306,37 +348,33 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
                       ")");
           break;
         }
-        const DThread& p = program.thread(r.a);
-        const DThread& c = program.thread(r.b);
-        const bool declared =
-            std::find(p.consumers.begin(), p.consumers.end(), r.b) !=
-            p.consumers.end();
-        if (!declared) {
-          out.add(CheckDiag::kUndeclaredArc, r.a, r.b, p.block, r.seq,
-                  "update " + thread_ref(program, r.a) + " -> " +
-                      thread_ref(program, r.b) +
-                      " travels along no declared Synchronization Graph "
-                      "arc");
-        } else {
-          std::uint32_t& count = fired[{r.a, r.b}];
-          if (++count == 2) {
-            out.add(CheckDiag::kDuplicateUpdate, r.a, r.b, p.block, r.seq,
-                    "arc " + thread_ref(program, r.a) + " -> " +
-                        thread_ref(program, r.b) +
-                        " fired more than once; one completion must "
-                        "decrement each consumer exactly once");
-          }
+        apply_update(r.a, r.b, r.seq);
+        break;
+      }
+      case TraceEvent::kRangeUpdate: {
+        // One coalesced record standing for the unit updates a -> b ..
+        // a -> c: expand and replay each, so a range that covers
+        // anything beyond the declared arcs surfaces as the exact
+        // undeclared-arc / negative-ready-count findings the unit
+        // protocol would produce.
+        if (!valid_thread(r.a) || !valid_thread(r.b) ||
+            !valid_thread(r.c)) {
+          out.add(CheckDiag::kMalformedRecord, kInvalidThread,
+                  kInvalidThread, kInvalidBlock, r.seq,
+                  "range-update references an unknown thread (" +
+                      std::to_string(r.a) + " -> [" + std::to_string(r.b) +
+                      ", " + std::to_string(r.c) + "])");
+          break;
         }
-        ThreadState& s = st[r.b];
-        ++s.updates;
-        if (s.updates == c.ready_count_init + 1) {
-          out.add(CheckDiag::kNegativeReadyCount, r.b, kInvalidThread,
-                  c.block, r.seq,
-                  thread_ref(program, r.b) + " received " +
-                      std::to_string(s.updates) +
-                      " update(s) against an initial Ready Count of " +
-                      std::to_string(c.ready_count_init) +
-                      "; the count went negative");
+        if (r.c < r.b) {
+          out.add(CheckDiag::kMalformedRecord, r.a, kInvalidThread,
+                  program.thread(r.a).block, r.seq,
+                  "range-update [" + std::to_string(r.b) + ", " +
+                      std::to_string(r.c) + "] has hi < lo");
+          break;
+        }
+        for (std::uint32_t id = r.b; id <= r.c && !out.full(); ++id) {
+          apply_update(r.a, id, r.seq);
         }
         break;
       }
@@ -488,6 +526,22 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
         break;
       }
     }
+  }
+
+  if (trace.truncated) {
+    // The records are a prefix of an abnormally ended run, flushed by
+    // the emergency path. Missing executions, unfired arcs, and
+    // unretired blocks are expected in a prefix - report the
+    // truncation itself once and skip the completeness checks and the
+    // race pass (which needs complete happens-before evidence).
+    out.add(CheckDiag::kTruncatedTrace, kInvalidThread, kInvalidThread,
+            kInvalidBlock, CheckFinding::kNoSeq,
+            "trace is marked truncated (the run ended abnormally); "
+            "replayed the " +
+                std::to_string(report.records_checked) +
+                "-record prefix, skipping end-of-trace completeness "
+                "checks and the race pass");
+    return report;
   }
 
   // End-of-trace: every DThread (Inlets and Outlets included) ran

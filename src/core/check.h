@@ -25,6 +25,13 @@
 //      two DThreads with overlapping declared footprints, at least one
 //      write, and no happens-before path in either direction raced.
 //
+// Coalesced runs: a range-update record expands to exactly the unit
+// updates producer -> lo .. producer -> hi before replay, so all of
+// the above applies unchanged to the coalesced protocol. Traces marked
+// truncated (abnormal exit flushed a prefix) get one truncated-trace
+// finding; the end-of-trace completeness checks and the race pass are
+// skipped, since a prefix legitimately misses executions and arcs.
+//
 // Entry points: check_trace() (library), `tflux_check` (CLI over a
 // saved trace), `tflux_run --check` (trace + verify in one run).
 // docs/CHECKING.md has the invariant catalog.
@@ -54,6 +61,7 @@ enum class CheckDiag : std::uint8_t {
   kMissingUpdate,            ///< declared arc never fired
   kBlockLifecycle,           ///< activation / OutletDone order broken
   kFootprintRace,            ///< concurrent overlap with >= 1 write
+  kTruncatedTrace,           ///< trace marked truncated (abnormal exit)
 };
 
 /// Stable kebab-case name of a finding (e.g. "undeclared-arc").

@@ -23,6 +23,8 @@ const char* to_string(TraceEvent event) {
       return "outlet-done";
     case TraceEvent::kBlockPromote:
       return "block-promote";
+    case TraceEvent::kRangeUpdate:
+      return "range-update";
   }
   return "?";
 }
@@ -33,7 +35,8 @@ bool parse_event(const std::string& name, TraceEvent& out) {
   for (TraceEvent e :
        {TraceEvent::kDispatch, TraceEvent::kComplete, TraceEvent::kUpdate,
         TraceEvent::kShadowDecrement, TraceEvent::kInletLoad,
-        TraceEvent::kOutletDone, TraceEvent::kBlockPromote}) {
+        TraceEvent::kOutletDone, TraceEvent::kBlockPromote,
+        TraceEvent::kRangeUpdate}) {
     if (name == to_string(e)) {
       out = e;
       return true;
@@ -46,7 +49,7 @@ bool parse_event(const std::string& name, TraceEvent& out) {
 
 std::string save_trace(const ExecTrace& trace) {
   std::ostringstream out;
-  out << "ddmtrace 1\n";
+  out << "ddmtrace 2\n";
   out << "program " << trace.program << "\n";
   out << "config kernels " << trace.kernels << " groups " << trace.groups
       << " policy " << trace.policy << " pipeline "
@@ -56,9 +59,15 @@ std::string save_trace(const ExecTrace& trace) {
     out << "app " << trace.app << " " << trace.size << " unroll "
         << trace.unroll << " tsu-capacity " << trace.tsu_capacity << "\n";
   }
+  if (trace.truncated) out << "truncated 1\n";
   for (const TraceRecord& r : trace.records) {
     out << "e " << r.seq << " " << to_string(r.event) << " " << r.actor
-        << " " << r.a << " " << r.b << "\n";
+        << " " << r.a << " " << r.b;
+    // Only the range-update record carries a third operand; keeping
+    // the other lines five-field preserves byte-for-byte shape with
+    // version-1 traces.
+    if (r.event == TraceEvent::kRangeUpdate) out << " " << r.c;
+    out << "\n";
   }
   return out.str();
 }
@@ -86,12 +95,12 @@ ExecTrace load_trace(const std::string& text) {
 
     if (word == "ddmtrace") {
       int version = 0;
-      if (!(ls >> version) || version != 1) {
+      if (!(ls >> version) || (version != 1 && version != 2)) {
         fail("unsupported ddmtrace version");
       }
       saw_magic = true;
     } else if (!saw_magic) {
-      fail("file must start with 'ddmtrace 1'");
+      fail("file must start with 'ddmtrace <version>'");
     } else if (word == "program") {
       if (!(ls >> trace.program)) fail("program needs a name");
     } else if (word == "config") {
@@ -135,6 +144,10 @@ ExecTrace load_trace(const std::string& text) {
           fail("unknown app clause '" + clause + "'");
         }
       }
+    } else if (word == "truncated") {
+      int v = 0;
+      if (!(ls >> v)) fail("truncated needs 0 or 1");
+      trace.truncated = v != 0;
     } else if (word == "e") {
       TraceRecord r;
       std::string event;
@@ -145,6 +158,15 @@ ExecTrace load_trace(const std::string& text) {
       if (!parse_event(event, r.event)) {
         fail("unknown event '" + event + "'");
       }
+      if (r.event == TraceEvent::kRangeUpdate) {
+        if (!(ls >> r.c)) fail("range-update needs <seq> <actor> <a> <b> <c>");
+      } else {
+        ls >> r.c;  // optional third operand on other events
+        if (ls.fail()) {
+          ls.clear();
+          r.c = 0;
+        }
+      }
       r.actor = static_cast<std::uint16_t>(actor);
       trace.records.push_back(r);
     } else {
@@ -153,7 +175,7 @@ ExecTrace load_trace(const std::string& text) {
   }
   if (!saw_magic) {
     ++line_no;
-    fail("empty input (missing 'ddmtrace 1' header)");
+    fail("empty input (missing 'ddmtrace <version>' header)");
   }
 
   std::stable_sort(trace.records.begin(), trace.records.end(),

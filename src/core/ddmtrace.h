@@ -8,17 +8,26 @@
 // `tflux_check`).
 //
 // Format (line oriented, '#' comments):
-//   ddmtrace 1
+//   ddmtrace 2
 //   program <name>
 //   config kernels <K> groups <G> policy <P> pipeline <0|1> lockfree <0|1>
 //   app <name> <size> unroll <N> tsu-capacity <N>    # optional
-//   e <seq> <event> <actor> <a> <b>
+//   truncated 1                                      # optional: the run
+//                                                    # ended abnormally
+//   e <seq> <event> <actor> <a> <b> [c]
+//
+// Version 2 adds the three-operand range-update record and the
+// truncated directive; version-1 files still load (no version-1 event
+// needs a third operand).
 //
 // Events and their operands (actor = lane: kernel k is lane k, TSU
 // Emulator of group g is lane K+g):
 //   dispatch          a=thread  b=target kernel   (emulator lane)
 //   complete          a=thread  b=block           (kernel lane)
 //   update            a=producer b=consumer       (kernel lane)
+//   range-update      a=producer b=lo c=hi        (kernel lane) - one
+//                     coalesced record standing for the unit updates
+//                     a -> b, a -> b+1, ..., a -> c
 //   shadow-decrement  a=thread  b=reached zero    (emulator lane)
 //   inlet-load        a=block   b=group           (emulator lane)
 //   outlet-done       a=block   b=0               (kernel lane)
@@ -41,6 +50,9 @@ enum class TraceEvent : std::uint8_t {
   kInletLoad,        ///< emulator activated a block (synchronous load)
   kOutletDone,       ///< kernel published a block's Outlet completion
   kBlockPromote,     ///< emulator activated a block (shadow-SM flip)
+  kRangeUpdate,      ///< kernel published one coalesced range update
+                     ///< (a=producer, b=lo, c=hi; stands for the unit
+                     ///< updates a->b .. a->c)
 };
 
 /// Stable kebab-case name of an event (e.g. "shadow-decrement").
@@ -58,6 +70,7 @@ struct TraceRecord {
   std::uint16_t actor = 0;  ///< lane: kernel id, or kernels + group
   std::uint32_t a = 0;
   std::uint32_t b = 0;
+  std::uint32_t c = 0;  ///< third operand (kRangeUpdate: hi), else 0
 };
 
 /// A complete execution trace: the run's configuration (enough for
@@ -77,6 +90,12 @@ struct ExecTrace {
   std::string size = "small";
   std::uint32_t unroll = 0;
   std::uint32_t tsu_capacity = 0;
+  /// The run ended abnormally (exception teardown / exit() mid-run):
+  /// the records are a prefix of the execution, flushed by the
+  /// emergency path. ddmcheck reports a single truncated-trace
+  /// diagnostic and skips the end-of-trace completeness checks instead
+  /// of producing confusing lifecycle findings.
+  bool truncated = false;
   std::vector<TraceRecord> records;
 };
 

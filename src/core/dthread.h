@@ -38,6 +38,23 @@ struct DThread {
   /// DThread completes, the TSU decrements each consumer's Ready Count.
   std::vector<ThreadId> consumers;
 
+  /// One maximal run of consecutive consumer ids: every ThreadId in
+  /// [lo, hi] inclusive is a consumer (same block by construction).
+  struct ConsumerRun {
+    ThreadId lo = kInvalidThread;
+    ThreadId hi = kInvalidThread;
+
+    std::uint32_t size() const { return hi - lo + 1; }
+    friend bool operator==(const ConsumerRun&, const ConsumerRun&) = default;
+  };
+
+  /// `consumers` partitioned into maximal consecutive-id runs,
+  /// precomputed by ProgramBuilder::build() so the runtime's publish
+  /// hot path can coalesce a whole run into one range update without
+  /// rescanning the consumer list (paper: the TSU accepts *multiple
+  /// updates* - one message covering a range of consumer instances).
+  std::vector<ConsumerRun> consumer_runs;
+
   /// Number of same-block producers. The TSU initializes this DThread's
   /// Ready Count to this value when its block is loaded; the DThread
   /// becomes executable when the count reaches zero.

@@ -57,6 +57,8 @@ const char* to_string(Diag code) {
       return "lane-capacity-stall";
     case Diag::kStallProneBlock:
       return "stall-prone-block";
+    case Diag::kCoalescableArcs:
+      return "coalescable-arcs";
   }
   return "?";
 }
@@ -373,6 +375,40 @@ void check_capacity_and_kernels(const Program& program,
                      " (num_kernels x 2); it cannot keep the kernels "
                      "busy across its block transition - merge blocks "
                      "or raise the TSU capacity");
+      }
+    }
+  }
+  if (options.coalescable_arc_min != 0) {
+    // Loop fan-outs declared as N unit arcs to consecutive instances
+    // of one consumer (chunk ids of a loop DThread are consecutive by
+    // construction) should be one range arc: the declaration is N
+    // records where one would do, and builders that bypass
+    // ProgramBuilder lose the coalesced publish path entirely. Runs
+    // are recomputed from the consumer lists here so the check also
+    // covers programs loaded from ddmgraph files.
+    for (const DThread& t : program.threads()) {
+      if (!t.is_application()) continue;
+      std::size_t i = 0;
+      while (i < t.consumers.size()) {
+        std::size_t j = i + 1;
+        while (j < t.consumers.size() &&
+               t.consumers[j] == t.consumers[j - 1] + 1) {
+          ++j;
+        }
+        const std::size_t width = j - i;
+        if (width >= options.coalescable_arc_min) {
+          out.warn(Diag::kCoalescableArcs, t.id, t.block,
+                   thread_ref(program, t.id) + " declares " +
+                       std::to_string(width) +
+                       " unit arcs to the consecutive consumers [" +
+                       std::to_string(t.consumers[i]) + ", " +
+                       std::to_string(t.consumers[j - 1]) +
+                       "]; declare them as a single range arc "
+                       "(add_arc_range) so the runtime publishes one "
+                       "range update instead of " +
+                       std::to_string(width) + " unit records");
+        }
+        i = j;
       }
     }
   }

@@ -60,6 +60,7 @@ enum class Diag : std::uint8_t {
   kHomeKernelUnassigned,  ///< built program left a thread unpinned
   kLaneCapacityStall,     ///< out-degree exceeds a TUB lane's capacity
   kStallProneBlock,       ///< block too small to cover a transition
+  kCoalescableArcs,       ///< unit-arc fan-out that should be one range arc
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -99,6 +100,13 @@ struct VerifyOptions {
   /// transition, so its boundary degrades toward a synchronous stall.
   /// The last block is exempt (no following transition to cover).
   std::uint32_t min_block_threads = 0;
+  /// Minimum width of a consecutive-consumer run for the
+  /// coalescable-arcs check (0 disables): a DThread declaring at least
+  /// this many unit arcs to consecutive instances of one consumer
+  /// (e.g. a loop DThread's chunks) should declare a single range arc
+  /// (ProgramBuilder::add_arc_range) so the runtime publishes one
+  /// range update instead of N unit records.
+  std::uint32_t coalescable_arc_min = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -134,12 +134,18 @@ void emit_builder(const ProgramIR& ir, std::ostringstream& out) {
             << footprint_expr(std::to_string(t.cycles) + "ull") << ", "
             << kernel << "));\n";
       }
+      // A DThread's chunk ids are consecutive by construction (the
+      // add_thread calls above run back to back), so each dependency
+      // is one range arc per producer instance - the compact form the
+      // runtime publishes as a single range update per completion.
       for (std::uint32_t dep : t.depends) {
-        out << "    for (tflux::core::ThreadId ddm_p : ddm_ids[" << dep
+        out << "    if (!ddm_ids[" << t.id << "].empty())\n"
+            << "      for (tflux::core::ThreadId ddm_p : ddm_ids[" << dep
             << "])\n"
-            << "      for (tflux::core::ThreadId ddm_c : ddm_ids[" << t.id
-            << "])\n"
-            << "        ddm_builder.add_arc(ddm_p, ddm_c);\n";
+            << "        ddm_builder.add_arc_range(ddm_p, ddm_ids[" << t.id
+            << "].front(),\n"
+            << "                                  ddm_ids[" << t.id
+            << "].back());\n";
       }
     }
     out << "  }\n";

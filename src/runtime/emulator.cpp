@@ -114,12 +114,28 @@ void TsuEmulator::maybe_prefetch() {
 
 bool TsuEmulator::handle_update(const TubEntry& entry) {
   const auto tid = static_cast<core::ThreadId>(entry.id);
+  const bool range = entry.kind == TubEntry::Kind::kRangeUpdate;
+  // A range never crosses DDM Blocks (consumer runs are same-block by
+  // construction), so its low member locates the whole record.
   const core::BlockId block = program_.thread(tid).block;
   if (block == my_block_) {
-    ++stats_.updates_processed;
-    if (sm_.decrement(tid, options_.thread_indexing,
-                      &stats_.sm_search_steps)) {
-      dispatch(tid);
+    if (range) {
+      // Vectorized bulk decrement: one contiguous SM sweep per owned
+      // kernel instead of one TKT lookup per member.
+      zeroed_.clear();
+      const std::size_t n = sm_.decrement_range(
+          tid, static_cast<core::ThreadId>(entry.hi), options_.group,
+          options_.num_groups, zeroed_);
+      stats_.updates_processed += n;
+      ++stats_.range_updates_processed;
+      stats_.range_members += n;
+      for (core::ThreadId z : zeroed_) dispatch(z);
+    } else {
+      ++stats_.updates_processed;
+      if (sm_.decrement(tid, options_.thread_indexing,
+                        &stats_.sm_search_steps)) {
+        dispatch(tid);
+      }
     }
     return true;
   }
@@ -135,6 +151,24 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
     if (block == next && next < program_.num_blocks()) {
       if (sm_.shadow_block(options_.group) != next) {
         sm_.preload_shadow(next, options_.group, options_.num_groups);
+      }
+      if (range) {
+        zeroed_.clear();
+        const std::size_t n = sm_.decrement_range_shadow(
+            tid, static_cast<core::ThreadId>(entry.hi), options_.group,
+            options_.num_groups, zeroed_);
+        stats_.updates_processed += n;
+        ++stats_.range_updates_processed;
+        stats_.range_members += n;
+        for (core::ThreadId z : zeroed_) {
+          if (options_.trace) {
+            options_.trace->record(trace_lane_,
+                                   core::TraceEvent::kShadowDecrement, z, 1);
+          }
+          dispatch(z);
+          ++shadow_predispatched_;
+        }
+        return true;
       }
       ++stats_.updates_processed;
       const bool zero = sm_.decrement_shadow(tid, options_.thread_indexing,
@@ -152,7 +186,8 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
     }
   }
   // Raced ahead of a block this group cannot account yet (only
-  // possible with several TSU groups); defer until activation.
+  // possible with several TSU groups); defer until activation. The
+  // entry is stored whole, so deferred ranges replay as ranges.
   deferred_updates_.push_back(entry);
   return false;
 }
@@ -246,7 +281,8 @@ void TsuEmulator::run() {
           activate_block(block, /*dispatch_inlet=*/false);
           break;
         }
-        case TubEntry::Kind::kUpdate: {
+        case TubEntry::Kind::kUpdate:
+        case TubEntry::Kind::kRangeUpdate: {
           handle_update(e);
           break;
         }

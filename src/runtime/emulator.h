@@ -64,6 +64,12 @@ struct alignas(kCacheLine) EmulatorStats {
   /// Dispatches routed away from the home kernel by the kLocality /
   /// kAdaptive policies (kFifo round-robin is not counted).
   std::uint64_t steal_dispatches = 0;
+  /// kRangeUpdate records applied (each counts its members into
+  /// updates_processed, so unit and coalesced runs reconcile there;
+  /// the ratio range_members / range_updates_processed is the
+  /// coalescing factor).
+  std::uint64_t range_updates_processed = 0;
+  std::uint64_t range_members = 0;
 
   EmulatorStats& operator+=(const EmulatorStats& other) {
     updates_processed += other.updates_processed;
@@ -76,6 +82,8 @@ struct alignas(kCacheLine) EmulatorStats {
     prefetch_misses += other.prefetch_misses;
     deferred_replays += other.deferred_replays;
     steal_dispatches += other.steal_dispatches;
+    range_updates_processed += other.range_updates_processed;
+    range_members += other.range_members;
     return *this;
   }
 };
@@ -131,9 +139,10 @@ class TsuEmulator {
   /// block's Inlet (coordinator fast path), dispatch the zero-Ready-
   /// Count first wave, and replay any applicable deferred updates.
   void activate_block(core::BlockId block, bool dispatch_inlet);
-  /// Apply one kUpdate: to the current generation, to the shadow
-  /// (pipelined cross-block update), or defer it. Returns true when
-  /// the update was applied.
+  /// Apply one kUpdate or kRangeUpdate: to the current generation, to
+  /// the shadow (pipelined cross-block update), or defer it. A range
+  /// decrements every owned member in one contiguous SM sweep. Returns
+  /// true when the update was applied.
   bool handle_update(const TubEntry& entry);
   /// Stage the next block's partition in the shadow generation once
   /// the current block is nearly drained.
@@ -163,6 +172,9 @@ class TsuEmulator {
   /// that next-block updates go straight to the shadow generation).
   /// Replayed at the next activation.
   std::vector<TubEntry> deferred_updates_;
+  /// Reused scratch: members a range sweep drove to zero, pending
+  /// dispatch.
+  std::vector<core::ThreadId> zeroed_;
 };
 
 }  // namespace tflux::runtime

@@ -30,12 +30,27 @@ void Kernel::post_process(const core::DThread& t) {
       break;
     case core::ThreadKind::kApplication:
       if (trace_) {
-        for (const core::ThreadId consumer : t.consumers) {
-          trace_->record(id_, core::TraceEvent::kUpdate, t.id, consumer);
+        // Trace what is actually published: one range-update record
+        // per coalesced run, unit records otherwise - so ddmcheck
+        // verifies the coalesced protocol itself, expanding each range
+        // back to its declared unit arcs.
+        if (tubs_.coalesce() && !t.consumer_runs.empty()) {
+          for (const core::DThread::ConsumerRun& run : t.consumer_runs) {
+            if (run.lo == run.hi) {
+              trace_->record(id_, core::TraceEvent::kUpdate, t.id, run.lo);
+            } else {
+              trace_->record(id_, core::TraceEvent::kRangeUpdate, t.id,
+                             run.lo, run.hi);
+            }
+          }
+        } else {
+          for (const core::ThreadId consumer : t.consumers) {
+            trace_->record(id_, core::TraceEvent::kUpdate, t.id, consumer);
+          }
         }
       }
       stats_.updates_published +=
-          tubs_.publish_updates(t.consumers, id_, scratch_);
+          tubs_.publish_completion(t, id_, scratch_);
       break;
   }
 }

@@ -55,6 +55,7 @@ RuntimeStats Runtime::run() {
                     .lane_capacity = options_.tub_lane_capacity,
                     .segments = options_.tub_segments,
                     .segment_capacity = options_.tub_segment_capacity,
+                    .coalesce = options_.coalesce_updates,
                 });
   // Size each mailbox ring to the largest block (plus chaining slack:
   // next block's inlet and the exit sentinel can be queued alongside),
@@ -74,6 +75,25 @@ RuntimeStats Runtime::run() {
   if (options_.trace != nullptr) {
     trace_log = std::make_unique<TraceLog>(options_.num_kernels,
                                            options_.tsu_groups);
+    if (options_.trace_emergency) {
+      // Abnormal teardown (exception unwinding through this frame, or
+      // exit() mid-run): persist the record prefix as a trace marked
+      // truncated. Captured state is by value except the options,
+      // which outlive the TraceLog.
+      trace_log->arm_emergency(
+          [this](std::vector<core::TraceRecord>&& records) {
+            core::ExecTrace partial;
+            partial.program = program_.name();
+            partial.kernels = options_.num_kernels;
+            partial.groups = options_.tsu_groups;
+            partial.policy = core::to_string(options_.policy);
+            partial.pipelined = options_.block_pipeline;
+            partial.lockfree = options_.lockfree;
+            partial.truncated = true;
+            partial.records = std::move(records);
+            options_.trace_emergency(partial);
+          });
+    }
   }
 
   std::vector<TsuEmulator> emulators;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/ddmtrace.h"
@@ -62,12 +63,24 @@ struct RuntimeOptions {
   /// kAdaptive policy only: home-kernel mailbox depth tolerated
   /// before a ready DThread is routed to the shallowest mailbox.
   std::uint32_t adaptive_backlog = 2;
+  /// Coalesce runs of consecutive-id consumers into single range
+  /// updates through the whole TUB -> TSU path (the paper's "multiple
+  /// update" message). false = one unit update per arc (the ablation
+  /// baseline, tflux_run --no-coalesce).
+  bool coalesce_updates = true;
   /// Execution tracing for the ddmcheck verifier: when set, every
   /// actor records Dispatch/Complete/Update/... events into lock-free
   /// lanes (runtime/trace_log.h) and run() fills this trace with the
   /// run's configuration and seq-sorted records. Null (the default)
   /// costs one predictable branch per event.
   core::ExecTrace* trace = nullptr;
+  /// Abnormal-teardown hook (requires `trace`): if run() unwinds on an
+  /// exception or the process exits mid-run, the trace lanes are
+  /// drained and this callback receives the partial trace (metadata
+  /// filled, `truncated` set) so it can still be persisted - a clear
+  /// "truncated trace" instead of a confusing lifecycle finding in
+  /// tflux_check.
+  std::function<void(core::ExecTrace&)> trace_emergency = nullptr;
 };
 
 struct RuntimeStats {

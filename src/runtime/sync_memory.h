@@ -92,6 +92,27 @@ class SyncMemoryGroup {
   bool decrement_shadow(core::ThreadId tid, bool use_tkt,
                         std::uint64_t* search_steps = nullptr);
 
+  /// Apply one range update - decrement the Ready Count of every
+  /// DThread in [lo, hi] inclusive (one DDM Block by construction) -
+  /// to the partition owned by `group` in the current generation.
+  /// Per owned kernel the range's members occupy consecutive SM slots
+  /// (slot order is ascending id order), so the decrement is one sweep
+  /// over contiguous counters bounded by a binary search. Members whose
+  /// count reaches zero are appended to `zeroed` (ascending id order
+  /// within each kernel). Returns the number of members decremented -
+  /// the unit-update-equivalent work, so coalesced and unit runs
+  /// reconcile their updates_processed totals.
+  std::size_t decrement_range(core::ThreadId lo, core::ThreadId hi,
+                              std::uint16_t group, std::uint16_t groups,
+                              std::vector<core::ThreadId>& zeroed);
+
+  /// Range variant of decrement_shadow: apply [lo, hi] to `group`'s
+  /// partition in the shadow generation (a cross-block range update
+  /// arriving before the owning group flipped).
+  std::size_t decrement_range_shadow(core::ThreadId lo, core::ThreadId hi,
+                                     std::uint16_t group, std::uint16_t groups,
+                                     std::vector<core::ThreadId>& zeroed);
+
   /// Current-generation Ready Count of `tid` (must belong to the block
   /// loaded for its home kernel's group).
   std::uint32_t count(core::ThreadId tid) const;
@@ -108,26 +129,47 @@ class SyncMemoryGroup {
   std::size_t partition_slots(core::BlockId block, std::uint16_t group,
                               std::uint16_t groups) const;
 
-  std::uint16_t num_kernels() const {
-    return static_cast<std::uint16_t>(sm_[0].size());
-  }
+  std::uint16_t num_kernels() const { return num_kernels_; }
   core::BlockId loaded_block() const {
     return loaded_block_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// One (block, kernel) slice of the tids_ arena.
+  struct Span {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
   bool decrement_in(bool shadow, core::ThreadId tid, bool use_tkt,
                     std::uint64_t* search_steps);
+  std::size_t decrement_range_in(bool shadow, core::ThreadId lo,
+                                 core::ThreadId hi, std::uint16_t group,
+                                 std::uint16_t groups,
+                                 std::vector<core::ThreadId>& zeroed);
   SmSlot find_slot(core::ThreadId tid, std::uint64_t* search_steps) const;
+  const Span& span(core::BlockId block, core::KernelId kernel) const {
+    return spans_[static_cast<std::size_t>(block) * num_kernels_ + kernel];
+  }
 
   const core::Program& program_;
+  std::uint16_t num_kernels_ = 0;
   /// TKT: ThreadId -> SM slot. Built once from the Program, exactly as
   /// the preprocessor would embed it into the binary.
   std::vector<SmSlot> tkt_;
-  /// Per block, per kernel: the DThreads homed there, in slot order.
-  std::vector<std::vector<std::vector<core::ThreadId>>> block_threads_;
-  /// The SMs, double-buffered: sm_[gen][kernel][slot].
-  std::vector<std::vector<std::uint32_t>> sm_[2];
+  /// Flat arena of DThread ids: for each (block, kernel), the ids
+  /// homed there, ascending, back to back; span(b, k) locates the
+  /// slice. A thread's SM slot is its position within its slice, so
+  /// slot order == ascending id order and a [lo, hi] range update maps
+  /// to one contiguous counter sweep per kernel.
+  std::vector<core::ThreadId> tids_;
+  std::vector<Span> spans_;
+  /// The SMs, double-buffered: one contiguous Ready Count arena per
+  /// generation. Kernel k's counters live at
+  /// [sm_off_[k], sm_off_[k + 1]) (capacity = k's widest block span);
+  /// slot s of kernel k is sm_data_[gen][sm_off_[k] + s].
+  std::vector<std::uint32_t> sm_data_[2];
+  std::vector<std::uint32_t> sm_off_;
   /// Per *kernel*: which generation is current, and which block each
   /// generation holds. Loads/preloads/promotes set all of a group's
   /// kernels together, and only the owning emulator thread touches a

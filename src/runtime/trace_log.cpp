@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <mutex>
 
 namespace tflux::runtime {
+
+namespace {
+
+// The armed TraceLog (at most one per process: one Runtime::run traces
+// at a time). The mutex orders arm/disarm against the atexit hook -
+// exit() can fire on any thread while a run is still tearing down.
+std::mutex g_armed_mutex;
+TraceLog* g_armed = nullptr;
+
+}  // namespace
 
 TraceLog::TraceLog(std::uint16_t num_kernels, std::uint16_t num_groups,
                    std::size_t lane_capacity)
@@ -19,7 +31,56 @@ TraceLog::TraceLog(std::uint16_t num_kernels, std::uint16_t num_groups,
 }
 
 TraceLog::~TraceLog() {
+  bool armed = false;
+  {
+    std::lock_guard<std::mutex> lock(g_armed_mutex);
+    if (g_armed == this) {
+      g_armed = nullptr;
+      armed = true;
+    }
+  }
+  if (!finished_ && armed) {
+    // Destroyed without finish(): an exception is unwinding through
+    // the owning Runtime::run. Persist what the lanes hold.
+    emergency_flush();
+    return;
+  }
   if (!finished_) finish();
+}
+
+void TraceLog::arm_emergency(
+    std::function<void(std::vector<core::TraceRecord>&&)> writer) {
+  static std::once_flag register_hook;
+  std::call_once(register_hook, [] { std::atexit(&TraceLog::atexit_hook); });
+  std::lock_guard<std::mutex> lock(g_armed_mutex);
+  emergency_writer_ = std::move(writer);
+  g_armed = this;
+}
+
+void TraceLog::atexit_hook() {
+  // exit() mid-run: flush the armed TraceLog so the on-disk trace says
+  // "truncated" instead of ending silently short. Worker threads may
+  // still be producing; the drained prefix is whatever made it into
+  // the lanes, which is exactly what a truncated trace promises.
+  std::lock_guard<std::mutex> lock(g_armed_mutex);
+  if (g_armed) {
+    TraceLog* log = g_armed;
+    g_armed = nullptr;
+    log->emergency_flush();
+  }
+}
+
+void TraceLog::emergency_flush() {
+  if (finished_) return;
+  finished_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) flusher_.join();
+  drain_all();
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const core::TraceRecord& a,
+                      const core::TraceRecord& b) { return a.seq < b.seq; });
+  if (emergency_writer_) emergency_writer_(std::move(records_));
+  records_.clear();
 }
 
 void TraceLog::drain_all() {
@@ -38,6 +99,13 @@ void TraceLog::flush_loop() {
 }
 
 std::vector<core::TraceRecord> TraceLog::finish() {
+  {
+    // Normal completion disarms the emergency path first, so neither
+    // the atexit hook nor the destructor flushes a finished log.
+    std::lock_guard<std::mutex> lock(g_armed_mutex);
+    if (g_armed == this) g_armed = nullptr;
+    emergency_writer_ = nullptr;
+  }
   stop_.store(true, std::memory_order_release);
   if (flusher_.joinable()) flusher_.join();
   drain_all();

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -44,14 +45,16 @@ class TraceLog {
   }
 
   /// Append one record from actor `lane`. Single producer per lane.
+  /// `c` is the optional third operand (kRangeUpdate: run end).
   void record(std::uint16_t lane, core::TraceEvent event, std::uint32_t a,
-              std::uint32_t b) {
+              std::uint32_t b, std::uint32_t c = 0) {
     core::TraceRecord r;
     r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     r.event = event;
     r.actor = lane;
     r.a = a;
     r.b = b;
+    r.c = c;
     // The flusher drains lanes far faster than actors fill them; a
     // full lane only means the flusher is momentarily behind.
     while (!lanes_[lane]->try_push(r)) cpu_relax();
@@ -61,7 +64,26 @@ class TraceLog {
   /// sorted by seq. Call after the actor threads have joined.
   std::vector<core::TraceRecord> finish();
 
+  /// Arm the emergency flush: on abnormal teardown - this TraceLog
+  /// destroyed without finish() (exception unwinding through
+  /// Runtime::run), or the process calling exit() mid-run (a
+  /// std::atexit hook covers the armed TraceLog) - the lanes are
+  /// drained and `writer` receives the seq-sorted prefix collected so
+  /// far, so the run leaves a trace marked truncated instead of no
+  /// trace (or a confusingly incomplete one). At most one TraceLog is
+  /// armed at a time; finish() disarms. The writer must not touch this
+  /// TraceLog and should only persist the records.
+  void arm_emergency(
+      std::function<void(std::vector<core::TraceRecord>&&)> writer);
+
+  /// Idempotent: stop + drain + hand records to the armed writer.
+  /// Called by the destructor and the atexit hook; safe to call
+  /// directly in tests.
+  void emergency_flush();
+
  private:
+  static void atexit_hook();
+
   void flush_loop();
   void drain_all();
 
@@ -72,6 +94,7 @@ class TraceLog {
   bool finished_ = false;
   std::vector<core::TraceRecord> records_;
   std::thread flusher_;
+  std::function<void(std::vector<core::TraceRecord>&&)> emergency_writer_;
 };
 
 }  // namespace tflux::runtime

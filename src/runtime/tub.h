@@ -27,13 +27,20 @@ namespace tflux::runtime {
 /// One command published by a Kernel's Local TSU to the TSU Emulator.
 struct TubEntry {
   enum class Kind : std::uint8_t {
-    kUpdate,      ///< decrement Ready Count of consumer `id`
-    kLoadBlock,   ///< an Inlet finished: load block `id` into the TSU
-    kOutletDone,  ///< an Outlet finished: unload block `id`, chain on
-    kShutdown,    ///< program finished: the emulator must exit
+    kUpdate,       ///< decrement Ready Count of consumer `id`
+    kRangeUpdate,  ///< decrement Ready Count of every consumer in
+                   ///< [id, hi] inclusive - the paper's "multiple
+                   ///< update" message covering a run of consecutive
+                   ///< consumer instances (same DDM Block by
+                   ///< construction; each group applies only the
+                   ///< members it owns)
+    kLoadBlock,    ///< an Inlet finished: load block `id` into the TSU
+    kOutletDone,   ///< an Outlet finished: unload block `id`, chain on
+    kShutdown,     ///< program finished: the emulator must exit
   };
   Kind kind = Kind::kUpdate;
-  std::uint32_t id = 0;  ///< consumer ThreadId or BlockId
+  std::uint32_t id = 0;  ///< consumer ThreadId or BlockId (range: lo)
+  std::uint32_t hi = 0;  ///< range end (kRangeUpdate only), inclusive
 
   friend bool operator==(const TubEntry&, const TubEntry&) = default;
 };

@@ -6,10 +6,23 @@
 
 namespace tflux::runtime {
 
+namespace {
+
+/// Publish `batch` into one TUB in max_batch-sized chunks.
+void publish_chunked(TubQueue& tub, const std::vector<TubEntry>& batch,
+                     std::uint32_t hint) {
+  const std::size_t cap = tub.max_batch();
+  for (std::size_t i = 0; i < batch.size(); i += cap) {
+    const std::size_t n = std::min(cap, batch.size() - i);
+    tub.publish({batch.data() + i, n}, hint);
+  }
+}
+
+}  // namespace
+
 TubGroup::TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
                    TubGroupOptions options)
-    : sm_(sm) {
-  (void)program;
+    : program_(program), sm_(sm), coalesce_(options.coalesce) {
   if (options.num_groups == 0) {
     throw core::TFluxError("TubGroup: num_groups must be >= 1");
   }
@@ -25,11 +38,113 @@ TubGroup::TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
   }
 }
 
+std::size_t TubGroup::publish_range_update(core::ThreadId lo,
+                                           core::ThreadId hi,
+                                           std::uint32_t hint) {
+  const TubEntry e{TubEntry::Kind::kRangeUpdate, lo, hi};
+  const std::size_t members = static_cast<std::size_t>(hi) - lo + 1;
+  const std::uint16_t groups = num_groups();
+  if (groups == 1) {
+    tubs_[0]->publish({&e, 1}, hint);
+    return members;
+  }
+  if (groups <= 64) {
+    // Single pass over the members: one publish per group that owns at
+    // least one, early-out once every group was seen.
+    std::uint64_t seen = 0;
+    const std::uint64_t all = (groups == 64) ? ~0ull : (1ull << groups) - 1;
+    for (core::ThreadId tid = lo; tid <= hi && seen != all; ++tid) {
+      const std::uint64_t bit = 1ull << group_of_thread(tid);
+      if (seen & bit) continue;
+      seen |= bit;
+      tubs_[group_of_thread(tid)]->publish({&e, 1}, hint);
+    }
+    return members;
+  }
+  // Implausibly many groups: per-group membership scan.
+  for (std::uint16_t g = 0; g < groups; ++g) {
+    for (core::ThreadId tid = lo; tid <= hi; ++tid) {
+      if (group_of_thread(tid) == g) {
+        tubs_[g]->publish({&e, 1}, hint);
+        break;
+      }
+    }
+  }
+  return members;
+}
+
+std::size_t TubGroup::publish_completion(const core::DThread& t,
+                                         std::uint32_t hint,
+                                         PublishScratch& scratch) {
+  // Runs are precomputed by ProgramBuilder::build(); hand-assembled
+  // Programs (test peers) may carry consumers without runs - fall back
+  // to the detecting list path for those.
+  if (!coalesce_ || t.consumer_runs.empty()) {
+    return publish_updates(t.consumers, hint, scratch);
+  }
+  std::size_t published = 0;
+  if (num_groups() == 1) {
+    // One group: no routing - translate the run list into a single
+    // reused batch (ranges for runs >= 2 wide, units for singletons).
+    scratch.per_group.resize(1);
+    std::vector<TubEntry>& batch = scratch.per_group[0];
+    batch.clear();
+    batch.reserve(t.consumer_runs.size());
+    for (const core::DThread::ConsumerRun& run : t.consumer_runs) {
+      if (run.lo == run.hi) {
+        batch.push_back(TubEntry{TubEntry::Kind::kUpdate, run.lo});
+      } else {
+        batch.push_back(TubEntry{TubEntry::Kind::kRangeUpdate, run.lo,
+                                 run.hi});
+      }
+      published += run.size();
+    }
+    publish_chunked(*tubs_[0], batch, hint);
+    return published;
+  }
+  // Multiple groups: singleton runs batch per owning group; wider runs
+  // publish immediately to every owning group (updates of one
+  // completion target distinct consumers, so their relative order is
+  // free).
+  scratch.per_group.resize(num_groups());
+  for (auto& batch : scratch.per_group) batch.clear();
+  for (const core::DThread::ConsumerRun& run : t.consumer_runs) {
+    if (run.lo == run.hi) {
+      scratch.per_group[group_of_thread(run.lo)].push_back(
+          TubEntry{TubEntry::Kind::kUpdate, run.lo});
+      ++published;
+    } else {
+      published += publish_range_update(run.lo, run.hi, hint);
+    }
+  }
+  for (std::uint16_t g = 0; g < num_groups(); ++g) {
+    publish_chunked(*tubs_[g], scratch.per_group[g], hint);
+  }
+  return published;
+}
+
 std::size_t TubGroup::publish_updates(
     const std::vector<core::ThreadId>& consumers, std::uint32_t hint,
     PublishScratch& scratch) {
   if (consumers.empty()) return 0;
   scratch.per_group.resize(num_groups());
+
+  // Kernel-side coalescing: collapse adjacent consecutive-id
+  // same-block consumers in the batch into one range entry. The
+  // consumer lists the runtime publishes are sorted, so this finds the
+  // same maximal runs build() precomputes; arbitrary (unsorted) lists
+  // degrade gracefully to unit entries.
+  auto next_run = [&](std::size_t i) {
+    std::size_t j = i + 1;
+    if (coalesce_) {
+      while (j < consumers.size() && consumers[j] == consumers[j - 1] + 1 &&
+             program_.thread(consumers[j]).block ==
+                 program_.thread(consumers[i]).block) {
+        ++j;
+      }
+    }
+    return j;
+  };
 
   if (num_groups() == 1) {
     // Fast path: one group means no routing - translate the consumer
@@ -37,31 +152,35 @@ std::size_t TubGroup::publish_updates(
     std::vector<TubEntry>& batch = scratch.per_group[0];
     batch.clear();
     batch.reserve(consumers.size());
-    for (core::ThreadId consumer : consumers) {
-      batch.push_back(TubEntry{TubEntry::Kind::kUpdate, consumer});
+    for (std::size_t i = 0; i < consumers.size();) {
+      const std::size_t j = next_run(i);
+      if (j == i + 1) {
+        batch.push_back(TubEntry{TubEntry::Kind::kUpdate, consumers[i]});
+      } else {
+        batch.push_back(TubEntry{TubEntry::Kind::kRangeUpdate, consumers[i],
+                                 consumers[j - 1]});
+      }
+      i = j;
     }
-    const std::size_t cap = tubs_[0]->max_batch();
-    for (std::size_t i = 0; i < batch.size(); i += cap) {
-      const std::size_t n = std::min(cap, batch.size() - i);
-      tubs_[0]->publish({batch.data() + i, n}, hint);
-    }
+    publish_chunked(*tubs_[0], batch, hint);
     return consumers.size();
   }
 
-  // Sort consumers into per-group batches (reused buffers), then
-  // publish each batch in max_batch chunks.
+  // Sort units into per-group batches (reused buffers); detected runs
+  // publish immediately to their owning groups.
   for (auto& batch : scratch.per_group) batch.clear();
-  for (core::ThreadId consumer : consumers) {
-    scratch.per_group[group_of_thread(consumer)].push_back(
-        TubEntry{TubEntry::Kind::kUpdate, consumer});
+  for (std::size_t i = 0; i < consumers.size();) {
+    const std::size_t j = next_run(i);
+    if (j == i + 1) {
+      scratch.per_group[group_of_thread(consumers[i])].push_back(
+          TubEntry{TubEntry::Kind::kUpdate, consumers[i]});
+    } else {
+      publish_range_update(consumers[i], consumers[j - 1], hint);
+    }
+    i = j;
   }
   for (std::uint16_t g = 0; g < num_groups(); ++g) {
-    const auto& batch = scratch.per_group[g];
-    const std::size_t cap = tubs_[g]->max_batch();
-    for (std::size_t i = 0; i < batch.size(); i += cap) {
-      const std::size_t n = std::min(cap, batch.size() - i);
-      tubs_[g]->publish({batch.data() + i, n}, hint);
-    }
+    publish_chunked(*tubs_[g], scratch.per_group[g], hint);
   }
   return consumers.size();
 }

@@ -37,6 +37,10 @@ struct TubGroupOptions {
   /// Mutex geometry (paper: segmented to keep try-lock contention low).
   std::uint32_t segments = 8;
   std::uint32_t segment_capacity = 256;
+  /// Coalesce runs of consecutive consumer ids into single
+  /// kRangeUpdate records (the paper's "multiple update" message).
+  /// false = the unit-update ablation baseline.
+  bool coalesce = true;
 };
 
 class TubGroup {
@@ -76,17 +80,42 @@ class TubGroup {
     return group_of_kernel(sm_.tkt(tid).kernel);
   }
 
+  /// Range coalescing enabled (the unit-update path is the ablation).
+  bool coalesce() const { return coalesce_; }
+
   /// Kernel side: route one Ready Count update to the owning group.
   void publish_update(core::ThreadId consumer, std::uint32_t hint) {
     const TubEntry e{TubEntry::Kind::kUpdate, consumer};
     tubs_[group_of_thread(consumer)]->publish({&e, 1}, hint);
   }
 
-  /// Kernel side: route a completed DThread's whole consumer list,
-  /// batched per owning group - one publish per group carries every
-  /// update of the completion (chunked only if a batch exceeds the
-  /// TUB's max_batch). `scratch` is the calling kernel's reusable
-  /// buffer. Returns the number of updates published.
+  /// Kernel side: the explicit RangeUpdate API - one record decrements
+  /// every consumer in [lo, hi] inclusive (must be one DDM Block; a
+  /// DThread's precomputed consumer runs and DDMCPP's range arcs are
+  /// such ranges by construction, so loop post-processing needs no
+  /// detection). The record is published to every group owning at
+  /// least one member; each group applies only the slots of kernels it
+  /// owns, so every member is decremented exactly once. Returns the
+  /// number of members (the unit-update-equivalent count).
+  std::size_t publish_range_update(core::ThreadId lo, core::ThreadId hi,
+                                   std::uint32_t hint);
+
+  /// Kernel side: publish a completed DThread's updates. With
+  /// coalescing on, `t`'s precomputed consumer runs publish one range
+  /// record per run >= 2 wide and unit records for singletons; with it
+  /// off (or for programs whose runs were not precomputed) this is
+  /// publish_updates over the consumer list. Returns the number of
+  /// unit-equivalent updates published.
+  std::size_t publish_completion(const core::DThread& t, std::uint32_t hint,
+                                 PublishScratch& scratch);
+
+  /// Kernel side: route a raw consumer list, batched per owning group
+  /// - one publish per group carries every update of the completion
+  /// (chunked only if a batch exceeds the TUB's max_batch). With
+  /// coalescing on, adjacent consecutive-id same-block consumers in
+  /// the batch are detected and collapsed into range records. `scratch`
+  /// is the calling kernel's reusable buffer. Returns the number of
+  /// unit-equivalent updates published.
   std::size_t publish_updates(const std::vector<core::ThreadId>& consumers,
                               std::uint32_t hint, PublishScratch& scratch);
 
@@ -121,7 +150,9 @@ class TubGroup {
   TubStats aggregated_stats() const;
 
  private:
+  const core::Program& program_;
   const SyncMemoryGroup& sm_;
+  bool coalesce_ = true;
   std::vector<std::unique_ptr<TubQueue>> tubs_;
 };
 

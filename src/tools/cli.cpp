@@ -130,6 +130,11 @@ std::string usage() {
       "SM reload at\n"
       "                                       block boundaries "
       "(ablation)\n"
+      "  --no-coalesce                        soft platform: publish "
+      "per-consumer unit\n"
+      "                                       updates instead of "
+      "coalesced range\n"
+      "                                       records (ablation)\n"
       "  --no-validate                        skip result validation\n"
       "  --no-baseline                        skip the sequential "
       "baseline\n"
@@ -195,6 +200,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.lockfree = false;
     } else if (arg == "--no-block-pipeline") {
       options.block_pipeline = false;
+    } else if (arg == "--no-coalesce") {
+      options.coalesce = false;
     } else if (arg == "--no-validate") {
       options.validate = false;
     } else if (arg == "--no-baseline") {
@@ -339,16 +346,46 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       rt_options.tsu_groups =
           std::min(options.tsu_groups, options.kernels);
       rt_options.block_pipeline = options.block_pipeline;
+      rt_options.coalesce_updates = options.coalesce;
       core::ExecTrace exec_trace;
       const bool want_exec_trace =
           options.check || !options.trace_file.empty();
       if (want_exec_trace) rt_options.trace = &exec_trace;
+      if (want_exec_trace && !options.trace_file.empty()) {
+        // Abnormal exits (std::exit, uncaught exceptions) still leave
+        // a replayable prefix on disk, marked truncated so
+        // `tflux_check` reports it instead of a confusing failure.
+        const std::string trace_file = options.trace_file;
+        std::string app_name;
+        std::string size_name;
+        if (options.graph_file.empty()) {
+          app_name = apps::to_string(options.app);
+          size_name = apps::to_string(options.size);
+          for (char& c : app_name) c = static_cast<char>(std::tolower(c));
+          for (char& c : size_name) c = static_cast<char>(std::tolower(c));
+        }
+        const std::uint32_t unroll = options.unroll;
+        const std::uint32_t tsu_capacity = options.tsu_capacity;
+        rt_options.trace_emergency = [trace_file, app_name, size_name,
+                                      unroll, tsu_capacity](
+                                         core::ExecTrace& partial) {
+          partial.app = app_name;
+          partial.size = size_name;
+          partial.unroll = unroll;
+          partial.tsu_capacity = tsu_capacity;
+          std::ofstream(trace_file) << core::save_trace(partial);
+        };
+      }
       runtime::Runtime rt(run.program, rt_options);
       const runtime::RuntimeStats st = rt.run();
       out << "  " << (options.lockfree ? "lock-free" : "mutex")
           << " hot path: wall time " << st.wall_seconds * 1e3 << " ms, "
           << st.emulator.updates_processed << " Ready Count updates, "
           << st.tub.entries_published << " TUB entries\n";
+      out << "  " << (options.coalesce ? "coalesced" : "unit")
+          << " update path: " << st.emulator.range_updates_processed
+          << " range records covering " << st.emulator.range_members
+          << " consumers\n";
       std::uint64_t backlog_peak = 0;
       for (const runtime::KernelStats& k : st.kernels) {
         backlog_peak = std::max(backlog_peak, k.mailbox_backlog_peak);
@@ -378,6 +415,8 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << ",\n"
              << "  \"block_pipeline\": "
              << (options.block_pipeline ? "true" : "false") << ",\n"
+             << "  \"coalesce\": "
+             << (options.coalesce ? "true" : "false") << ",\n"
              << "  \"wall_seconds\": " << st.wall_seconds << ",\n"
              << "  \"emulator\": {\n"
              << "    \"dispatches\": " << e.dispatches << ",\n"
@@ -386,6 +425,9 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << ",\n"
              << "    \"updates_processed\": " << e.updates_processed
              << ",\n"
+             << "    \"range_updates\": " << e.range_updates_processed
+             << ",\n"
+             << "    \"range_members\": " << e.range_members << ",\n"
              << "    \"blocks_loaded\": " << e.blocks_loaded << ",\n"
              << "    \"prefetch_hits\": " << e.prefetch_hits << ",\n"
              << "    \"prefetch_misses\": " << e.prefetch_misses << ",\n"

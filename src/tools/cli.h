@@ -41,6 +41,9 @@ struct CliOptions {
   /// Native runtime: pipelined block transitions (default) vs the
   /// synchronous per-boundary SM reload (--no-block-pipeline).
   bool block_pipeline = true;
+  /// Native runtime: coalesced range updates (default) vs per-consumer
+  /// unit updates (--no-coalesce, ablation).
+  bool coalesce = true;
   bool validate = true;
   bool baseline = true;        ///< also simulate the sequential baseline
   /// Run the ddmlint static verifier on the program before executing;

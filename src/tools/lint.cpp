@@ -71,6 +71,12 @@ std::string lint_usage() {
       "app DThreads\n"
       "                                       (0 = off; try kernels x "
       "2)\n"
+      "  --coalescable-arcs=N                 warn when a DThread "
+      "declares >= N unit\n"
+      "                                       arcs to consecutive "
+      "instances of one\n"
+      "                                       consumer instead of a "
+      "range arc (0 = off)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --werror                             promote warnings to "
@@ -117,6 +123,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--min-block-threads=", 0) == 0) {
       options.min_block_threads = static_cast<std::uint32_t>(parse_uint(
           "--min-block-threads", value_of("--min-block-threads=")));
+    } else if (arg.rfind("--coalescable-arcs=", 0) == 0) {
+      options.coalescable_arcs = static_cast<std::uint32_t>(parse_uint(
+          "--coalescable-arcs", value_of("--coalescable-arcs=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--werror") {
@@ -139,6 +148,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.num_kernels = options.kernels;
   verify_options.tub_lane_capacity = options.tub_lane_capacity;
   verify_options.min_block_threads = options.min_block_threads;
+  verify_options.coalescable_arc_min = options.coalescable_arcs;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {
     for (core::Diagnostic& d : report.diagnostics) {

@@ -33,6 +33,11 @@ struct LintOptions {
   /// stall-prone-block check (0 disables; num_kernels x 2 is the
   /// block pipeline's rule of thumb).
   std::uint32_t min_block_threads = 0;
+  /// Minimum consecutive-consumer run width for the coalescable-arcs
+  /// check (0 disables): warn when a DThread declares that many unit
+  /// arcs to consecutive instances of one consumer instead of a
+  /// single range arc.
+  std::uint32_t coalescable_arcs = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Promote every warning to an error (CI gate: the diagnostics are

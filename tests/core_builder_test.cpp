@@ -69,6 +69,65 @@ TEST(BuilderTest, ReadyCountsCountDistinctProducers) {
   EXPECT_EQ(p.block(0).sink_count, 1u);
 }
 
+TEST(BuilderTest, AddArcRangeExpandsToUnitArcs) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId p = b.add_thread(b0, "p", noop());
+  const ThreadId c0 = b.add_thread(b0, "c0", noop());
+  b.add_thread(b0, "c1", noop());
+  const ThreadId c2 = b.add_thread(b0, "c2", noop());
+  b.add_arc_range(p, c0, c2);
+  Program prog = b.build();
+
+  ASSERT_EQ(prog.thread(p).consumers.size(), 3u);
+  for (ThreadId c = c0; c <= c2; ++c) {
+    EXPECT_EQ(prog.thread(c).ready_count_init, 1u);
+  }
+  // The expansion is a single precomputed consumer run.
+  ASSERT_EQ(prog.thread(p).consumer_runs.size(), 1u);
+  EXPECT_EQ(prog.thread(p).consumer_runs[0].lo, c0);
+  EXPECT_EQ(prog.thread(p).consumer_runs[0].hi, c2);
+  EXPECT_EQ(prog.thread(p).consumer_runs[0].size(), 3u);
+}
+
+TEST(BuilderTest, AddArcRangeRejectsInvertedBounds) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId p = b.add_thread(b0, "p", noop());
+  const ThreadId c0 = b.add_thread(b0, "c0", noop());
+  const ThreadId c1 = b.add_thread(b0, "c1", noop());
+  EXPECT_THROW(b.add_arc_range(p, c1, c0), TFluxError);
+}
+
+TEST(BuilderTest, ConsumerRunsSplitAtIdGaps) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId p = b.add_thread(b0, "p", noop());
+  const ThreadId c0 = b.add_thread(b0, "c0", noop());
+  b.add_thread(b0, "skip", noop());
+  const ThreadId c2 = b.add_thread(b0, "c2", noop());
+  b.add_arc(p, c0);
+  b.add_arc(p, c2);  // not consecutive with c0
+  Program prog = b.build();
+
+  const DThread& t = prog.thread(p);
+  ASSERT_EQ(t.consumer_runs.size(), 2u);
+  EXPECT_EQ(t.consumer_runs[0].lo, c0);
+  EXPECT_EQ(t.consumer_runs[0].hi, c0);
+  EXPECT_EQ(t.consumer_runs[1].lo, c2);
+  EXPECT_EQ(t.consumer_runs[1].hi, c2);
+}
+
+TEST(BuilderTest, SinkConsumerRunIsItsOutlet) {
+  ProgramBuilder b;
+  const BlockId b0 = b.add_block();
+  const ThreadId t = b.add_thread(b0, "only", noop());
+  Program prog = b.build();
+  ASSERT_EQ(prog.thread(t).consumer_runs.size(), 1u);
+  EXPECT_EQ(prog.thread(t).consumer_runs[0].lo, prog.block(0).outlet);
+  EXPECT_EQ(prog.thread(t).consumer_runs[0].hi, prog.block(0).outlet);
+}
+
 TEST(BuilderTest, SelfArcRejected) {
   ProgramBuilder b;
   const BlockId b0 = b.add_block();

@@ -46,13 +46,14 @@ Program make_racy() {
 }
 
 void add(ExecTrace& t, TraceEvent event, std::uint16_t actor,
-         std::uint32_t a, std::uint32_t b) {
+         std::uint32_t a, std::uint32_t b, std::uint32_t c = 0) {
   TraceRecord r;
   r.seq = t.records.size();
   r.event = event;
   r.actor = actor;
   r.a = a;
   r.b = b;
+  r.c = c;
   t.records.push_back(r);
 }
 
@@ -130,12 +131,49 @@ TEST(DdmTraceTest, LoadSortsRecordsBySeq) {
 TEST(DdmTraceTest, LoadRejectsMalformedInput) {
   EXPECT_THROW(load_trace(""), TFluxError);
   EXPECT_THROW(load_trace("e 0 dispatch 1 1 0\n"), TFluxError);
-  EXPECT_THROW(load_trace("ddmtrace 2\n"), TFluxError);
+  EXPECT_THROW(load_trace("ddmtrace 3\n"), TFluxError);
   EXPECT_THROW(load_trace("ddmtrace 1\ne 0 teleport 1 1 0\n"),
                TFluxError);
   EXPECT_THROW(load_trace("ddmtrace 1\ne 0 dispatch\n"), TFluxError);
   EXPECT_THROW(load_trace("ddmtrace 1\nconfig kernels zero\n"),
                TFluxError);
+  // A range-update record requires its third operand.
+  EXPECT_THROW(load_trace("ddmtrace 2\ne 0 range-update 0 0 1\n"),
+               TFluxError);
+}
+
+TEST(DdmTraceTest, VersionOneTracesStillLoad) {
+  const ExecTrace t = load_trace(
+      "ddmtrace 1\n"
+      "program legacy\n"
+      "e 0 dispatch 1 1 0\n"
+      "e 1 update 0 0 1\n");
+  EXPECT_EQ(t.program, "legacy");
+  EXPECT_FALSE(t.truncated);
+  ASSERT_EQ(t.records.size(), 2u);
+  EXPECT_EQ(t.records[1].event, TraceEvent::kUpdate);
+  EXPECT_EQ(t.records[1].c, 0u);
+}
+
+TEST(DdmTraceTest, RangeUpdateAndTruncatedRoundTrip) {
+  ExecTrace t;
+  t.program = "rng";
+  t.truncated = true;
+  add(t, TraceEvent::kRangeUpdate, 0, 0, 1, 5);
+  add(t, TraceEvent::kUpdate, 0, 2, 4);
+  const std::string text = save_trace(t);
+  EXPECT_EQ(text.rfind("ddmtrace 2", 0), 0u);
+  EXPECT_NE(text.find("truncated 1"), std::string::npos);
+  EXPECT_NE(text.find("range-update 0 0 1 5"), std::string::npos);
+  const ExecTrace back = load_trace(text);
+  EXPECT_TRUE(back.truncated);
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0].event, TraceEvent::kRangeUpdate);
+  EXPECT_EQ(back.records[0].a, 0u);
+  EXPECT_EQ(back.records[0].b, 1u);
+  EXPECT_EQ(back.records[0].c, 5u);
+  EXPECT_EQ(back.records[1].event, TraceEvent::kUpdate);
+  EXPECT_EQ(back.records[1].c, 0u);
 }
 
 TEST(CheckTest, FaithfulTraceIsClean) {
@@ -166,6 +204,104 @@ TEST(CheckTest, FlagsDuplicateUpdateAndNegativeReadyCount) {
   const CheckReport report = check_trace(p, t);
   EXPECT_TRUE(has(report, CheckDiag::kDuplicateUpdate));
   EXPECT_TRUE(has(report, CheckDiag::kNegativeReadyCount));
+}
+
+/// One block: p (id 0) --arcs--> c1 (id 1) and c2 (id 2), consecutive
+/// consumers. Inlet = 3, outlet = 4 (RC 2: sinks c1, c2).
+Program make_fanout() {
+  ProgramBuilder b("fanout");
+  const BlockId b0 = b.add_block();
+  const ThreadId p = b.add_thread(b0, "p", {});
+  const ThreadId c1 = b.add_thread(b0, "c1", {});
+  b.add_thread(b0, "c2", {});
+  b.add_arc_range(p, c1, c1 + 1);
+  return b.build(BuildOptions{.num_kernels = 1});
+}
+
+/// A faithful coalesced execution of make_fanout(): p's completion is
+/// one range-update covering consumers [1, 2].
+ExecTrace fanout_trace() {
+  ExecTrace t;
+  t.program = "fanout";
+  t.kernels = 1;
+  t.groups = 1;
+  t.pipelined = false;
+  add(t, TraceEvent::kDispatch, 1, 3, 0);        // inlet
+  add(t, TraceEvent::kComplete, 0, 3, 0);
+  add(t, TraceEvent::kInletLoad, 1, 0, 0);
+  add(t, TraceEvent::kDispatch, 1, 0, 0);        // root p
+  add(t, TraceEvent::kComplete, 0, 0, 0);
+  add(t, TraceEvent::kRangeUpdate, 0, 0, 1, 2);  // p -> [c1, c2]
+  add(t, TraceEvent::kDispatch, 1, 1, 0);
+  add(t, TraceEvent::kDispatch, 1, 2, 0);
+  add(t, TraceEvent::kComplete, 0, 1, 0);
+  add(t, TraceEvent::kUpdate, 0, 1, 4);
+  add(t, TraceEvent::kComplete, 0, 2, 0);
+  add(t, TraceEvent::kUpdate, 0, 2, 4);
+  add(t, TraceEvent::kDispatch, 1, 4, 0);        // outlet
+  add(t, TraceEvent::kComplete, 0, 4, 0);
+  add(t, TraceEvent::kOutletDone, 0, 0, 0);
+  return t;
+}
+
+TEST(CheckTest, FaithfulRangeUpdateTraceIsClean) {
+  const Program p = make_fanout();
+  const CheckReport report = check_trace(p, fanout_trace());
+  EXPECT_TRUE(report.clean()) << report.to_string(p);
+}
+
+TEST(CheckTest, RangeUpdateExpandsToDeclaredUnitArcs) {
+  // Widening the range past the declared consumers must surface the
+  // exact unit-arc findings: an undeclared arc (0 -> 3 is the inlet)
+  // and a malformed end past the id space.
+  const Program p = make_fanout();
+  ExecTrace t = fanout_trace();
+  t.records[5].c = 3;  // covers [1, 3]: 0->3 was never declared
+  const CheckReport report = check_trace(p, t);
+  EXPECT_TRUE(has(report, CheckDiag::kUndeclaredArc));
+}
+
+TEST(CheckTest, FlagsRangeUpdateWithHiBelowLo) {
+  const Program p = make_fanout();
+  ExecTrace t = fanout_trace();
+  std::swap(t.records[5].b, t.records[5].c);  // [2, 1]
+  const CheckReport report = check_trace(p, t);
+  EXPECT_TRUE(has(report, CheckDiag::kMalformedRecord));
+}
+
+TEST(CheckTest, RangeUpdateReplayedTwiceGoesNegative) {
+  const Program p = make_fanout();
+  ExecTrace t = fanout_trace();
+  TraceRecord dup = t.records[5];
+  dup.seq = t.records.size();
+  t.records.push_back(dup);
+  const CheckReport report = check_trace(p, t);
+  EXPECT_TRUE(has(report, CheckDiag::kDuplicateUpdate));
+  EXPECT_TRUE(has(report, CheckDiag::kNegativeReadyCount));
+}
+
+TEST(CheckTest, TruncatedTraceGetsOneFindingAndSkipsCompleteness) {
+  const Program p = make_diamond();
+  ExecTrace t = diamond_trace();
+  t.records.resize(8);  // cut mid-run: b dispatched, never completed
+  t.truncated = true;
+  const CheckReport report = check_trace(p, t);
+  ASSERT_EQ(report.findings.size(), 1u) << report.to_string(p);
+  EXPECT_EQ(report.findings[0].code, CheckDiag::kTruncatedTrace);
+  EXPECT_FALSE(has(report, CheckDiag::kMissingExecution));
+  EXPECT_FALSE(has(report, CheckDiag::kMissingUpdate));
+}
+
+TEST(CheckTest, TruncatedPrefixStillFlagsProtocolViolations) {
+  const Program p = make_diamond();
+  ExecTrace t = diamond_trace();
+  t.records.resize(8);
+  t.records[6].a = 2;  // the a->b update claims to come from c
+  t.truncated = true;
+  const CheckReport report = check_trace(p, t);
+  EXPECT_TRUE(has(report, CheckDiag::kUndeclaredArc));
+  EXPECT_TRUE(has(report, CheckDiag::kTruncatedTrace));
+  EXPECT_FALSE(has(report, CheckDiag::kMissingUpdate));
 }
 
 TEST(CheckTest, FlagsPrematureDispatch) {

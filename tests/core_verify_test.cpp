@@ -431,6 +431,53 @@ TEST(VerifyTest, StallProneBlockIsWarned) {
   EXPECT_TRUE(verify(program, options).clean());
 }
 
+TEST(VerifyTest, CoalescableUnitArcFanOutIsWarned) {
+  // source declares 5 unit arcs to 5 consecutively-created consumers:
+  // with a threshold of 4 that run should be one range arc.
+  ProgramBuilder builder("coalescable");
+  const BlockId blk = builder.add_block();
+  const ThreadId source = builder.add_thread(blk, "source", {});
+  for (int i = 0; i < 5; ++i) {
+    builder.add_arc(source, builder.add_thread(blk, "w", {}));
+  }
+  const Program program = builder.build();
+
+  VerifyOptions options;
+  options.coalescable_arc_min = 4;
+  const VerifyReport report = verify(program, options);
+  const auto found = with_code(report, Diag::kCoalescableArcs);
+  ASSERT_EQ(found.size(), 1u) << report.to_string(program);
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_EQ(found[0]->thread, source);
+  EXPECT_FALSE(report.has_errors());
+
+  options.coalescable_arc_min = 6;  // run of 5 is below the bar
+  EXPECT_TRUE(verify(program, options).clean());
+  options.coalescable_arc_min = 0;  // disabled (the default)
+  EXPECT_TRUE(verify(program, options).clean());
+}
+
+TEST(VerifyTest, ScatteredFanOutIsNotFlaggedAsCoalescable) {
+  // Arcs to non-consecutive consumers cannot be a range arc: the
+  // longest run is 1, below any sensible threshold.
+  ProgramBuilder builder("scattered");
+  const BlockId blk = builder.add_block();
+  const ThreadId source = builder.add_thread(blk, "source", {});
+  std::vector<ThreadId> consumers;
+  for (int i = 0; i < 5; ++i) {
+    consumers.push_back(builder.add_thread(blk, "w", {}));
+    builder.add_thread(blk, "gap", {});  // breaks id consecutiveness
+  }
+  for (ThreadId c : consumers) builder.add_arc(source, c);
+  const Program program = builder.build();
+
+  VerifyOptions options;
+  options.coalescable_arc_min = 2;
+  const VerifyReport report = verify(program, options);
+  EXPECT_TRUE(with_code(report, Diag::kCoalescableArcs).empty())
+      << report.to_string(program);
+}
+
 TEST(VerifyTest, SingleBlockProgramIsNeverStallProne) {
   // One block = no transitions to cover, whatever the threshold.
   ProgramBuilder builder("single");

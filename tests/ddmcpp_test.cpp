@@ -318,7 +318,11 @@ for (int i = 0; i < 64; i++) g(i);
   EXPECT_NE(code.find("ddm_iter_begin"), std::string::npos);
 }
 
-TEST(DdmcppCodegenTest, DependsEmitsAllToAllArcs) {
+TEST(DdmcppCodegenTest, DependsEmitsRangeArcsPerProducer) {
+  // A dependency on a loop DThread covers all its chunk instances;
+  // chunk ids are consecutive by construction, so each producer
+  // instance gets one range arc over the consumer's instances rather
+  // than N unit arcs.
   const std::string code = generate(parse(R"(
 #pragma ddm startprogram
 #pragma ddm for thread 1
@@ -330,8 +334,9 @@ b();
 #pragma ddm endprogram
 )"),
                                     {Target::kSoft, true});
-  EXPECT_NE(code.find("ddm_builder.add_arc(ddm_p, ddm_c)"),
+  EXPECT_NE(code.find("ddm_builder.add_arc_range(ddm_p, ddm_ids["),
             std::string::npos);
+  EXPECT_EQ(code.find("ddm_builder.add_arc(ddm_p"), std::string::npos);
 }
 
 TEST(DdmcppCodegenTest, KernelPinningEmitted) {

@@ -1,0 +1,272 @@
+// Coalesced range updates: the vectorized SM sweep must be
+// indistinguishable - final state, verified trace, update totals -
+// from per-consumer unit updates (the --no-coalesce ablation), and the
+// range primitives must respect partition and generation boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/builder.h"
+#include "core/check.h"
+#include "core/ddmtrace.h"
+#include "runtime/runtime.h"
+#include "runtime/sync_memory.h"
+
+namespace tflux {
+namespace {
+
+void noop(const core::ExecContext&) {}
+
+// --- SyncMemoryGroup range primitives ---------------------------------
+
+TEST(SyncMemoryRangeTest, RangeSweepsOnlyTheOwnedPartition) {
+  core::ProgramBuilder b("part");
+  const core::BlockId blk = b.add_block();
+  const core::ThreadId p = b.add_thread(blk, "p", noop, {}, 0);
+  std::vector<core::ThreadId> consumers;
+  for (int i = 0; i < 6; ++i) {
+    // Alternate home kernels so the range straddles both partitions.
+    consumers.push_back(b.add_thread(blk, "c", noop, {},
+                                     static_cast<core::KernelId>(i % 2)));
+  }
+  b.add_arc_range(p, consumers.front(), consumers.back());
+  const core::Program program =
+      b.build(core::BuildOptions{.num_kernels = 2});
+
+  runtime::SyncMemoryGroup sm(program, 2);
+  sm.load_block_partition(blk, /*group=*/0, /*groups=*/2);
+  sm.load_block_partition(blk, /*group=*/1, /*groups=*/2);
+
+  std::vector<core::ThreadId> zeroed;
+  const std::size_t n0 = sm.decrement_range(consumers.front(),
+                                            consumers.back(), /*group=*/0,
+                                            /*groups=*/2, zeroed);
+  // Group 0 owns kernel 0: consumers 0, 2, 4 of the run.
+  EXPECT_EQ(n0, 3u);
+  EXPECT_EQ(zeroed, (std::vector<core::ThreadId>{
+                        consumers[0], consumers[2], consumers[4]}));
+  // The other partition's counts are untouched.
+  EXPECT_EQ(sm.count(consumers[1]), 1u);
+  EXPECT_EQ(sm.count(consumers[3]), 1u);
+
+  zeroed.clear();
+  const std::size_t n1 = sm.decrement_range(consumers.front(),
+                                            consumers.back(), /*group=*/1,
+                                            /*groups=*/2, zeroed);
+  EXPECT_EQ(n1, 3u);
+  EXPECT_EQ(n0 + n1, consumers.size());
+  for (core::ThreadId c : consumers) EXPECT_EQ(sm.count(c), 0u);
+}
+
+TEST(SyncMemoryRangeTest, SubrangeLeavesNeighborsUntouched) {
+  core::ProgramBuilder b("sub");
+  const core::BlockId blk = b.add_block();
+  const core::ThreadId p = b.add_thread(blk, "p", noop, {}, 0);
+  std::vector<core::ThreadId> consumers;
+  for (int i = 0; i < 5; ++i) {
+    consumers.push_back(b.add_thread(blk, "c", noop, {}, 0));
+  }
+  b.add_arc_range(p, consumers.front(), consumers.back());
+  const core::Program program =
+      b.build(core::BuildOptions{.num_kernels = 1});
+
+  runtime::SyncMemoryGroup sm(program, 1);
+  sm.load_block(blk);
+  std::vector<core::ThreadId> zeroed;
+  EXPECT_EQ(sm.decrement_range(consumers[1], consumers[3], 0, 1, zeroed),
+            3u);
+  EXPECT_EQ(sm.count(consumers[0]), 1u);
+  EXPECT_EQ(sm.count(consumers[2]), 0u);
+  EXPECT_EQ(sm.count(consumers[4]), 1u);
+}
+
+TEST(SyncMemoryRangeTest, ShadowRangeStaysInShadowUntilPromoted) {
+  core::ProgramBuilder b("shadow");
+  const core::BlockId b0 = b.add_block();
+  b.add_thread(b0, "t", noop, {}, 0);
+  const core::BlockId b1 = b.add_block();
+  const core::ThreadId q = b.add_thread(b1, "q", noop, {}, 0);
+  std::vector<core::ThreadId> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.push_back(b.add_thread(b1, "d", noop, {}, 0));
+  }
+  b.add_arc_range(q, consumers.front(), consumers.back());
+  const core::Program program =
+      b.build(core::BuildOptions{.num_kernels = 1});
+
+  runtime::SyncMemoryGroup sm(program, 1);
+  sm.load_block(b0);
+  sm.preload_shadow(b1, /*group=*/0, /*groups=*/1);
+  ASSERT_EQ(sm.shadow_block(0), b1);
+
+  std::vector<core::ThreadId> zeroed;
+  EXPECT_EQ(sm.decrement_range_shadow(consumers.front(), consumers.back(),
+                                      0, 1, zeroed),
+            consumers.size());
+  EXPECT_EQ(zeroed.size(), consumers.size());
+  for (core::ThreadId c : consumers) EXPECT_EQ(sm.shadow_count(c), 0u);
+  // The current generation still holds block 0.
+  EXPECT_EQ(sm.current_block(0), b0);
+
+  sm.promote_shadow(/*group=*/0, /*groups=*/1);
+  EXPECT_EQ(sm.current_block(0), b1);
+  for (core::ThreadId c : consumers) EXPECT_EQ(sm.count(c), 0u);
+}
+
+// --- end-to-end determinism vs the unit-update ablation ---------------
+
+struct RunResult {
+  runtime::RuntimeStats stats;
+  core::ExecTrace trace;
+  std::uint64_t executed = 0;
+};
+
+RunResult run_once(const core::Program& program, std::uint16_t kernels,
+                   core::PolicyKind policy, std::uint16_t groups,
+                   bool coalesce) {
+  RunResult r;
+  runtime::RuntimeOptions options;
+  options.num_kernels = kernels;
+  options.policy = policy;
+  options.tsu_groups = groups;
+  options.coalesce_updates = coalesce;
+  options.trace = &r.trace;
+  runtime::Runtime rt(program, options);
+  r.stats = rt.run();
+  for (const runtime::KernelStats& k : r.stats.kernels) {
+    r.executed += k.threads_executed;
+  }
+  return r;
+}
+
+/// The events both modes must agree on exactly: which DThreads were
+/// dispatched and completed (ids, sorted - the interleaving is free).
+std::vector<std::uint32_t> lifecycle_ids(const core::ExecTrace& trace,
+                                         core::TraceEvent event) {
+  std::vector<std::uint32_t> ids;
+  for (const core::TraceRecord& r : trace.records) {
+    if (r.event == event) ids.push_back(r.a);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+struct Config {
+  apps::AppKind app;
+  core::PolicyKind policy;
+  std::uint16_t kernels;
+  std::uint16_t groups;
+};
+
+class CoalesceDeterminismTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CoalesceDeterminismTest, CoalescedAndUnitRunsAgree) {
+  const Config& cfg = GetParam();
+  apps::DdmParams params;
+  params.num_kernels = cfg.kernels;
+  params.unroll = 8;
+  params.tsu_capacity = 64;  // force several DDM Blocks
+  apps::AppRun coalesced_run =
+      apps::build_app(cfg.app, apps::SizeClass::kSmall,
+                      apps::Platform::kNative, params);
+  const RunResult coal = run_once(coalesced_run.program, cfg.kernels,
+                                  cfg.policy, cfg.groups,
+                                  /*coalesce=*/true);
+  EXPECT_TRUE(coalesced_run.validate());
+
+  apps::AppRun unit_run =
+      apps::build_app(cfg.app, apps::SizeClass::kSmall,
+                      apps::Platform::kNative, params);
+  const RunResult unit = run_once(unit_run.program, cfg.kernels,
+                                  cfg.policy, cfg.groups,
+                                  /*coalesce=*/false);
+  EXPECT_TRUE(unit_run.validate());
+
+  // Identical final state: same threads executed, same Ready Count
+  // decrement total, same dispatch total.
+  EXPECT_EQ(coal.executed, unit.executed);
+  EXPECT_EQ(coal.stats.emulator.dispatches, unit.stats.emulator.dispatches);
+  EXPECT_EQ(coal.stats.emulator.updates_processed,
+            unit.stats.emulator.updates_processed);
+  EXPECT_EQ(lifecycle_ids(coal.trace, core::TraceEvent::kComplete),
+            lifecycle_ids(unit.trace, core::TraceEvent::kComplete));
+  EXPECT_EQ(lifecycle_ids(coal.trace, core::TraceEvent::kDispatch),
+            lifecycle_ids(unit.trace, core::TraceEvent::kDispatch));
+
+  // The ablation publishes no range records; range members are a
+  // subset of the (equal) decrement totals; both traces verify clean.
+  EXPECT_EQ(unit.stats.emulator.range_updates_processed, 0u);
+  EXPECT_LE(coal.stats.emulator.range_members,
+            coal.stats.emulator.updates_processed);
+  const core::CheckReport coal_report =
+      core::check_trace(coalesced_run.program, coal.trace);
+  EXPECT_TRUE(coal_report.clean())
+      << coal_report.to_string(coalesced_run.program);
+  const core::CheckReport unit_report =
+      core::check_trace(unit_run.program, unit.trace);
+  EXPECT_TRUE(unit_report.clean())
+      << unit_report.to_string(unit_run.program);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soft, CoalesceDeterminismTest,
+    ::testing::Values(
+        Config{apps::AppKind::kTrapez, core::PolicyKind::kLocality, 4, 1},
+        Config{apps::AppKind::kTrapez, core::PolicyKind::kAdaptive, 2, 2},
+        Config{apps::AppKind::kMmult, core::PolicyKind::kLocality, 4, 2},
+        Config{apps::AppKind::kQsort, core::PolicyKind::kAdaptive, 4, 1},
+        Config{apps::AppKind::kSusan, core::PolicyKind::kFifo, 2, 1},
+        Config{apps::AppKind::kFft, core::PolicyKind::kLocality, 4, 1}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      std::string name = apps::to_string(info.param.app);
+      name += core::to_string(info.param.policy);
+      name += "K" + std::to_string(info.param.kernels);
+      name += "G" + std::to_string(info.param.groups);
+      return name;
+    });
+
+// A synthetic wide fan-out guarantees range records actually flow
+// (applications may or may not produce wide consecutive runs).
+TEST(CoalesceFanoutTest, WideFanoutPublishesRangesAndStaysCorrect) {
+  for (const std::uint16_t groups : {std::uint16_t{1}, std::uint16_t{2}}) {
+    core::ProgramBuilder b("fanout");
+    for (int blk = 0; blk < 3; ++blk) {
+      const core::BlockId id = b.add_block();
+      std::vector<core::ThreadId> prods;
+      for (int i = 0; i < 4; ++i) {
+        prods.push_back(b.add_thread(id, "p", noop));
+      }
+      core::ThreadId lo = core::kInvalidThread;
+      core::ThreadId hi = core::kInvalidThread;
+      for (int i = 0; i < 40; ++i) {
+        const core::ThreadId c = b.add_thread(id, "c", noop);
+        if (i == 0) lo = c;
+        hi = c;
+      }
+      for (core::ThreadId p : prods) b.add_arc_range(p, lo, hi);
+    }
+    const core::Program program =
+        b.build(core::BuildOptions{.num_kernels = 4});
+
+    const RunResult coal = run_once(program, 4, core::PolicyKind::kLocality,
+                                    groups, /*coalesce=*/true);
+    const RunResult unit = run_once(program, 4, core::PolicyKind::kLocality,
+                                    groups, /*coalesce=*/false);
+    // 3 blocks x 4 producers x 40 consumers, plus sink->outlet units.
+    EXPECT_GT(coal.stats.emulator.range_updates_processed, 0u);
+    EXPECT_GE(coal.stats.emulator.range_members, 3u * 4u * 40u);
+    EXPECT_EQ(coal.stats.emulator.updates_processed,
+              unit.stats.emulator.updates_processed);
+    EXPECT_LT(coal.stats.tub.entries_published,
+              unit.stats.tub.entries_published);
+    const core::CheckReport report = core::check_trace(program, coal.trace);
+    EXPECT_TRUE(report.clean()) << report.to_string(program);
+  }
+}
+
+}  // namespace
+}  // namespace tflux

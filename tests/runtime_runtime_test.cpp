@@ -236,11 +236,15 @@ TEST(RuntimeTest, StatsAreInternallyConsistent) {
   for (const auto& k : st.kernels) executed += k.threads_executed;
   EXPECT_EQ(executed, rp.program.num_threads());
   // TUB conservation: all published entries were drained and processed.
-  // Per block: one LoadBlock per TSU group (here 1) + one OutletDone;
-  // plus one Shutdown per group at the end.
+  // With coalescing (the default), a range record is one TUB entry but
+  // counts all its members toward updates_processed, so the entry count
+  // is units (total minus range members) + range records. Per block:
+  // one LoadBlock per TSU group (here 1) + one OutletDone; plus one
+  // Shutdown per group at the end.
   EXPECT_EQ(st.tub.entries_published,
-            st.emulator.updates_processed + 2u * rp.program.num_blocks() +
-                1u);
+            st.emulator.updates_processed - st.emulator.range_members +
+                st.emulator.range_updates_processed +
+                2u * rp.program.num_blocks() + 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include "core/check.h"
 #include "core/ddmtrace.h"
 #include "runtime/runtime.h"
+#include "runtime/trace_log.h"
 
 namespace tflux {
 namespace {
@@ -65,7 +66,15 @@ TEST_P(RuntimeTraceTest, TraceReconcilesWithStatsAndChecksClean) {
   EXPECT_EQ(count(trace, core::TraceEvent::kComplete), executed);
   EXPECT_EQ(count(trace, core::TraceEvent::kDispatch),
             stats.emulator.dispatches);
-  EXPECT_EQ(count(trace, core::TraceEvent::kUpdate), updates);
+  // Coalesced publishing records one range-update per consecutive
+  // consumer run; each covers hi - lo + 1 of the published updates.
+  std::uint64_t traced_updates = count(trace, core::TraceEvent::kUpdate);
+  for (const core::TraceRecord& r : trace.records) {
+    if (r.event == core::TraceEvent::kRangeUpdate) {
+      traced_updates += r.c - r.b + 1;
+    }
+  }
+  EXPECT_EQ(traced_updates, updates);
   EXPECT_EQ(count(trace, core::TraceEvent::kOutletDone),
             run.program.num_blocks());
 
@@ -101,6 +110,48 @@ TEST(RuntimeTraceOffTest, NullTraceLeavesNoTrace) {
   runtime::Runtime rt(run.program, options);
   (void)rt.run();
   EXPECT_TRUE(run.validate());
+}
+
+TEST(TraceLogEmergencyTest, DestructionWithoutFinishFlushesToWriter) {
+  std::vector<core::TraceRecord> flushed;
+  bool called = false;
+  {
+    runtime::TraceLog log(/*num_kernels=*/1, /*num_groups=*/1);
+    log.arm_emergency([&](std::vector<core::TraceRecord>&& records) {
+      called = true;
+      flushed = std::move(records);
+    });
+    log.record(0, core::TraceEvent::kDispatch, 3, 0);
+    log.record(0, core::TraceEvent::kComplete, 3, 0);
+    // No finish(): simulates an exception unwinding through run().
+  }
+  ASSERT_TRUE(called);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].event, core::TraceEvent::kDispatch);
+  EXPECT_EQ(flushed[1].event, core::TraceEvent::kComplete);
+  EXPECT_LT(flushed[0].seq, flushed[1].seq);
+}
+
+TEST(TraceLogEmergencyTest, FinishDisarmsTheEmergencyWriter) {
+  bool called = false;
+  {
+    runtime::TraceLog log(/*num_kernels=*/1, /*num_groups=*/1);
+    log.arm_emergency(
+        [&](std::vector<core::TraceRecord>&&) { called = true; });
+    log.record(0, core::TraceEvent::kDispatch, 3, 0);
+    (void)log.finish();
+  }
+  EXPECT_FALSE(called);
+}
+
+TEST(TraceLogEmergencyTest, EmergencyFlushIsIdempotent) {
+  int calls = 0;
+  runtime::TraceLog log(/*num_kernels=*/1, /*num_groups=*/1);
+  log.arm_emergency([&](std::vector<core::TraceRecord>&&) { ++calls; });
+  log.record(0, core::TraceEvent::kDispatch, 3, 0);
+  log.emergency_flush();
+  log.emergency_flush();
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(RuntimeTraceMutexTest, MutexStructuresTraceChecksClean) {

@@ -163,11 +163,36 @@ TEST(TubGroupTest, RoutesByConsumerHomeGroup) {
   EXPECT_EQ(tubs.group_of_thread(t0), 0u);
   EXPECT_EQ(tubs.group_of_thread(t1), 1u);
 
+  // Coalescing on (the default): {t0, t1} is a consecutive-id run, so
+  // it becomes one range record published to *both* owning groups
+  // (each applies only its own partition); the trailing t1 repeat
+  // breaks the run and stays a unit update routed to group 1 alone.
   tubs.publish_updates({t0, t1, t1}, 0);
   std::vector<TubEntry> g0, g1;
   EXPECT_EQ(tubs.tub(0).drain(g0), 1u);
   EXPECT_EQ(tubs.tub(1).drain(g1), 2u);
+  EXPECT_EQ(g0[0].kind, TubEntry::Kind::kRangeUpdate);
   EXPECT_EQ(g0[0].id, t0);
+  EXPECT_EQ(g0[0].hi, t1);
+  EXPECT_EQ(g1[0].kind, TubEntry::Kind::kRangeUpdate);
+  EXPECT_EQ(g1[1].kind, TubEntry::Kind::kUpdate);
+  EXPECT_EQ(g1[1].id, t1);
+
+  // Unit-update ablation: every update is a single record routed to
+  // exactly the consumer's home group.
+  TubGroup unit_tubs(p, sm,
+                     TubGroupOptions{.num_groups = 2,
+                                     .lockfree = false,
+                                     .segments = 4,
+                                     .segment_capacity = 16,
+                                     .coalesce = false});
+  unit_tubs.publish_updates({t0, t1, t1}, 0);
+  g0.clear();
+  g1.clear();
+  EXPECT_EQ(unit_tubs.tub(0).drain(g0), 1u);
+  EXPECT_EQ(unit_tubs.tub(1).drain(g1), 2u);
+  EXPECT_EQ(g0[0].id, t0);
+  EXPECT_EQ(g0[0].kind, TubEntry::Kind::kUpdate);
   EXPECT_EQ(g1[0].id, t1);
 }
 

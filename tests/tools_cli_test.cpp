@@ -29,6 +29,11 @@ TEST(CliParseTest, MutexRuntimeFlagSelectsAblationPath) {
   EXPECT_FALSE(parse_args({"--mutex-runtime"}).lockfree);
 }
 
+TEST(CliParseTest, NoCoalesceFlagSelectsUnitUpdates) {
+  EXPECT_TRUE(parse_args({}).coalesce);
+  EXPECT_FALSE(parse_args({"--no-coalesce"}).coalesce);
+}
+
 TEST(CliParseTest, AllFlags) {
   const CliOptions o = parse_args(
       {"--app=mmult", "--size=large", "--platform=cell", "--kernels=6",
@@ -164,12 +169,15 @@ TEST(CliRunTest, SoftPlatformChecksTraceAndWritesJson) {
   EXPECT_NE(jbuf.str().find("\"prefetch_hits\""), std::string::npos);
   EXPECT_NE(jbuf.str().find("\"deferred_replays\""), std::string::npos);
   EXPECT_NE(jbuf.str().find("\"steal_dispatches\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"range_updates\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"range_members\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"coalesce\": true"), std::string::npos);
 
   std::ifstream tf(trace);
   ASSERT_TRUE(tf.good());
   std::string first_line;
   std::getline(tf, first_line);
-  EXPECT_EQ(first_line, "ddmtrace 1");
+  EXPECT_EQ(first_line, "ddmtrace 2");
   std::remove(json.c_str());
   std::remove(trace.c_str());
 }

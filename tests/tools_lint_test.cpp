@@ -82,6 +82,47 @@ thread b compute 10
   EXPECT_EQ(run_lint(options, off_out), 0) << off_out.str();
 }
 
+TEST(ToolsLintTest, ParsesCoalescableArcs) {
+  EXPECT_EQ(parse_lint_args({}).coalescable_arcs, 0u);  // off by default
+  EXPECT_EQ(parse_lint_args({"--coalescable-arcs=4"}).coalescable_arcs,
+            4u);
+  EXPECT_THROW(parse_lint_args({"--coalescable-arcs=many"}),
+               core::TFluxError);
+}
+
+TEST(ToolsLintTest, CoalescableArcsFlagsUnitArcFanOut) {
+  // One producer with unit arcs to four consecutive consumers: under
+  // a threshold of 3 that run should be a single range arc.
+  const std::string path = write_temp_graph("fanout.ddmg", R"(ddmgraph 1
+program fanout
+block
+thread p compute 10
+thread c0 compute 10
+thread c1 compute 10
+thread c2 compute 10
+thread c3 compute 10
+arc 0 1
+arc 0 2
+arc 0 3
+arc 0 4
+)");
+  LintOptions options;
+  options.graph_file = path;
+  options.coalescable_arcs = 3;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();  // warning, not error
+  EXPECT_NE(out.str().find("coalescable-arcs"), std::string::npos)
+      << out.str();
+
+  options.strict = true;
+  std::ostringstream strict_out;
+  EXPECT_EQ(run_lint(options, strict_out), 1) << strict_out.str();
+
+  options.coalescable_arcs = 0;  // disabled: clean even under strict
+  std::ostringstream off_out;
+  EXPECT_EQ(run_lint(options, off_out), 0) << off_out.str();
+}
+
 TEST(ToolsLintTest, AllShippedAppsAreClean) {
   LintOptions options;
   options.all = true;
