@@ -1,0 +1,172 @@
+// Overhead of ddmguard online protocol checking (RuntimeOptions::
+// guard) on the native TFluxSoft runtime. The guard's claim is that it
+// can stay on outside of CI: off is one predictable null branch per
+// hook, sampled:N bounds the deep per-member accounting to every Nth
+// block, and full pays the whole invariant catalog on every block.
+// This bench runs each workload under off / sampled:8 / full and
+// reports the relative wall-time cost against off. Targets: sampled:8
+// < 10% on real benchmarks, full bounded (worst case documented in
+// docs/CHECKING.md, not gated).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/builder.h"
+#include "core/guard.h"
+#include "json_out.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace tflux;
+
+/// ~0.5us of arithmetic per DThread body: a worst case for the guard,
+/// whose per-event cost is fixed while the bodies are tiny.
+void spin_body(const core::ExecContext&) {
+  volatile std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 400; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+  }
+}
+
+core::Program make_spin_program(std::uint16_t kernels, int blocks,
+                                int width) {
+  core::ProgramBuilder b("spin_" + std::to_string(blocks) + "x" +
+                         std::to_string(width));
+  for (int blk = 0; blk < blocks; ++blk) {
+    const core::BlockId id = b.add_block();
+    for (int i = 0; i < width; ++i) {
+      b.add_thread(id, "t", spin_body);
+    }
+  }
+  return b.build(core::BuildOptions{.num_kernels = kernels});
+}
+
+struct Mode {
+  const char* name;
+  core::GuardOptions guard;
+};
+
+struct ModeResult {
+  double wall_ms_min = 0.0;
+  double wall_ms_median = 0.0;
+  std::uint64_t checks = 0;        ///< guard checks of the first run
+  std::uint64_t sampled_blocks = 0;
+};
+
+ModeResult measure(const core::Program& program, std::uint16_t kernels,
+                   const core::GuardOptions& guard, int repeats) {
+  std::vector<double> walls;
+  ModeResult r;
+  for (int i = 0; i < repeats; ++i) {
+    runtime::RuntimeOptions options;
+    options.num_kernels = kernels;
+    options.guard = guard;
+    runtime::Runtime rt(program, options);
+    const runtime::RuntimeStats st = rt.run();
+    if (st.guard.violations != 0) {
+      std::fprintf(stderr, "guard tripped on a clean run - aborting\n");
+      std::exit(2);
+    }
+    walls.push_back(st.wall_seconds * 1e3);
+    if (i == 0) {
+      r.checks = st.guard.checks;
+      r.sampled_blocks = st.guard.sampled_blocks;
+    }
+  }
+  std::sort(walls.begin(), walls.end());
+  r.wall_ms_min = walls.front();
+  r.wall_ms_median = walls[walls.size() / 2];
+  return r;
+}
+
+struct Workload {
+  std::string name;
+  core::Program program;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("guard_overhead");
+
+  // REPEATS=N environment override keeps the CI smoke cheap.
+  int repeats = 15;
+  if (const char* env = std::getenv("REPEATS")) {
+    repeats = std::max(1, std::atoi(env));
+  }
+
+  const Mode modes[] = {
+      {"off", {core::GuardMode::kOff, 8}},
+      {"sampled:8", {core::GuardMode::kSampled, 8}},
+      {"full", {core::GuardMode::kFull, 8}},
+  };
+
+  std::printf("=== ddmguard online checking overhead (TFluxSoft, best "
+              "of %d) ===\n\n", repeats);
+  std::printf("%-10s %-8s %-10s | %10s %9s %10s\n", "workload",
+              "kernels", "guard", "wall_ms", "overhead", "checks");
+  std::printf("------------------------------+--------------------------"
+              "------\n");
+
+  bool sampled_under_10pct = true;
+  for (std::uint16_t kernels : {2, 4}) {
+    std::vector<Workload> workloads;
+    // Worst case: tiny spin DThreads across many block transitions.
+    workloads.push_back(
+        {"spin", make_spin_program(kernels, 16, 8 * kernels)});
+    // Realistic case: a shipped benchmark at bench-sized parameters
+    // (the fig6 trapez configuration scaled to several blocks).
+    apps::DdmParams params;
+    params.num_kernels = kernels;
+    params.unroll = 8;
+    params.tsu_capacity = 64;
+    workloads.push_back(
+        {"trapez", apps::build_app(apps::AppKind::kTrapez,
+                                   apps::SizeClass::kSmall,
+                                   apps::Platform::kNative, params)
+                       .program});
+
+    for (const Workload& w : workloads) {
+      double off_ms = 0.0;
+      for (const Mode& mode : modes) {
+        const ModeResult r =
+            measure(w.program, kernels, mode.guard, repeats);
+        if (mode.guard.mode == core::GuardMode::kOff) {
+          off_ms = r.wall_ms_min;
+        }
+        const double overhead_pct =
+            off_ms > 0.0 ? (r.wall_ms_min / off_ms - 1.0) * 100.0 : 0.0;
+        if (w.name == "trapez" &&
+            mode.guard.mode == core::GuardMode::kSampled &&
+            overhead_pct >= 10.0) {
+          sampled_under_10pct = false;
+        }
+        std::printf("%-10s %-8u %-10s | %10.4f %8.2f%% %10llu\n",
+                    w.name.c_str(), kernels, mode.name, r.wall_ms_min,
+                    overhead_pct,
+                    static_cast<unsigned long long>(r.checks));
+
+        json.begin_row();
+        json.field("workload", w.name);
+        json.field("kernels", static_cast<std::uint32_t>(kernels));
+        json.field("guard", mode.name);
+        json.field("wall_ms_min", r.wall_ms_min);
+        json.field("wall_ms_median", r.wall_ms_median);
+        json.field("checks", r.checks);
+        json.field("sampled_blocks", r.sampled_blocks);
+        json.field("overhead_pct", overhead_pct);
+      }
+    }
+  }
+  std::printf("\nexpected: off is the do-nothing branch (baseline); "
+              "sampled:8 stays under 10%%\non real benchmarks; full "
+              "bounds the worst case. %s\n",
+              sampled_under_10pct ? "(sampled target holds)"
+                                  : "(sampled target did NOT hold)");
+  return json.write_file(json_path) ? 0 : 2;
+}

@@ -10,6 +10,8 @@
 #   BENCH_trace_overhead.json - ddmcheck execution-tracing cost
 #                              (traced vs untraced wall time)
 #   BENCH_coalesce.json      - range-update coalescing ablation
+#   BENCH_guard_overhead.json - ddmguard online-checking cost
+#                              (off vs sampled:8 vs full)
 #                              (coalesced vs unit update publishing)
 #
 # FULL=1 additionally runs every other bench binary into
@@ -55,6 +57,7 @@ run_bench "$BENCH_DIR/fig6_tfluxsoft" "$OUT_DIR/BENCH_fig6.json"
 run_bench "$BENCH_DIR/ablation_blocks" "$OUT_DIR/BENCH_blocks.json"
 run_bench "$BENCH_DIR/trace_overhead" "$OUT_DIR/BENCH_trace_overhead.json"
 run_bench "$BENCH_DIR/update_coalesce" "$OUT_DIR/BENCH_coalesce.json"
+run_bench "$BENCH_DIR/guard_overhead" "$OUT_DIR/BENCH_guard_overhead.json"
 
 if [ "${FULL:-0}" = "1" ]; then
   run_bench "$BENCH_DIR/ablation_tub_tkt" \

@@ -9,38 +9,6 @@
 
 namespace tflux::core {
 
-const char* to_string(CheckDiag code) {
-  switch (code) {
-    case CheckDiag::kMalformedRecord:
-      return "malformed-record";
-    case CheckDiag::kUndeclaredArc:
-      return "undeclared-arc";
-    case CheckDiag::kDuplicateUpdate:
-      return "duplicate-update";
-    case CheckDiag::kNegativeReadyCount:
-      return "negative-ready-count";
-    case CheckDiag::kPrematureDispatch:
-      return "premature-dispatch";
-    case CheckDiag::kDoubleDispatch:
-      return "double-dispatch";
-    case CheckDiag::kDoubleExecution:
-      return "double-execution";
-    case CheckDiag::kExecutionWithoutDispatch:
-      return "execution-without-dispatch";
-    case CheckDiag::kMissingExecution:
-      return "missing-execution";
-    case CheckDiag::kMissingUpdate:
-      return "missing-update";
-    case CheckDiag::kBlockLifecycle:
-      return "block-lifecycle";
-    case CheckDiag::kFootprintRace:
-      return "footprint-race";
-    case CheckDiag::kTruncatedTrace:
-      return "truncated-trace";
-  }
-  return "?";
-}
-
 namespace {
 
 std::string thread_ref(const Program& program, ThreadId tid) {
@@ -318,6 +286,20 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
                     " fired more than once; one completion must "
                     "decrement each consumer exactly once");
       }
+    }
+    // An update must land while the consumer's block is live:
+    // every legitimate update to a block-b consumer precedes
+    // OutletDone(b) (the producer's completion feeds the Outlet's
+    // Ready Count). Landing afterwards is the stale-generation bug
+    // class - the decrement would hit a reloaded SM generation.
+    if (c.is_application() && c.block < n_blocks &&
+        outlet_done_seq[c.block] != CheckFinding::kNoSeq) {
+      out.add(CheckDiag::kBlockLifecycle, consumer, producer, c.block, seq,
+              "update " + thread_ref(program, producer) + " -> " +
+                  thread_ref(program, consumer) + " landed on block " +
+                  std::to_string(c.block) + " after its OutletDone (seq " +
+                  std::to_string(outlet_done_seq[c.block]) +
+                  "); the block was already retired");
     }
     ThreadState& s = st[consumer];
     ++s.updates;

@@ -42,30 +42,16 @@
 #include <vector>
 
 #include "core/ddmtrace.h"
+#include "core/findings.h"
 #include "core/program.h"
 #include "core/types.h"
 
 namespace tflux::core {
 
-/// Stable identifiers for every finding the trace checker can emit.
-enum class CheckDiag : std::uint8_t {
-  kMalformedRecord,          ///< record references unknown ids
-  kUndeclaredArc,            ///< update along no declared arc
-  kDuplicateUpdate,          ///< one arc fired more than once
-  kNegativeReadyCount,       ///< more updates than the initial RC
-  kPrematureDispatch,        ///< dispatched before the RC hit zero
-  kDoubleDispatch,           ///< one DThread dispatched twice
-  kDoubleExecution,          ///< one DThread completed twice
-  kExecutionWithoutDispatch, ///< completed without a Dispatch record
-  kMissingExecution,         ///< never dispatched / never completed
-  kMissingUpdate,            ///< declared arc never fired
-  kBlockLifecycle,           ///< activation / OutletDone order broken
-  kFootprintRace,            ///< concurrent overlap with >= 1 write
-  kTruncatedTrace,           ///< trace marked truncated (abnormal exit)
-};
-
-/// Stable kebab-case name of a finding (e.g. "undeclared-arc").
-const char* to_string(CheckDiag code);
+/// The finding codes are shared with ddmguard (core/findings.h) so the
+/// offline replay and the online guard report identical codes for the
+/// same violation class.
+using CheckDiag = FindingCode;
 
 /// One finding: code, location, the trace record that triggered it
 /// (seq, when applicable), and a human-readable explanation.

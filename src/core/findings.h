@@ -1,0 +1,64 @@
+// Shared finding codes for DDM protocol verification. Both verifiers
+// of the *dynamic* protocol - ddmcheck (core/check.h, offline trace
+// replay) and ddmguard (core/guard.h, online inline checking) - report
+// violations of the same invariant catalog, so the codes and their
+// stable kebab-case names live here: the same root cause yields the
+// same code whether it is caught live by a guard hook or after the
+// fact by replaying the trace the guard trip dumped.
+#pragma once
+
+#include <cstdint>
+
+namespace tflux::core {
+
+/// Stable identifiers for every dynamic-protocol finding.
+enum class FindingCode : std::uint8_t {
+  kMalformedRecord,          ///< record references unknown ids
+  kUndeclaredArc,            ///< update along no declared arc
+  kDuplicateUpdate,          ///< one arc fired more than once
+  kNegativeReadyCount,       ///< more updates than the initial RC
+  kPrematureDispatch,        ///< dispatched before the RC hit zero
+  kDoubleDispatch,           ///< one DThread dispatched twice
+  kDoubleExecution,          ///< one DThread completed twice
+  kExecutionWithoutDispatch, ///< completed without a Dispatch record
+  kMissingExecution,         ///< never dispatched / never completed
+  kMissingUpdate,            ///< declared arc never fired
+  kBlockLifecycle,           ///< activation / retire order broken
+  kFootprintRace,            ///< concurrent overlap with >= 1 write
+  kTruncatedTrace,           ///< trace marked truncated (abnormal exit)
+};
+
+/// Stable kebab-case name of a finding (e.g. "undeclared-arc").
+constexpr const char* to_string(FindingCode code) {
+  switch (code) {
+    case FindingCode::kMalformedRecord:
+      return "malformed-record";
+    case FindingCode::kUndeclaredArc:
+      return "undeclared-arc";
+    case FindingCode::kDuplicateUpdate:
+      return "duplicate-update";
+    case FindingCode::kNegativeReadyCount:
+      return "negative-ready-count";
+    case FindingCode::kPrematureDispatch:
+      return "premature-dispatch";
+    case FindingCode::kDoubleDispatch:
+      return "double-dispatch";
+    case FindingCode::kDoubleExecution:
+      return "double-execution";
+    case FindingCode::kExecutionWithoutDispatch:
+      return "execution-without-dispatch";
+    case FindingCode::kMissingExecution:
+      return "missing-execution";
+    case FindingCode::kMissingUpdate:
+      return "missing-update";
+    case FindingCode::kBlockLifecycle:
+      return "block-lifecycle";
+    case FindingCode::kFootprintRace:
+      return "footprint-race";
+    case FindingCode::kTruncatedTrace:
+      return "truncated-trace";
+  }
+  return "?";
+}
+
+}  // namespace tflux::core

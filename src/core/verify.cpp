@@ -59,6 +59,8 @@ const char* to_string(Diag code) {
       return "stall-prone-block";
     case Diag::kCoalescableArcs:
       return "coalescable-arcs";
+    case Diag::kGuardHotspot:
+      return "guard-hotspot";
   }
   return "?";
 }
@@ -375,6 +377,32 @@ void check_capacity_and_kernels(const Program& program,
                      " (num_kernels x 2); it cannot keep the kernels "
                      "busy across its block transition - merge blocks "
                      "or raise the TSU capacity");
+      }
+    }
+  }
+  if (options.guard_hotspot_budget != 0) {
+    // ddmguard's sampled mode bounds overhead by deep-checking only
+    // every Nth block - but the cost of a deep-checked block is its
+    // Ready Count fan-in (one accounting step per update received).
+    // A block whose fan-in dwarfs the budget concentrates the guard's
+    // work into one transition whenever the sampling lands on it.
+    for (const Block& blk : program.blocks()) {
+      std::uint64_t fan_in = 0;
+      for (ThreadId tid : blk.app_threads) {
+        fan_in += program.thread(tid).ready_count_init;
+      }
+      fan_in += program.thread(blk.outlet).ready_count_init;
+      if (fan_in > options.guard_hotspot_budget) {
+        out.warn(Diag::kGuardHotspot, kInvalidThread, blk.id,
+                 "block " + std::to_string(blk.id) + " receives " +
+                     std::to_string(fan_in) +
+                     " Ready Count update(s), above the sampled-guard "
+                     "budget of " +
+                     std::to_string(options.guard_hotspot_budget) +
+                     "; when ddmguard samples this block its per-member "
+                     "accounting lands on one transition - raise the "
+                     "sample period, split the block, or reserve "
+                     "--guard=full for CI");
       }
     }
   }

@@ -61,6 +61,7 @@ enum class Diag : std::uint8_t {
   kLaneCapacityStall,     ///< out-degree exceeds a TUB lane's capacity
   kStallProneBlock,       ///< block too small to cover a transition
   kCoalescableArcs,       ///< unit-arc fan-out that should be one range arc
+  kGuardHotspot,          ///< block fan-in exceeds the sampled-guard budget
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -107,6 +108,14 @@ struct VerifyOptions {
   /// (ProgramBuilder::add_arc_range) so the runtime publishes one
   /// range update instead of N unit records.
   std::uint32_t coalescable_arc_min = 0;
+  /// ddmguard sampled-mode budget for the guard-hotspot check (0
+  /// disables): warn when one block's Ready Count fan-in (the total
+  /// updates its application threads and Outlet receive) exceeds this.
+  /// When such a block lands on a sampled generation, the guard's
+  /// per-member accounting adds that many checks to a single block
+  /// transition - the overhead spike deterministic sampling is meant
+  /// to bound. tflux_lint --guard-hotspots=N.
+  std::uint32_t guard_hotspot_budget = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -38,14 +38,30 @@ TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
   if (options_.trace) {
     trace_lane_ = options_.trace->emulator_lane(options_.group);
   }
+  // Guard lanes follow the TraceLog convention: kernels first, then
+  // one lane per emulator group.
+  guard_ = GuardHook{options_.guard,
+                     static_cast<std::uint16_t>(mailboxes_.size() +
+                                                options_.group)};
+  fault_ = options_.fault;
 }
 
 void TsuEmulator::dispatch(core::ThreadId tid) {
+  if (fault_ != nullptr && fault_->swallow && tid == fault_->victim) {
+    // kLostUpdate second half: the victim was already dispatched one
+    // update early; its real zero-dispatch is dropped here so the run
+    // still delivers exactly one dispatch.
+    fault_->swallow = false;
+    return;
+  }
   ++stats_.dispatches;
   // The consumer's home kernel belongs to this group by construction
   // (the TubGroup routed the update here via the TKT).
   const core::KernelId home = sm_.tkt(tid).kernel;
   assert(owns_kernel(home));
+  if (guard_.guard != nullptr) {
+    guard_.dispatch(tid, guard_.deep(program_.thread(tid).block));
+  }
 
   core::KernelId target = home;
   switch (options_.policy) {
@@ -112,6 +128,62 @@ void TsuEmulator::maybe_prefetch() {
   sm_.preload_shadow(next, options_.group, options_.num_groups);
 }
 
+std::size_t TsuEmulator::range_decrement(bool shadow, core::ThreadId lo,
+                                         core::ThreadId hi) {
+  if (guard_.guard != nullptr &&
+      guard_.deep(program_.thread(lo).block)) {
+    // Deep-checked block: account every owned member before touching
+    // the SM, so a surplus update (e.g. a duplicated publish) trips
+    // negative-ready-count instead of underflowing a counter.
+    guard_members_.clear();
+    sm_.collect_owned(lo, hi, options_.group, options_.num_groups,
+                      guard_members_);
+    guard_ok_.clear();
+    for (core::ThreadId m : guard_members_) {
+      if (guard_.update_applied(m)) guard_ok_.push_back(m);
+    }
+    if (guard_ok_.size() != guard_members_.size()) {
+      // Containment: sweep only the healthy members, unit-wise.
+      for (core::ThreadId m : guard_ok_) {
+        const bool zero =
+            shadow ? sm_.decrement_shadow(m, options_.thread_indexing,
+                                          &stats_.sm_search_steps)
+                   : sm_.decrement(m, options_.thread_indexing,
+                                   &stats_.sm_search_steps);
+        if (zero) zeroed_.push_back(m);
+      }
+      return guard_ok_.size();
+    }
+  }
+  return shadow ? sm_.decrement_range_shadow(lo, hi, options_.group,
+                                             options_.num_groups, zeroed_)
+                : sm_.decrement_range(lo, hi, options_.group,
+                                      options_.num_groups, zeroed_);
+}
+
+void TsuEmulator::maybe_inject_lost_update(bool shadow, core::ThreadId lo,
+                                           core::ThreadId hi) {
+  if (fault_ == nullptr ||
+      !fault_->is(FaultInjection::Kind::kLostUpdate)) {
+    return;
+  }
+  const core::ThreadId victim = fault_->victim;
+  if (victim < lo || victim > hi ||
+      !owns_kernel(sm_.tkt(victim).kernel)) {
+    return;
+  }
+  const std::uint32_t count =
+      shadow ? sm_.shadow_count(victim) : sm_.count(victim);
+  if (count > 0 && fault_->fire()) {
+    // Dispatch the victim one update early; the dispatch its real
+    // zero will produce is swallowed (dispatch() checks the flag
+    // first), so exactly one dispatch still happens.
+    dispatch(victim);
+    if (shadow) ++shadow_predispatched_;
+    fault_->swallow = true;
+  }
+}
+
 bool TsuEmulator::handle_update(const TubEntry& entry) {
   const auto tid = static_cast<core::ThreadId>(entry.id);
   const bool range = entry.kind == TubEntry::Kind::kRangeUpdate;
@@ -123,18 +195,22 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
       // Vectorized bulk decrement: one contiguous SM sweep per owned
       // kernel instead of one TKT lookup per member.
       zeroed_.clear();
-      const std::size_t n = sm_.decrement_range(
-          tid, static_cast<core::ThreadId>(entry.hi), options_.group,
-          options_.num_groups, zeroed_);
+      const std::size_t n = range_decrement(
+          /*shadow=*/false, tid, static_cast<core::ThreadId>(entry.hi));
       stats_.updates_processed += n;
       ++stats_.range_updates_processed;
       stats_.range_members += n;
       for (core::ThreadId z : zeroed_) dispatch(z);
+      maybe_inject_lost_update(/*shadow=*/false, tid,
+                               static_cast<core::ThreadId>(entry.hi));
     } else {
+      if (!guard_.update_applied(tid)) return true;  // underflow shield
       ++stats_.updates_processed;
       if (sm_.decrement(tid, options_.thread_indexing,
                         &stats_.sm_search_steps)) {
         dispatch(tid);
+      } else {
+        maybe_inject_lost_update(/*shadow=*/false, tid, tid);
       }
     }
     return true;
@@ -154,9 +230,8 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
       }
       if (range) {
         zeroed_.clear();
-        const std::size_t n = sm_.decrement_range_shadow(
-            tid, static_cast<core::ThreadId>(entry.hi), options_.group,
-            options_.num_groups, zeroed_);
+        const std::size_t n = range_decrement(
+            /*shadow=*/true, tid, static_cast<core::ThreadId>(entry.hi));
         stats_.updates_processed += n;
         ++stats_.range_updates_processed;
         stats_.range_members += n;
@@ -168,8 +243,11 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
           dispatch(z);
           ++shadow_predispatched_;
         }
+        maybe_inject_lost_update(/*shadow=*/true, tid,
+                                 static_cast<core::ThreadId>(entry.hi));
         return true;
       }
+      if (!guard_.update_applied(tid)) return true;  // underflow shield
       ++stats_.updates_processed;
       const bool zero = sm_.decrement_shadow(tid, options_.thread_indexing,
                                              &stats_.sm_search_steps);
@@ -181,13 +259,20 @@ bool TsuEmulator::handle_update(const TubEntry& entry) {
       if (zero) {
         dispatch(tid);
         ++shadow_predispatched_;
+      } else {
+        maybe_inject_lost_update(/*shadow=*/true, tid, tid);
       }
       return true;
     }
   }
   // Raced ahead of a block this group cannot account yet (only
   // possible with several TSU groups); defer until activation. The
-  // entry is stored whole, so deferred ranges replay as ranges.
+  // entry is stored whole, so deferred ranges replay as ranges. A
+  // legitimate defer is always *ahead* of the current block - one for
+  // a block this group already moved past is a stale generation.
+  if (my_block_ != core::kInvalidBlock && block < my_block_) {
+    guard_.stale_apply(tid, core::kInvalidThread, block);
+  }
   deferred_updates_.push_back(entry);
   return false;
 }
@@ -202,6 +287,7 @@ void TsuEmulator::activate_block(core::BlockId block, bool dispatch_inlet) {
                                : core::TraceEvent::kInletLoad,
                            block, options_.group);
   }
+  guard_.activate(block, options_.group);
   if (options_.block_pipeline) {
     if (sm_.shadow_block(options_.group) == block) {
       ++stats_.prefetch_hits;
@@ -290,6 +376,9 @@ void TsuEmulator::run() {
           // Routed to group 0 only (the block-chaining coordinator).
           assert(options_.group == 0);
           const auto block = static_cast<core::BlockId>(e.id);
+          // Retire before chaining: any update published to this block
+          // from here on is provably stale.
+          guard_.retire(block);
           const auto next = static_cast<core::BlockId>(block + 1);
           if (next < program_.num_blocks()) {
             if (options_.block_pipeline) {

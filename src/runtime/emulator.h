@@ -33,6 +33,7 @@
 #include "core/program.h"
 #include "core/ready_set.h"
 #include "core/types.h"
+#include "runtime/guard_hooks.h"
 #include "runtime/mailbox.h"
 #include "runtime/sync_memory.h"
 #include "runtime/tub_group.h"
@@ -111,6 +112,10 @@ class TsuEmulator {
     std::uint32_t adaptive_backlog = 2;
     /// Execution-trace sink (null = tracing off, the default).
     TraceLog* trace = nullptr;
+    /// ddmguard instance (null = online checking off, the default).
+    core::Guard* guard = nullptr;
+    /// Armed fault injection (null = none; guard tests only).
+    FaultPlan* fault = nullptr;
   };
 
   /// `sm` is shared between emulators (slot ownership is disjoint);
@@ -144,6 +149,20 @@ class TsuEmulator {
   /// decrements every owned member in one contiguous SM sweep. Returns
   /// true when the update was applied.
   bool handle_update(const TubEntry& entry);
+  /// Apply one range update [lo, hi] to the chosen generation, filling
+  /// zeroed_. With deep guard checks on the block, every member is
+  /// individually accounted first; a member whose decrement the guard
+  /// suppressed (Ready Count would underflow) drops the whole sweep to
+  /// per-member unit decrements of the healthy members. Returns the
+  /// number of members decremented.
+  std::size_t range_decrement(bool shadow, core::ThreadId lo,
+                              core::ThreadId hi);
+  /// kLostUpdate injection: if the armed victim lies in [lo, hi], is
+  /// owned here, and its count in the chosen generation is still
+  /// nonzero, dispatch it early and arm the swallow of its real
+  /// zero-dispatch.
+  void maybe_inject_lost_update(bool shadow, core::ThreadId lo,
+                                core::ThreadId hi);
   /// Stage the next block's partition in the shadow generation once
   /// the current block is nearly drained.
   void maybe_prefetch();
@@ -156,6 +175,8 @@ class TsuEmulator {
   Options options_;
   std::vector<core::KernelId> my_kernels_;
   std::uint16_t trace_lane_ = 0;  ///< this emulator's TraceLog lane
+  GuardHook guard_;               ///< null guard = checking off
+  FaultPlan* fault_ = nullptr;    ///< null = no fault injection
   EmulatorStats stats_;
   std::size_t rr_next_ = 0;  // round-robin cursor for kFifo routing
   /// Block this group has activated (current SM generation).
@@ -175,6 +196,10 @@ class TsuEmulator {
   /// Reused scratch: members a range sweep drove to zero, pending
   /// dispatch.
   std::vector<core::ThreadId> zeroed_;
+  /// Reused scratch for deep-guarded range sweeps: the owned members
+  /// of the range, and the subset whose decrement the guard allowed.
+  std::vector<core::ThreadId> guard_members_;
+  std::vector<core::ThreadId> guard_ok_;
 };
 
 }  // namespace tflux::runtime

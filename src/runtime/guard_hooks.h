@@ -1,0 +1,115 @@
+// Runtime-side glue for ddmguard (core/guard.h): a by-value hook
+// handle each actor (Kernel worker, TSU Emulator) carries, forwarding
+// to the shared Guard when one exists - a null Guard* keeps the
+// disabled cost to one predictable branch per hook, the same
+// discipline as the TraceLog* tracing hooks. Also the fault-injection
+// plumbing the guard's own tests use: RuntimeOptions::inject_fault
+// seeds one protocol violation per run so each finding code is proven
+// to fire online.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/guard.h"
+#include "core/types.h"
+
+namespace tflux::runtime {
+
+/// One actor's view of the guard: the shared Guard plus this actor's
+/// lane (kernel id, or num_kernels + group for emulators).
+struct GuardHook {
+  core::Guard* guard = nullptr;
+  std::uint16_t lane = 0;
+
+  explicit operator bool() const { return guard != nullptr; }
+
+  bool deep(core::BlockId block) const {
+    return guard != nullptr && guard->sampled(block);
+  }
+
+  /// Returns false when the decrement must be skipped (the update
+  /// would take the Ready Count below zero; the guard tripped).
+  [[nodiscard]] bool update_applied(core::ThreadId tid) const {
+    return guard == nullptr || guard->on_update_applied(tid, lane);
+  }
+  void dispatch(core::ThreadId tid, bool deep_block) const {
+    if (guard) guard->on_dispatch(tid, deep_block, lane);
+  }
+  void execute(core::ThreadId tid) const {
+    if (guard) guard->on_execute(tid, lane);
+  }
+  void activate(core::BlockId block, std::uint16_t group) const {
+    if (guard) guard->on_activate(block, group, lane);
+  }
+  void retire(core::BlockId block) const {
+    if (guard) guard->on_retire(block, lane);
+  }
+  void stale_apply(core::ThreadId tid, core::ThreadId producer,
+                   core::BlockId block) const {
+    if (guard) guard->on_stale_apply(tid, producer, block, lane);
+  }
+};
+
+/// What fault to seed into a run (test/validation harness; requires
+/// --guard=full so the guard both detects and *contains* the fault -
+/// e.g. the surplus decrement of a double publish is suppressed before
+/// it can underflow the Synchronization Memory).
+struct FaultInjection {
+  enum class Kind : std::uint8_t {
+    kNone,
+    /// The victim's completion is published twice: its consumers see
+    /// one Ready Count update too many (negative-ready-count online,
+    /// duplicate-update + negative-ready-count offline).
+    kDoublePublish,
+    /// The victim is dispatched one update early, and the dispatch its
+    /// real zero would have produced is swallowed (premature-dispatch
+    /// online and offline; still exactly one dispatch).
+    kLostUpdate,
+    /// An extra update to the victim's consumer is published from the
+    /// next block, after the victim's block retired (block-lifecycle
+    /// online and offline).
+    kStaleGeneration,
+  };
+
+  Kind kind = Kind::kNone;
+  /// Victim DThread; kInvalidThread = pick the first suitable one.
+  core::ThreadId victim = core::kInvalidThread;
+};
+
+inline const char* to_string(FaultInjection::Kind kind) {
+  switch (kind) {
+    case FaultInjection::Kind::kNone:
+      return "none";
+    case FaultInjection::Kind::kDoublePublish:
+      return "double-publish";
+    case FaultInjection::Kind::kLostUpdate:
+      return "lost-update";
+    case FaultInjection::Kind::kStaleGeneration:
+      return "stale-generation";
+  }
+  return "?";
+}
+
+/// Resolved, armed fault shared by the run's actors. fire() claims the
+/// one-shot injection; `swallow` is only ever touched by the victim's
+/// owning emulator after a successful lost-update fire, so it needs no
+/// atomicity.
+struct FaultPlan {
+  FaultInjection::Kind kind = FaultInjection::Kind::kNone;
+  core::ThreadId victim = core::kInvalidThread;
+  /// kStaleGeneration: the same-block consumer the stale update hits.
+  core::ThreadId consumer = core::kInvalidThread;
+  std::atomic<bool> armed{false};
+  bool swallow = false;
+
+  bool is(FaultInjection::Kind k) const { return kind == k; }
+
+  /// Claim the injection; true exactly once.
+  bool fire() {
+    return armed.load(std::memory_order_relaxed) &&
+           armed.exchange(false, std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace tflux::runtime

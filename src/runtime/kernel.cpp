@@ -8,9 +8,10 @@
 namespace tflux::runtime {
 
 Kernel::Kernel(const core::Program& program, core::KernelId id,
-               Mailbox& mailbox, TubGroup& tubs, TraceLog* trace)
+               Mailbox& mailbox, TubGroup& tubs, TraceLog* trace,
+               GuardHook guard, FaultPlan* fault)
     : program_(program), id_(id), mailbox_(mailbox), tubs_(tubs),
-      trace_(trace) {}
+      trace_(trace), guard_(guard), fault_(fault) {}
 
 void Kernel::post_process(const core::DThread& t) {
   // Local TSU: translate the completion into TSU commands, routed to
@@ -18,6 +19,21 @@ void Kernel::post_process(const core::DThread& t) {
   // TFluxSoft; several = the section 4.1 extension).
   switch (t.kind) {
     case core::ThreadKind::kInlet:
+      if (fault_ != nullptr &&
+          fault_->is(FaultInjection::Kind::kStaleGeneration) &&
+          t.block == program_.thread(fault_->victim).block + 1 &&
+          fault_->fire()) {
+        // kStaleGeneration: replay one of the victim's updates from the
+        // next block's Inlet - by then the victim's block has retired
+        // (this Inlet runs happens-after the coordinator processed that
+        // block's OutletDone), so the update lands on a dead
+        // generation.
+        if (trace_) {
+          trace_->record(id_, core::TraceEvent::kUpdate, fault_->victim,
+                         fault_->consumer);
+        }
+        tubs_.publish_update(fault_->consumer, id_, fault_->victim);
+      }
       tubs_.publish_load_block(t.block, id_);
       break;
     case core::ThreadKind::kOutlet:
@@ -28,30 +44,44 @@ void Kernel::post_process(const core::DThread& t) {
       }
       tubs_.publish_outlet_done(t.block, id_);
       break;
-    case core::ThreadKind::kApplication:
-      if (trace_) {
-        // Trace what is actually published: one range-update record
-        // per coalesced run, unit records otherwise - so ddmcheck
-        // verifies the coalesced protocol itself, expanding each range
-        // back to its declared unit arcs.
-        if (tubs_.coalesce() && !t.consumer_runs.empty()) {
-          for (const core::DThread::ConsumerRun& run : t.consumer_runs) {
-            if (run.lo == run.hi) {
-              trace_->record(id_, core::TraceEvent::kUpdate, t.id, run.lo);
-            } else {
-              trace_->record(id_, core::TraceEvent::kRangeUpdate, t.id,
-                             run.lo, run.hi);
+    case core::ThreadKind::kApplication: {
+      // kDoublePublish: the victim's whole completion is published a
+      // second time, traced both times - consumers see one update too
+      // many (negative-ready-count online, duplicate-update offline).
+      const int publishes =
+          (fault_ != nullptr &&
+           fault_->is(FaultInjection::Kind::kDoublePublish) &&
+           t.id == fault_->victim && fault_->fire())
+              ? 2
+              : 1;
+      for (int i = 0; i < publishes; ++i) {
+        if (trace_) {
+          // Trace what is actually published: one range-update record
+          // per coalesced run, unit records otherwise - so ddmcheck
+          // verifies the coalesced protocol itself, expanding each
+          // range back to its declared unit arcs.
+          if (tubs_.coalesce() && !t.consumer_runs.empty()) {
+            for (const core::DThread::ConsumerRun& run : t.consumer_runs) {
+              if (run.lo == run.hi) {
+                trace_->record(id_, core::TraceEvent::kUpdate, t.id,
+                               run.lo);
+              } else {
+                trace_->record(id_, core::TraceEvent::kRangeUpdate, t.id,
+                               run.lo, run.hi);
+              }
+            }
+          } else {
+            for (const core::ThreadId consumer : t.consumers) {
+              trace_->record(id_, core::TraceEvent::kUpdate, t.id,
+                             consumer);
             }
           }
-        } else {
-          for (const core::ThreadId consumer : t.consumers) {
-            trace_->record(id_, core::TraceEvent::kUpdate, t.id, consumer);
-          }
         }
+        stats_.updates_published +=
+            tubs_.publish_completion(t, id_, scratch_);
       }
-      stats_.updates_published +=
-          tubs_.publish_completion(t, id_, scratch_);
       break;
+    }
   }
 }
 
@@ -68,6 +98,10 @@ void Kernel::run() {
     }
     ++stats_.threads_executed;
     if (t.is_application()) ++stats_.app_threads_executed;
+    // Epoch stamp before the Complete ticket: the execute event takes
+    // its place in the causal order ahead of everything this
+    // completion publishes.
+    guard_.execute(tid);
     if (trace_) {
       trace_->record(id_, core::TraceEvent::kComplete, tid, t.block);
     }

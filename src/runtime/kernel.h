@@ -13,6 +13,7 @@
 
 #include "core/program.h"
 #include "core/types.h"
+#include "runtime/guard_hooks.h"
 #include "runtime/mailbox.h"
 #include "runtime/spsc_ring.h"
 #include "runtime/tub_group.h"
@@ -35,7 +36,8 @@ struct alignas(kCacheLine) KernelStats {
 class Kernel {
  public:
   Kernel(const core::Program& program, core::KernelId id, Mailbox& mailbox,
-         TubGroup& tubs, TraceLog* trace = nullptr);
+         TubGroup& tubs, TraceLog* trace = nullptr, GuardHook guard = {},
+         FaultPlan* fault = nullptr);
 
   /// Thread main: Figure 2's loop. Returns when the exit sentinel
   /// arrives (sent by the emulator after the last Outlet).
@@ -53,6 +55,8 @@ class Kernel {
   TubGroup& tubs_;
   TubGroup::PublishScratch scratch_;
   TraceLog* trace_;  ///< null unless RuntimeOptions::trace was set
+  GuardHook guard_;  ///< null guard = online checking off
+  FaultPlan* fault_ = nullptr;  ///< null = no fault injection
   KernelStats stats_;
 };
 

@@ -26,6 +26,83 @@ void pin_to_cpu(std::thread& thread, unsigned cpu) {
   (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
 }
 
+/// True when `tid` can carry the requested fault: kDoublePublish needs
+/// consumers to duplicate updates to; kLostUpdate needs an initial
+/// Ready Count of at least 2 (the early dispatch fires on a decrement
+/// that did not reach zero); kStaleGeneration needs an application
+/// consumer to hit and a successor block whose Inlet replays the
+/// update.
+bool fault_victim_suitable(const core::Program& program,
+                           FaultInjection::Kind kind, core::ThreadId tid) {
+  const core::DThread& t = program.thread(tid);
+  if (!t.is_application()) return false;
+  switch (kind) {
+    case FaultInjection::Kind::kDoublePublish:
+      return !t.consumers.empty();
+    case FaultInjection::Kind::kLostUpdate:
+      return t.ready_count_init >= 2;
+    case FaultInjection::Kind::kStaleGeneration: {
+      if (static_cast<core::BlockId>(t.block + 1) >= program.num_blocks()) {
+        return false;
+      }
+      // Same-block consumer only: by replay time the victim's block
+      // has retired, so the duplicate provably lands on a retired
+      // generation (a cross-block consumer's block may still be live).
+      for (core::ThreadId c : t.consumers) {
+        if (program.thread(c).is_application() &&
+            program.thread(c).block == t.block) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case FaultInjection::Kind::kNone:
+      break;
+  }
+  return false;
+}
+
+/// Fill `plan` from the user's request: resolve (or validate) the
+/// victim and arm the one-shot injection.
+void resolve_fault(const core::Program& program,
+                   const FaultInjection& inject, FaultPlan& plan) {
+  plan.kind = inject.kind;
+  core::ThreadId victim = inject.victim;
+  if (victim != core::kInvalidThread) {
+    if (victim >= program.num_threads() ||
+        !fault_victim_suitable(program, inject.kind, victim)) {
+      throw core::TFluxError(
+          "Runtime: thread " + std::to_string(victim) +
+          " cannot carry fault '" + std::string(to_string(inject.kind)) +
+          "'");
+    }
+  } else {
+    for (core::ThreadId tid = 0; tid < program.num_threads(); ++tid) {
+      if (fault_victim_suitable(program, inject.kind, tid)) {
+        victim = tid;
+        break;
+      }
+    }
+    if (victim == core::kInvalidThread) {
+      throw core::TFluxError(
+          "Runtime: no DThread in program '" + program.name() +
+          "' can carry fault '" + std::string(to_string(inject.kind)) +
+          "'");
+    }
+  }
+  plan.victim = victim;
+  if (inject.kind == FaultInjection::Kind::kStaleGeneration) {
+    for (core::ThreadId c : program.thread(victim).consumers) {
+      if (program.thread(c).is_application() &&
+          program.thread(c).block == program.thread(victim).block) {
+        plan.consumer = c;
+        break;
+      }
+    }
+  }
+  plan.armed.store(true, std::memory_order_release);
+}
+
 }  // namespace
 
 Runtime::Runtime(const core::Program& program, RuntimeOptions options)
@@ -96,6 +173,32 @@ RuntimeStats Runtime::run() {
     }
   }
 
+  std::unique_ptr<core::Guard> guard;
+  if (options_.guard.mode != core::GuardMode::kOff) {
+    guard = std::make_unique<core::Guard>(program_, options_.guard,
+                                          options_.num_kernels,
+                                          options_.tsu_groups);
+    if (trace_log) {
+      // First violation => persist the in-flight trace prefix, so the
+      // online finding and the offline replay triage the same run.
+      guard->set_on_first_violation(
+          [log = trace_log.get()] { log->request_emergency_dump(); });
+    }
+  }
+  tubs.set_guard(guard.get());
+
+  FaultPlan fault;
+  if (options_.inject_fault.kind != FaultInjection::Kind::kNone) {
+    if (!guard || guard->options().mode != core::GuardMode::kFull) {
+      throw core::TFluxError(
+          "Runtime: fault injection requires --guard=full (the guard "
+          "must account every block to contain the injected fault)");
+    }
+    resolve_fault(program_, options_.inject_fault, fault);
+  }
+  FaultPlan* fault_ptr =
+      fault.kind != FaultInjection::Kind::kNone ? &fault : nullptr;
+
   std::vector<TsuEmulator> emulators;
   emulators.reserve(options_.tsu_groups);
   for (std::uint16_t g = 0; g < options_.tsu_groups; ++g) {
@@ -110,13 +213,16 @@ RuntimeStats Runtime::run() {
             .prefetch_low_water = options_.prefetch_low_water,
             .adaptive_backlog = options_.adaptive_backlog,
             .trace = trace_log.get(),
+            .guard = guard.get(),
+            .fault = fault_ptr,
         });
   }
 
   std::vector<Kernel> kernels;
   kernels.reserve(options_.num_kernels);
   for (core::KernelId k = 0; k < options_.num_kernels; ++k) {
-    kernels.emplace_back(program_, k, mailboxes[k], tubs, trace_log.get());
+    kernels.emplace_back(program_, k, mailboxes[k], tubs, trace_log.get(),
+                         GuardHook{guard.get(), k}, fault_ptr);
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -162,6 +268,10 @@ RuntimeStats Runtime::run() {
   }
   stats.kernels.reserve(kernels.size());
   for (const Kernel& k : kernels) stats.kernels.push_back(k.stats());
+  if (guard) {
+    stats.guard = guard->stats();
+    stats.guard_violations = guard->violations();
+  }
   return stats;
 }
 

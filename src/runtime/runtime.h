@@ -81,6 +81,15 @@ struct RuntimeOptions {
   /// "truncated trace" instead of a confusing lifecycle finding in
   /// tflux_check.
   std::function<void(core::ExecTrace&)> trace_emergency = nullptr;
+  /// ddmguard: online protocol checking (core/guard.h). kOff (the
+  /// default) builds no Guard at all - every hook site costs one
+  /// predictable null branch, keeping --guard=off behavior-neutral.
+  core::GuardOptions guard;
+  /// Seed exactly one protocol fault into the run (guard validation
+  /// harness). Requires guard mode kFull: the guard must account every
+  /// block so it *contains* the fault (suppressed surplus decrements)
+  /// instead of letting the Synchronization Memory underflow.
+  FaultInjection inject_fault;
 };
 
 struct RuntimeStats {
@@ -89,6 +98,10 @@ struct RuntimeStats {
   EmulatorStats emulator;                ///< aggregated over emulators
   std::vector<EmulatorStats> emulators;  ///< per TSU Group
   std::vector<KernelStats> kernels;
+  /// ddmguard counters and deduplicated violations (empty / all-zero
+  /// unless RuntimeOptions::guard enabled the online checker).
+  core::GuardStats guard;
+  std::vector<core::GuardViolation> guard_violations;
 
   std::uint64_t total_app_threads_executed() const {
     std::uint64_t n = 0;

@@ -219,6 +219,23 @@ std::size_t SyncMemoryGroup::decrement_range_shadow(
   return decrement_range_in(/*shadow=*/true, lo, hi, group, groups, zeroed);
 }
 
+void SyncMemoryGroup::collect_owned(core::ThreadId lo, core::ThreadId hi,
+                                    std::uint16_t group,
+                                    std::uint16_t groups,
+                                    std::vector<core::ThreadId>& out) const {
+  assert(lo <= hi);
+  const core::BlockId block = program_.thread(lo).block;
+  for (std::size_t k = group; k < num_kernels_;
+       k += static_cast<std::size_t>(groups)) {
+    const Span& sp = span(block, static_cast<core::KernelId>(k));
+    const auto first = tids_.begin() + sp.off;
+    const auto last = first + sp.len;
+    const auto run_first = std::lower_bound(first, last, lo);
+    const auto run_last = std::upper_bound(run_first, last, hi);
+    out.insert(out.end(), run_first, run_last);
+  }
+}
+
 std::uint32_t SyncMemoryGroup::count(core::ThreadId tid) const {
   const SmSlot slot = tkt_[tid];
   return sm_data_[cur_gen_[slot.kernel]][sm_off_[slot.kernel] + slot.slot];

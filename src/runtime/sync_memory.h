@@ -113,6 +113,15 @@ class SyncMemoryGroup {
                                      std::uint16_t group, std::uint16_t groups,
                                      std::vector<core::ThreadId>& zeroed);
 
+  /// Append to `out` the members of [lo, hi] homed on kernels of
+  /// `group` (ascending id order within each kernel) - the exact set a
+  /// decrement_range over the same arguments would sweep. ddmguard
+  /// uses this to account a coalesced range member by member on
+  /// sampled blocks without duplicating the span walk.
+  void collect_owned(core::ThreadId lo, core::ThreadId hi,
+                     std::uint16_t group, std::uint16_t groups,
+                     std::vector<core::ThreadId>& out) const;
+
   /// Current-generation Ready Count of `tid` (must belong to the block
   /// loaded for its home kernel's group).
   std::uint32_t count(core::ThreadId tid) const;

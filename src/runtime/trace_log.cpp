@@ -90,6 +90,28 @@ void TraceLog::drain_all() {
 void TraceLog::flush_loop() {
   while (!stop_.load(std::memory_order_acquire)) {
     drain_all();
+    if (dump_requested_.load(std::memory_order_acquire)) {
+      // Mid-run dump (a guard trip): hand the armed writer a sorted
+      // copy of the prefix drained so far and keep collecting. The
+      // flag is cleared only when a writer was actually invoked;
+      // otherwise finish() picks it up (it captures the writer before
+      // disarming, so exactly one of the two paths runs it).
+      std::function<void(std::vector<core::TraceRecord>&&)> writer;
+      {
+        std::lock_guard<std::mutex> lock(g_armed_mutex);
+        writer = emergency_writer_;
+      }
+      if (writer) {
+        dump_requested_.store(false, std::memory_order_relaxed);
+        std::vector<core::TraceRecord> copy = records_;
+        std::stable_sort(copy.begin(), copy.end(),
+                         [](const core::TraceRecord& a,
+                            const core::TraceRecord& b) {
+                           return a.seq < b.seq;
+                         });
+        writer(std::move(copy));
+      }
+    }
     // Sleeping (not spinning) keeps the flusher off the workers' CPUs,
     // and sleeping long keeps its wakeups from preempting workers on
     // oversubscribed machines; 64k-deep lanes absorb several
@@ -99,11 +121,16 @@ void TraceLog::flush_loop() {
 }
 
 std::vector<core::TraceRecord> TraceLog::finish() {
+  std::function<void(std::vector<core::TraceRecord>&&)> writer;
   {
     // Normal completion disarms the emergency path first, so neither
-    // the atexit hook nor the destructor flushes a finished log.
+    // the atexit hook nor the destructor flushes a finished log. The
+    // writer is kept in hand: a dump request the flusher has not
+    // served yet (it sees the writer already gone and leaves the flag
+    // set) is honored below, deterministically, before returning.
     std::lock_guard<std::mutex> lock(g_armed_mutex);
     if (g_armed == this) g_armed = nullptr;
+    writer = std::move(emergency_writer_);
     emergency_writer_ = nullptr;
   }
   stop_.store(true, std::memory_order_release);
@@ -112,6 +139,10 @@ std::vector<core::TraceRecord> TraceLog::finish() {
   std::stable_sort(records_.begin(), records_.end(),
                    [](const core::TraceRecord& a,
                       const core::TraceRecord& b) { return a.seq < b.seq; });
+  if (dump_requested_.exchange(false, std::memory_order_acq_rel) &&
+      writer) {
+    writer(std::vector<core::TraceRecord>(records_));
+  }
   finished_ = true;
   return std::move(records_);
 }

@@ -81,6 +81,17 @@ class TraceLog {
   /// directly in tests.
   void emergency_flush();
 
+  /// Ask the flusher to hand the armed writer a seq-sorted *copy* of
+  /// everything drained so far, without stopping collection - the
+  /// mid-run variant of the emergency flush, fired by a ddmguard trip
+  /// so the trace prefix is persisted before the run finishes (or
+  /// wedges). Safe from any thread; processed by the flusher's next
+  /// pass, or deterministically by finish() if the run ends first.
+  /// No-op when no emergency writer is armed.
+  void request_emergency_dump() {
+    dump_requested_.store(true, std::memory_order_release);
+  }
+
  private:
   static void atexit_hook();
 
@@ -91,6 +102,7 @@ class TraceLog {
   std::vector<std::unique_ptr<SpscRing<core::TraceRecord>>> lanes_;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> dump_requested_{false};
   bool finished_ = false;
   std::vector<core::TraceRecord> records_;
   std::thread flusher_;

@@ -76,6 +76,13 @@ std::size_t TubGroup::publish_range_update(core::ThreadId lo,
 std::size_t TubGroup::publish_completion(const core::DThread& t,
                                          std::uint32_t hint,
                                          PublishScratch& scratch) {
+  // One guard probe covers the whole completion: every consumer is
+  // same-block with the producer, so the retired-block check needs a
+  // single representative.
+  if (guard_ && !t.consumers.empty()) {
+    guard_->on_publish(t.id, t.consumers.front(),
+                       static_cast<std::uint16_t>(hint));
+  }
   // Runs are precomputed by ProgramBuilder::build(); hand-assembled
   // Programs (test peers) may carry consumers without runs - fall back
   // to the detecting list path for those.

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/guard.h"
 #include "core/program.h"
 #include "runtime/lane_tub.h"
 #include "runtime/sync_memory.h"
@@ -83,8 +84,19 @@ class TubGroup {
   /// Range coalescing enabled (the unit-update path is the ablation).
   bool coalesce() const { return coalesce_; }
 
+  /// Install the ddmguard instance probing publishes (null = off).
+  /// Publish hooks use the publishing kernel's `hint` as their lane,
+  /// so only the Runtime (whose hints are kernel ids) installs one.
+  void set_guard(core::Guard* guard) { guard_ = guard; }
+
   /// Kernel side: route one Ready Count update to the owning group.
-  void publish_update(core::ThreadId consumer, std::uint32_t hint) {
+  /// `producer` is diagnostic context for the guard's publish probe.
+  void publish_update(core::ThreadId consumer, std::uint32_t hint,
+                      core::ThreadId producer = core::kInvalidThread) {
+    if (guard_) {
+      guard_->on_publish(producer, consumer,
+                         static_cast<std::uint16_t>(hint));
+    }
     const TubEntry e{TubEntry::Kind::kUpdate, consumer};
     tubs_[group_of_thread(consumer)]->publish({&e, 1}, hint);
   }
@@ -153,6 +165,7 @@ class TubGroup {
   const core::Program& program_;
   const SyncMemoryGroup& sm_;
   bool coalesce_ = true;
+  core::Guard* guard_ = nullptr;  ///< null = online checking off
   std::vector<std::unique_ptr<TubQueue>> tubs_;
 };
 

@@ -145,6 +145,17 @@ std::string usage() {
       "                                       through the ddmcheck "
       "verifier (exit 1 on\n"
       "                                       findings)\n"
+      "  --guard=off|sampled[:N]|full         soft platform: ddmguard "
+      "online protocol\n"
+      "                                       checking (sampled = deep "
+      "checks on every\n"
+      "                                       Nth block, default 8; exit "
+      "1 on violations)\n"
+      "  --inject-fault=double-publish|lost-update|stale-generation\n"
+      "                                       soft platform: seed one "
+      "protocol fault\n"
+      "                                       (requires --guard=full; "
+      "validation harness)\n"
       "  --json=FILE                          soft platform: write a "
       "JSON run summary\n"
       "                                       (emulator stats under a "
@@ -210,6 +221,28 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.lint = true;
     } else if (arg == "--check") {
       options.check = true;
+    } else if (arg.rfind("--guard=", 0) == 0) {
+      if (!core::parse_guard_spec(value_of("--guard="), options.guard)) {
+        throw TFluxError("tflux_run: --guard expects off, sampled, "
+                         "sampled:N (N >= 1) or full, got '" +
+                         value_of("--guard=") + "'");
+      }
+    } else if (arg.rfind("--inject-fault=", 0) == 0) {
+      const std::string kind = value_of("--inject-fault=");
+      if (kind == "double-publish") {
+        options.inject_fault.kind =
+            runtime::FaultInjection::Kind::kDoublePublish;
+      } else if (kind == "lost-update") {
+        options.inject_fault.kind =
+            runtime::FaultInjection::Kind::kLostUpdate;
+      } else if (kind == "stale-generation") {
+        options.inject_fault.kind =
+            runtime::FaultInjection::Kind::kStaleGeneration;
+      } else {
+        throw TFluxError("tflux_run: --inject-fault expects "
+                         "double-publish, lost-update or "
+                         "stale-generation, got '" + kind + "'");
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       options.json_file = value_of("--json=");
     } else if (arg.rfind("--graph=", 0) == 0) {
@@ -238,6 +271,24 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     throw TFluxError(
         "tflux_run: --json reports the native runtime's emulator "
         "stats and requires --platform=soft");
+  }
+  if (options.guard.mode != core::GuardMode::kOff &&
+      options.platform != CliPlatform::kSoft) {
+    throw TFluxError(
+        "tflux_run: --guard hooks the native runtime and requires "
+        "--platform=soft");
+  }
+  if (options.inject_fault.kind != runtime::FaultInjection::Kind::kNone) {
+    if (options.platform != CliPlatform::kSoft) {
+      throw TFluxError(
+          "tflux_run: --inject-fault seeds the native runtime and "
+          "requires --platform=soft");
+    }
+    if (options.guard.mode != core::GuardMode::kFull) {
+      throw TFluxError(
+          "tflux_run: --inject-fault requires --guard=full (the guard "
+          "must account every block to contain the injected fault)");
+    }
   }
   return options;
 }
@@ -328,6 +379,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   core::Cycles parallel_cycles = 0;
   core::Cycles baseline_cycles = 0;
   bool check_failed = false;
+  bool guard_failed = false;
 
   switch (options.platform) {
     case CliPlatform::kReference: {
@@ -347,6 +399,8 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           std::min(options.tsu_groups, options.kernels);
       rt_options.block_pipeline = options.block_pipeline;
       rt_options.coalesce_updates = options.coalesce;
+      rt_options.guard = options.guard;
+      rt_options.inject_fault = options.inject_fault;
       core::ExecTrace exec_trace;
       const bool want_exec_trace =
           options.check || !options.trace_file.empty();
@@ -401,6 +455,20 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           << st.emulator.home_dispatches << " home, "
           << st.emulator.steal_dispatches << " stolen, mailbox backlog "
           << "peak " << backlog_peak << "\n";
+      if (options.guard.mode != core::GuardMode::kOff) {
+        for (const core::GuardViolation& v : st.guard_violations) {
+          out << "  guard: " << v.to_string(run.program) << "\n";
+        }
+        out << "  guard (" << core::to_string(options.guard.mode);
+        if (options.guard.mode == core::GuardMode::kSampled) {
+          out << ":" << options.guard.sample_period;
+        }
+        out << "): " << st.guard.violations << " violation(s), "
+            << st.guard.checks << " check(s), " << st.guard.epoch_stamps
+            << " epoch stamp(s) over " << st.guard.sampled_blocks
+            << " sampled block(s)\n";
+        guard_failed = st.guard.violations != 0;
+      }
       if (!options.json_file.empty()) {
         const runtime::EmulatorStats& e = st.emulator;
         std::ostringstream json;
@@ -417,6 +485,18 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << (options.block_pipeline ? "true" : "false") << ",\n"
              << "  \"coalesce\": "
              << (options.coalesce ? "true" : "false") << ",\n"
+             << "  \"trace\": "
+             << (rt_options.trace != nullptr ? "true" : "false") << ",\n"
+             << "  \"check\": " << (options.check ? "true" : "false")
+             << ",\n"
+             << "  \"guard\": \"" << core::to_string(options.guard.mode)
+             << "\",\n"
+             << "  \"guard_sample_period\": "
+             << options.guard.sample_period << ",\n"
+             << "  \"guard_checks\": " << st.guard.checks << ",\n"
+             << "  \"guard_sampled_blocks\": " << st.guard.sampled_blocks
+             << ",\n"
+             << "  \"guard_violations\": " << st.guard.violations << ",\n"
              << "  \"wall_seconds\": " << st.wall_seconds << ",\n"
              << "  \"emulator\": {\n"
              << "    \"dispatches\": " << e.dispatches << ",\n"
@@ -529,7 +609,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
 
   // Validation only applies when bodies ran (reference/soft always run
   // them; hard/cell run them when --no-validate was not given).
-  int rc = check_failed ? 1 : 0;
+  int rc = (check_failed || guard_failed) ? 1 : 0;
   if (validate) {
     const bool ok = run.validate();
     out << "  results " << (ok ? "match" : "DO NOT match")
@@ -538,6 +618,9 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   }
   if (check_failed) {
     out << "tflux_run: ddmcheck found protocol violations\n";
+  }
+  if (guard_failed) {
+    out << "tflux_run: ddmguard detected protocol violations\n";
   }
   return rc;
 }

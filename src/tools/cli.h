@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "apps/suite.h"
+#include "core/guard.h"
 #include "core/ready_set.h"
+#include "runtime/guard_hooks.h"
 
 namespace tflux::tools {
 
@@ -52,6 +54,13 @@ struct CliOptions {
   /// Soft platform only: record an execution trace and replay it
   /// through the ddmcheck verifier after the run (exit 1 on findings).
   bool check = false;
+  /// Soft platform only: ddmguard online protocol checking
+  /// (--guard=off|sampled|sampled:N|full; exit 1 on violations).
+  core::GuardOptions guard;
+  /// Soft platform only, requires --guard=full: seed one protocol
+  /// fault into the run (--inject-fault=double-publish|lost-update|
+  /// stale-generation; the guard validation harness).
+  runtime::FaultInjection inject_fault;
   std::string dot_file;        ///< write DOT here if non-empty
   /// Trace output: a ddmtrace execution trace on the soft platform, a
   /// Chrome JSON trace on the simulated ones.

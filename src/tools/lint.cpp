@@ -77,6 +77,12 @@ std::string lint_usage() {
       "instances of one\n"
       "                                       consumer instead of a "
       "range arc (0 = off)\n"
+      "  --guard-hotspots=N                   warn when a block's Ready "
+      "Count fan-in\n"
+      "                                       exceeds N updates - a "
+      "ddmguard sampled-mode\n"
+      "                                       overhead hotspot (0 = "
+      "off)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --werror                             promote warnings to "
@@ -126,6 +132,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--coalescable-arcs=", 0) == 0) {
       options.coalescable_arcs = static_cast<std::uint32_t>(parse_uint(
           "--coalescable-arcs", value_of("--coalescable-arcs=")));
+    } else if (arg.rfind("--guard-hotspots=", 0) == 0) {
+      options.guard_hotspots = static_cast<std::uint32_t>(parse_uint(
+          "--guard-hotspots", value_of("--guard-hotspots=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--werror") {
@@ -149,6 +158,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.tub_lane_capacity = options.tub_lane_capacity;
   verify_options.min_block_threads = options.min_block_threads;
   verify_options.coalescable_arc_min = options.coalescable_arcs;
+  verify_options.guard_hotspot_budget = options.guard_hotspots;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {
     for (core::Diagnostic& d : report.diagnostics) {

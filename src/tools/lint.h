@@ -38,6 +38,11 @@ struct LintOptions {
   /// arcs to consecutive instances of one consumer instead of a
   /// single range arc.
   std::uint32_t coalescable_arcs = 0;
+  /// ddmguard sampled-mode budget for the guard-hotspot check
+  /// (0 disables): warn when one block's Ready Count fan-in exceeds
+  /// this many updates - deep-checking that block concentrates the
+  /// guard's per-member accounting into a single transition.
+  std::uint32_t guard_hotspots = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Promote every warning to an error (CI gate: the diagnostics are
