@@ -13,6 +13,9 @@
 #   BENCH_guard_overhead.json - ddmguard online-checking cost
 #                              (off vs sampled:8 vs full)
 #                              (coalesced vs unit update publishing)
+#   BENCH_shards.json        - sharded TSU vs flat (hierarchical
+#                              stealing) + native steal-stat
+#                              reconciliation against ddmcheck
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
@@ -20,12 +23,17 @@
 #
 # Any bench binary exiting nonzero aborts the script (its partial JSON
 # is deleted) instead of silently leaving a stale or truncated
-# artifact behind.
+# artifact behind. At the end, every committed BENCH_*.json in the
+# output directory must have been (re)produced by this run - a tracked
+# artifact no bench claims any more fails the script, so renames and
+# removals cannot silently leave stale data behind.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 BENCH_DIR="$BUILD_DIR/bench"
+
+MANIFEST=""
 
 # run_bench <binary> <json_path> [extra args...]: run one bench with
 # --json, deleting the artifact and failing loudly on nonzero exit.
@@ -39,6 +47,7 @@ run_bench() {
     echo "error: $(basename "$bin") exited with status $rc" >&2
     exit "$rc"
   }
+  MANIFEST="$MANIFEST $(basename "$json")"
 }
 
 if [ ! -x "$BENCH_DIR/micro_runtime" ]; then
@@ -58,6 +67,7 @@ run_bench "$BENCH_DIR/ablation_blocks" "$OUT_DIR/BENCH_blocks.json"
 run_bench "$BENCH_DIR/trace_overhead" "$OUT_DIR/BENCH_trace_overhead.json"
 run_bench "$BENCH_DIR/update_coalesce" "$OUT_DIR/BENCH_coalesce.json"
 run_bench "$BENCH_DIR/guard_overhead" "$OUT_DIR/BENCH_guard_overhead.json"
+run_bench "$BENCH_DIR/ablation_shards" "$OUT_DIR/BENCH_shards.json"
 
 if [ "${FULL:-0}" = "1" ]; then
   run_bench "$BENCH_DIR/ablation_tub_tkt" \
@@ -69,5 +79,23 @@ if [ "${FULL:-0}" = "1" ]; then
     run_bench "$BENCH_DIR/$b" "$OUT_DIR/BENCH_$b.json"
   done
 fi
+
+# Manifest completeness: every committed BENCH_*.json must be claimed
+# by one of the benches that just ran (FULL=1 artifacts are exempt
+# unless they exist in OUT_DIR and this was not a FULL run - they are
+# stale either way if nothing produced them).
+missing=0
+for f in "$OUT_DIR"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  case " $MANIFEST " in
+    *" $(basename "$f") "*) ;;
+    *)
+      echo "error: $(basename "$f") is tracked but no bench in this run" \
+           "produced it (stale artifact - rerun with FULL=1 or delete it)" >&2
+      missing=1
+      ;;
+  esac
+done
+[ "$missing" = "0" ] || exit 1
 
 echo "done."

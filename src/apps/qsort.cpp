@@ -12,9 +12,8 @@ namespace tflux::apps {
 namespace {
 
 struct QsortBuffers {
-  std::vector<std::uint32_t> data;    // initialized + chunk-sorted here
-  std::vector<std::uint32_t> level1;  // two-level merge: intermediate
-  std::vector<std::uint32_t> out;     // final merge target
+  std::vector<std::uint32_t> data;  // initialized + chunk-sorted here
+  std::vector<std::uint32_t> out;   // splitter-merge target
 };
 
 /// In-place quicksort (median-of-three), the MiBench-style kernel.
@@ -54,10 +53,10 @@ void quicksort(std::uint32_t* a, std::int64_t lo, std::int64_t hi) {
   }
 }
 
-/// k-way merge of consecutive sorted runs from `src` into `dst`.
-void merge_runs(const std::uint32_t* src,
-                const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
-                    runs,
+using Run = std::pair<std::uint32_t, std::uint32_t>;  // [begin, end)
+
+/// k-way merge of sorted segments of `src` into `dst`.
+void merge_runs(const std::uint32_t* src, const std::vector<Run>& runs,
                 std::uint32_t* dst) {
   std::vector<std::uint32_t> cursor;
   cursor.reserve(runs.size());
@@ -74,6 +73,30 @@ void merge_runs(const std::uint32_t* src,
     if (best < 0) break;
     dst[out++] = src[cursor[best]++];
   }
+}
+
+/// Deterministic splitters for the balanced merge: M-1 regular samples
+/// from every sorted run, sorted, re-sampled regularly. Every merge
+/// DThread recomputes them (cheap - M*(M-1) elements), so no extra
+/// serialized "choose splitters" stage exists in the graph.
+std::vector<std::uint32_t> compute_splitters(const std::uint32_t* a,
+                                             const std::vector<Run>& runs,
+                                             std::size_t m) {
+  std::vector<std::uint32_t> samples;
+  samples.reserve(runs.size() * (m - 1));
+  for (const Run& r : runs) {
+    const std::size_t len = r.second - r.first;
+    for (std::size_t j = 1; j < m; ++j) {
+      samples.push_back(a[r.first + (len * j) / m]);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::uint32_t> splitters;
+  splitters.reserve(m - 1);
+  for (std::size_t j = 1; j < m; ++j) {
+    splitters.push_back(samples[(j * samples.size()) / m]);
+  }
+  return splitters;
 }
 
 core::Cycles sort_cycles(std::uint64_t n) {
@@ -112,33 +135,43 @@ AppRun build_qsort(const QsortInput& input, const DdmParams& params) {
   auto buffers = std::make_shared<QsortBuffers>();
   const std::uint32_t n = input.n;
   buffers->data.assign(n, 0);
-  buffers->level1.assign(n, 0);
   buffers->out.assign(n, 0);
 
   core::ProgramBuilder builder("qsort");
   BlockAllocator blocks(builder, params.tsu_capacity);
 
-  // --- Phase 1: one DThread initializes the whole array -------------
-  core::Footprint init_fp;
-  init_fp.compute(static_cast<core::Cycles>(n) * 4);
-  init_fp.write(kArenaA, n * 4u, /*stream=*/true);
-  const core::ThreadId init = builder.add_thread(
-      blocks.next(), "init",
-      [buffers, n](const core::ExecContext&) {
-        sim::SplitMix64 rng(0x5EEDu + n);
-        for (auto& v : buffers->data) {
-          v = static_cast<std::uint32_t>(rng.next());
-        }
-      },
-      std::move(init_fp));
-
-  // --- Phase 2: P sorter DThreads, one part each ---------------------
   const std::uint32_t parts = std::max<std::uint32_t>(params.num_kernels, 1);
   const auto chunks =
       core::chunk_iterations(0, n, (n + parts - 1) / parts);
-  std::vector<core::ThreadId> sorters;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> part_runs;
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
+  const std::size_t m = chunks.size();  // runs == merge partitions
+
+  // --- Phase 1: P init DThreads, one slice each ----------------------
+  // splitmix64 jumps to any point of the stream in O(1), so each slice
+  // reproduces exactly the values the single sequential stream would
+  // have written there - initialization stops being a serial phase.
+  std::vector<core::ThreadId> inits;
+  for (std::size_t i = 0; i < m; ++i) {
+    const core::LoopChunk c = chunks[i];
+    core::Footprint fp;
+    fp.compute(static_cast<core::Cycles>(c.size()) * 4);
+    fp.write(kArenaA + static_cast<core::SimAddr>(c.begin) * 4,
+             static_cast<std::uint32_t>(c.size() * 4), /*stream=*/true);
+    inits.push_back(builder.add_thread(
+        blocks.next(), "init" + std::to_string(i),
+        [buffers, n, c](const core::ExecContext&) {
+          sim::SplitMix64 rng(0x5EEDu + n);
+          rng.discard(static_cast<std::uint64_t>(c.begin));
+          for (std::int64_t e = c.begin; e < c.end; ++e) {
+            buffers->data[static_cast<std::size_t>(e)] =
+                static_cast<std::uint32_t>(rng.next());
+          }
+        },
+        std::move(fp)));
+  }
+
+  // --- Phase 2: P sorter DThreads, one part each ---------------------
+  std::vector<Run> part_runs;
+  for (std::size_t i = 0; i < m; ++i) {
     const core::LoopChunk c = chunks[i];
     part_runs.emplace_back(static_cast<std::uint32_t>(c.begin),
                            static_cast<std::uint32_t>(c.end));
@@ -154,53 +187,74 @@ AppRun build_qsort(const QsortInput& input, const DdmParams& params) {
           quicksort(buffers->data.data(), c.begin, c.end - 1);
         },
         std::move(fp));
-    builder.add_arc(init, sorter);
-    sorters.push_back(sorter);
+    builder.add_arc(inits[i], sorter);
   }
 
-  // --- Phase 3: two-level merge tree ---------------------------------
-  // Level 1: groups of ~sqrt(P) runs merged in parallel; level 2: one
-  // final merge of the group results (the serial bottleneck).
-  const std::uint32_t group =
-      std::max<std::uint32_t>(2, static_cast<std::uint32_t>(std::ceil(
-                                     std::sqrt(double(chunks.size())))));
-  std::vector<core::ThreadId> level1_merges;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> level1_runs;
-  for (std::size_t g = 0; g < chunks.size(); g += group) {
-    const std::size_t hi = std::min(chunks.size(), g + group);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs(
-        part_runs.begin() + g, part_runs.begin() + hi);
-    const std::uint32_t lo_elem = runs.front().first;
-    const std::uint32_t hi_elem = runs.back().second;
-    const std::uint32_t elems = hi_elem - lo_elem;
+  // --- Phase 3: P splitter-based merge DThreads ----------------------
+  // The two-level merge tree of section 6.1.2 saturates on its serial
+  // final merge. Instead, partition the *output* with P-1 deterministic
+  // splitters (sample-sort style): merge DThread j takes the values in
+  // [splitter_{j-1}, splitter_j) from every sorted run and writes them
+  // to its own disjoint output range (offset = the runs' lower_bound
+  // prefix sums), so the merge level is P-wide with no serial stage.
+  // The fresh block is the all-sorters barrier (blocks execute in
+  // declaration order), keeping the graph depth-balanced at 3 phases.
+  blocks.fresh();
+  for (std::size_t j = 0; j < m; ++j) {
     core::Footprint fp;
-    fp.compute(static_cast<core::Cycles>(elems) * kMergeCyclesPerElement);
-    fp.read(kArenaA + static_cast<core::SimAddr>(lo_elem) * 4, elems * 4);
-    fp.write(kArenaB + static_cast<core::SimAddr>(lo_elem) * 4, elems * 4);
-    const core::ThreadId merge = builder.add_thread(
-        blocks.next(), "merge1." + std::to_string(g / group),
-        [buffers, runs, lo_elem](const core::ExecContext&) {
-          merge_runs(buffers->data.data(), runs,
-                     buffers->level1.data() + lo_elem);
+    // Estimated traffic: ~1/m-th of every run read, one contiguous
+    // ~n/m output slice written (exact extents are data-dependent).
+    std::uint64_t elems_est = 0;
+    std::uint64_t offset_est = 0;
+    for (const Run& r : part_runs) {
+      const std::size_t len = r.second - r.first;
+      const std::size_t seg_lo = (len * j) / m;
+      const std::size_t seg_hi = (len * (j + 1)) / m;
+      offset_est += seg_lo;
+      if (seg_hi > seg_lo) {
+        fp.read(kArenaA +
+                    static_cast<core::SimAddr>(r.first + seg_lo) * 4,
+                static_cast<std::uint32_t>((seg_hi - seg_lo) * 4));
+        elems_est += seg_hi - seg_lo;
+      }
+    }
+    fp.compute(static_cast<core::Cycles>(elems_est) *
+               kMergeCyclesPerElement);
+    fp.write(kArenaC + static_cast<core::SimAddr>(offset_est) * 4,
+             static_cast<std::uint32_t>(elems_est * 4));
+    builder.add_thread(
+        blocks.next(), "merge" + std::to_string(j),
+        [buffers, part_runs, j, m](const core::ExecContext&) {
+          const std::uint32_t* a = buffers->data.data();
+          const std::vector<std::uint32_t> splitters =
+              compute_splitters(a, part_runs, m);
+          std::vector<Run> segs;
+          segs.reserve(part_runs.size());
+          std::size_t offset = 0;
+          for (const Run& r : part_runs) {
+            const std::uint32_t* b = a + r.first;
+            const std::uint32_t len = r.second - r.first;
+            const std::uint32_t lo =
+                j == 0 ? r.first
+                       : r.first +
+                             static_cast<std::uint32_t>(
+                                 std::lower_bound(b, b + len,
+                                                  splitters[j - 1]) -
+                                 b);
+            const std::uint32_t hi =
+                j == m - 1 ? r.second
+                           : r.first +
+                                 static_cast<std::uint32_t>(
+                                     std::lower_bound(b, b + len,
+                                                      splitters[j]) -
+                                     b);
+            offset += lo - r.first;
+            segs.emplace_back(lo, hi);
+          }
+          merge_runs(a, segs, buffers->out.data() + offset);
         },
         std::move(fp));
-    for (std::size_t k = g; k < hi; ++k) builder.add_arc(sorters[k], merge);
-    level1_merges.push_back(merge);
-    level1_runs.emplace_back(lo_elem, hi_elem);
   }
-
-  core::Footprint final_fp;
-  final_fp.compute(static_cast<core::Cycles>(n) * kMergeCyclesPerElement);
-  final_fp.read(kArenaB, n * 4u);
-  final_fp.write(kArenaC, n * 4u);
-  const core::ThreadId final_merge = builder.add_thread(
-      blocks.next(), "merge2",
-      [buffers, level1_runs](const core::ExecContext&) {
-        merge_runs(buffers->level1.data(), level1_runs,
-                   buffers->out.data());
-      },
-      std::move(final_fp));
-  for (core::ThreadId m : level1_merges) builder.add_arc(m, final_merge);
 
   core::BuildOptions options;
   options.num_kernels = params.num_kernels;

@@ -1,9 +1,12 @@
-// QSORT (paper Table 1, from MiBench): parallel array sort. DDM
-// structure follows section 6.1.2: one initialization DThread fills
-// the array (the data-transfer tradeoff the paper discusses for
-// TFluxSoft), each sorter DThread quicksorts one part, and the sorted
-// sub-arrays are merged "with a two-level tree" - the final merge is
-// the serial bottleneck that caps QSORT's speedup.
+// QSORT (paper Table 1, from MiBench): parallel array sort. The DDM
+// structure is a depth-balanced refinement of section 6.1.2: P init
+// DThreads fill slices of the array (splitmix64 jumps make the one
+// logical stream splittable), P sorter DThreads quicksort one part
+// each, and P splitter-based merge DThreads each produce a disjoint
+// slice of the sorted output (sample-sort partitioning). The paper's
+// "two-level tree" merge - whose serial final merge caps QSORT's
+// speedup - survives only in git history; the balanced decomposition
+// keeps every phase P-wide.
 #pragma once
 
 #include <cstdint>

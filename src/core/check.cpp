@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <utility>
+
+#include "core/topology.h"
 
 namespace tflux::core {
 
@@ -258,6 +261,14 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
   std::uint32_t outlet_done_next = 0;
   std::vector<BlockId> last_activation(trace.groups, kInvalidBlock);
 
+  // Shard topology for the dispatch-routing tally: sharded runs use
+  // the clustered map (the runtime's), flat runs classify every
+  // non-home dispatch as a local steal.
+  std::optional<ShardMap> shard_map;
+  if (trace.shards != 0 && trace.shards <= trace.kernels) {
+    shard_map = ShardMap::clustered(trace.kernels, trace.shards);
+  }
+
   auto valid_thread = [&](std::uint32_t id) { return id < n_threads; };
 
   // Replay one unit Ready Count update producer -> consumer (the body
@@ -369,6 +380,22 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
           break;
         }
         const DThread& t = program.thread(r.a);
+        if (r.b < trace.kernels) {
+          // Same home clamp the runtime's TKT applies: a home beyond
+          // the run's kernel count folds to kernel 0.
+          const KernelId home = t.home_kernel < trace.kernels
+                                    ? t.home_kernel
+                                    : KernelId{0};
+          const auto target = static_cast<KernelId>(r.b);
+          ++report.steals.dispatches;
+          if (target == home) {
+            ++report.steals.home;
+          } else if (!shard_map || shard_map->same_shard(home, target)) {
+            ++report.steals.local;
+          } else {
+            ++report.steals.remote;
+          }
+        }
         ThreadState& s = st[r.a];
         ++s.dispatches;
         if (s.dispatches == 2) {

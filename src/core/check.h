@@ -81,9 +81,24 @@ struct CheckOptions {
   std::uint32_t max_findings = 256;
 };
 
+/// Dispatch-routing tally rebuilt from the trace's dispatch records,
+/// so a run's reported steal statistics can be reconciled against the
+/// trace replay. `home` counts dispatches that landed on the DThread's
+/// home kernel; the rest split by the trace's shard topology
+/// (clustered over the config's `shards` clause): `local` stayed in
+/// the home kernel's shard, `remote` crossed a shard boundary. With
+/// shards == 0 (flat trace) every non-home dispatch counts as local.
+struct StealTally {
+  std::uint64_t dispatches = 0;
+  std::uint64_t home = 0;
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+};
+
 struct CheckReport {
   std::vector<CheckFinding> findings;
   std::uint64_t records_checked = 0;
+  StealTally steals;            ///< observed dispatch routing
   bool races_skipped = false;   ///< program above race_check_max_threads
   bool truncated = false;       ///< stopped at max_findings
 

@@ -54,7 +54,11 @@ std::string save_trace(const ExecTrace& trace) {
   out << "config kernels " << trace.kernels << " groups " << trace.groups
       << " policy " << trace.policy << " pipeline "
       << (trace.pipelined ? 1 : 0) << " lockfree "
-      << (trace.lockfree ? 1 : 0) << "\n";
+      << (trace.lockfree ? 1 : 0);
+  // Optional clause: only sharded runs carry it, so flat traces stay
+  // byte-identical with pre-shard writers.
+  if (trace.shards != 0) out << " shards " << trace.shards;
+  out << "\n";
   if (!trace.app.empty()) {
     out << "app " << trace.app << " " << trace.size << " unroll "
         << trace.unroll << " tsu-capacity " << trace.tsu_capacity << "\n";
@@ -124,6 +128,10 @@ ExecTrace load_trace(const std::string& text) {
           int v = 0;
           if (!(ls >> v)) fail("config lockfree needs 0 or 1");
           trace.lockfree = v != 0;
+        } else if (clause == "shards") {
+          unsigned s = 0;
+          if (!(ls >> s)) fail("config shards needs a count");
+          trace.shards = static_cast<std::uint16_t>(s);
         } else {
           fail("unknown config clause '" + clause + "'");
         }

@@ -80,6 +80,10 @@ struct ExecTrace {
   std::string program = "unknown";
   std::uint16_t kernels = 1;
   std::uint16_t groups = 1;
+  /// Topology shard count of the run (0 = flat/no sharding). Written
+  /// as an optional `shards <S>` clause on the config line; absent in
+  /// pre-shard traces, which load as 0.
+  std::uint16_t shards = 0;
   std::string policy = "locality";
   bool pipelined = true;
   bool lockfree = true;

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace tflux::core {
@@ -24,6 +25,12 @@ enum class PolicyKind : std::uint8_t {
   /// first *is* backlog-driven routing; the native runtime's TSU
   /// Emulator implements the real mailbox-depth probe.
   kAdaptive,
+  /// Hierarchical stealing over a ShardMap: home queue first, then
+  /// sibling kernels in the requester's shard, then remote shards
+  /// (highest-backlog victim first, so work drains from the most
+  /// overloaded cluster). Without a ShardMap this degenerates to
+  /// kLocality (one flat shard).
+  kHier,
 };
 
 const char* to_string(PolicyKind kind);
@@ -32,13 +39,17 @@ const char* to_string(PolicyKind kind);
 /// serialize access (the TSU Group is a single unit in the paper).
 class ReadySet {
  public:
-  ReadySet(std::uint16_t num_kernels, PolicyKind policy);
+  /// `shards` (optional, kHier only) maps kernels to topology shards;
+  /// it must outlive the ReadySet and cover `num_kernels` kernels.
+  ReadySet(std::uint16_t num_kernels, PolicyKind policy,
+           const ShardMap* shards = nullptr);
 
   /// Make `tid` (whose home kernel is `home`) available for execution.
   void push(ThreadId tid, KernelId home);
 
   /// Fetch a ready DThread for `requester`. Locality policy prefers
-  /// the requester's own queue, then steals round-robin from others.
+  /// the requester's own queue, then steals round-robin from others;
+  /// kHier steals same-shard siblings before remote shards.
   std::optional<ThreadId> pop(KernelId requester);
 
   bool empty() const { return size_ == 0; }
@@ -53,11 +64,24 @@ class ReadySet {
   /// home queue (i.e. steals). Always 0 under kFifo.
   std::uint64_t steals() const { return steals_; }
 
+  /// kHier breakdown: steals from a sibling kernel in the requester's
+  /// shard vs. steals that crossed a shard boundary. Both are 0 for
+  /// the flat policies (their steals_ counts every non-home pop).
+  std::uint64_t steal_local() const { return steal_local_; }
+  std::uint64_t steal_remote() const { return steal_remote_; }
+
  private:
+  std::optional<ThreadId> pop_queue(std::size_t q);
+  std::optional<ThreadId> pop_hier(KernelId requester);
+
   PolicyKind policy_;
+  const ShardMap* shards_;  // kHier only; may be null (degenerates flat)
   std::vector<std::deque<ThreadId>> queues_;  // kFifo uses queues_[0] only
+  std::vector<std::size_t> shard_backlog_;    // kHier: ready per shard
   std::size_t size_ = 0;
   std::uint64_t steals_ = 0;
+  std::uint64_t steal_local_ = 0;
+  std::uint64_t steal_remote_ = 0;
 };
 
 }  // namespace tflux::core

@@ -8,15 +8,19 @@ namespace tflux::core {
 
 ReferenceScheduler::ReferenceScheduler(const Program& program,
                                        std::uint16_t num_kernels,
-                                       PolicyKind policy)
-    : program_(program), num_kernels_(num_kernels), policy_(policy) {
+                                       PolicyKind policy,
+                                       const ShardMap* shards)
+    : program_(program),
+      num_kernels_(num_kernels),
+      policy_(policy),
+      shards_(shards) {
   if (num_kernels_ == 0) {
     throw TFluxError("ReferenceScheduler: num_kernels must be >= 1");
   }
 }
 
 ScheduleResult ReferenceScheduler::run() {
-  TsuState tsu(program_, num_kernels_, policy_);
+  TsuState tsu(program_, num_kernels_, policy_, shards_);
   tsu.start();
 
   ScheduleResult result;

@@ -31,8 +31,11 @@ struct ScheduleResult {
 
 class ReferenceScheduler {
  public:
+  /// `shards` (kHier only) supplies the topology for hierarchical
+  /// stealing; it must outlive the scheduler.
   ReferenceScheduler(const Program& program, std::uint16_t num_kernels,
-                     PolicyKind policy = PolicyKind::kLocality);
+                     PolicyKind policy = PolicyKind::kLocality,
+                     const ShardMap* shards = nullptr);
 
   /// Execute the whole program: round-robin over virtual kernels, each
   /// fetching and synchronously running one DThread per turn. Bodies
@@ -43,6 +46,7 @@ class ReferenceScheduler {
   const Program& program_;
   std::uint16_t num_kernels_;
   PolicyKind policy_;
+  const ShardMap* shards_;
 };
 
 }  // namespace tflux::core

@@ -7,9 +7,9 @@
 namespace tflux::core {
 
 TsuState::TsuState(const Program& program, std::uint16_t num_kernels,
-                   PolicyKind policy)
+                   PolicyKind policy, const ShardMap* shards)
     : program_(program),
-      ready_(num_kernels, policy),
+      ready_(num_kernels, policy, shards),
       ready_counts_(program.num_threads(), 0),
       states_(program.num_threads(), ThreadState::kNotLoaded) {}
 
@@ -30,6 +30,8 @@ std::optional<ThreadId> TsuState::fetch(KernelId kernel) {
   assert(states_[*tid] == ThreadState::kReady);
   states_[*tid] = ThreadState::kRunning;
   counters_.steals = ready_.steals();
+  counters_.steal_local = ready_.steal_local();
+  counters_.steal_remote = ready_.steal_remote();
   return tid;
 }
 

@@ -41,14 +41,19 @@ struct TsuCounters {
   std::uint64_t fetch_misses = 0;        ///< fetch() with empty pool
   std::uint64_t blocks_loaded = 0;
   std::uint64_t steals = 0;              ///< non-home-queue dispatches
+  std::uint64_t steal_local = 0;         ///< kHier: same-shard steals
+  std::uint64_t steal_remote = 0;        ///< kHier: cross-shard steals
 };
 
 class TsuState {
  public:
   /// `num_kernels` is the number of worker Kernels the program will run
   /// on; it sizes the per-kernel ready queues of the locality policy.
+  /// `shards` (kHier only) supplies the topology for hierarchical
+  /// stealing; it must outlive the TsuState.
   TsuState(const Program& program, std::uint16_t num_kernels,
-           PolicyKind policy = PolicyKind::kLocality);
+           PolicyKind policy = PolicyKind::kLocality,
+           const ShardMap* shards = nullptr);
 
   /// Arm the TSU: the first block's Inlet becomes the only ready
   /// DThread. Must be called exactly once before any fetch().

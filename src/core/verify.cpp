@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/topology.h"
+
 namespace tflux::core {
 
 const char* to_string(Severity severity) {
@@ -61,6 +63,8 @@ const char* to_string(Diag code) {
       return "coalescable-arcs";
     case Diag::kGuardHotspot:
       return "guard-hotspot";
+    case Diag::kShardImbalance:
+      return "shard-imbalance";
   }
   return "?";
 }
@@ -452,6 +456,54 @@ void check_capacity_and_kernels(const Program& program,
                      "; its completion publish must be chunked and can "
                      "stall the kernel until the TSU emulator drains - "
                      "raise tub_lane_capacity or reduce the fan-out");
+      }
+    }
+  }
+  if (options.shards != 0 && options.shard_imbalance_pct != 0 &&
+      options.num_kernels != 0 && options.shards <= options.num_kernels) {
+    // Per-shard load under the clustered topology the sharded runtime
+    // uses: each shard's emulator owns its kernels' SM spans, so a
+    // shard's work is the application DThreads homed on its kernels
+    // plus the Ready-Count updates those DThreads receive. Stealing
+    // rebalances *execution*, not this TSU-side accounting - an
+    // unbalanced graph serializes on the loaded shard's emulator.
+    const ShardMap map =
+        ShardMap::clustered(options.num_kernels, options.shards);
+    std::vector<std::uint64_t> load(options.shards, 0);
+    std::uint64_t total = 0;
+    for (const DThread& t : program.threads()) {
+      if (!t.is_application()) continue;
+      if (t.home_kernel == kInvalidKernel) continue;  // reported below
+      const KernelId home = t.home_kernel < options.num_kernels
+                                ? t.home_kernel
+                                : KernelId{0};  // TKT clamp
+      const std::uint64_t work = 1 + t.ready_count_init;
+      load[map.shard_of(home)] += work;
+      total += work;
+    }
+    if (total != 0) {
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(options.shards);
+      for (std::uint16_t s = 0; s < options.shards; ++s) {
+        const double dev =
+            (static_cast<double>(load[s]) - mean) / mean * 100.0;
+        if (dev > static_cast<double>(options.shard_imbalance_pct) ||
+            -dev > static_cast<double>(options.shard_imbalance_pct)) {
+          std::ostringstream msg;
+          msg << "shard " << s << " (kernels " << map.first_kernel(s)
+              << ".." << map.last_kernel(s) << " of "
+              << options.num_kernels << ") carries " << load[s]
+              << " of " << total
+              << " DThread+update load units, deviating "
+              << static_cast<long long>(dev > 0 ? dev + 0.5 : dev - 0.5)
+              << "% from the uniform share (threshold "
+              << options.shard_imbalance_pct
+              << "%); the loaded shard's emulator becomes the "
+                 "bottleneck - rebalance home kernels or revisit the "
+                 "decomposition";
+          out.warn(Diag::kShardImbalance, kInvalidThread, kInvalidBlock,
+                   msg.str());
+        }
       }
     }
   }

@@ -62,6 +62,7 @@ enum class Diag : std::uint8_t {
   kStallProneBlock,       ///< block too small to cover a transition
   kCoalescableArcs,       ///< unit-arc fan-out that should be one range arc
   kGuardHotspot,          ///< block fan-in exceeds the sampled-guard budget
+  kShardImbalance,        ///< per-shard load deviates from uniform
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -116,6 +117,18 @@ struct VerifyOptions {
   /// transition - the overhead spike deterministic sampling is meant
   /// to bound. tflux_lint --guard-hotspots=N.
   std::uint32_t guard_hotspot_budget = 0;
+  /// Shard count of the target topology for the shard-imbalance check
+  /// (clustered map over num_kernels; both must be nonzero to enable).
+  /// The sharded TSU keeps Ready-Count work home-shard-local, so a
+  /// graph whose DThread placement and update fan-in concentrate on
+  /// one shard serializes on that shard's emulator no matter how the
+  /// stealing behaves. tflux_lint --shards=K.
+  std::uint16_t shards = 0;
+  /// Allowed deviation, in percent, of any one shard's load (homed
+  /// application DThreads + Ready-Count updates they receive) from the
+  /// uniform per-shard share before kShardImbalance fires (0 disables).
+  /// tflux_lint --shard-imbalance=N.
+  std::uint32_t shard_imbalance_pct = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/ready_set.h"
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace tflux::machine {
@@ -65,6 +66,35 @@ struct TsuTiming {
   Cycles intergroup_latency = 16;
 };
 
+/// Topology model of the sharded TSU: the kernels are clustered into
+/// shards (contiguous ranges, core::ShardMap), each shard gets its own
+/// TSU port, and exchanges declare different intra- vs inter-shard
+/// costs. Configurable up to simulated 32-128-kernel machines; shards
+/// == 1 is the flat (single-domain) baseline and leaves the legacy
+/// interleaved TsuTiming::num_groups model in charge.
+struct TopologyConfig {
+  /// Number of shards. 1 = flat; >= 2 enables the clustered topology
+  /// (overriding tsu.num_groups); 0 = auto from kernels_per_shard.
+  std::uint16_t shards = 1;
+  /// Auto sizing (shards == 0): ceil(num_kernels / kernels_per_shard).
+  std::uint16_t kernels_per_shard = 8;
+  /// Kernel <-> TSU latency within the home shard (0 = inherit
+  /// tsu.access_latency).
+  Cycles intra_shard_latency = 0;
+  /// Extra one-way latency for an operation crossing a shard boundary
+  /// (0 = inherit tsu.intergroup_latency).
+  Cycles inter_shard_latency = 0;
+
+  /// Shard count this topology resolves to on a `num_kernels` machine.
+  std::uint16_t resolved_shards(std::uint16_t num_kernels) const {
+    if (shards != 0) return shards;
+    const std::uint16_t per = kernels_per_shard == 0 ? 1 : kernels_per_shard;
+    const std::uint16_t n =
+        static_cast<std::uint16_t>((num_kernels + per - 1) / per);
+    return n == 0 ? 1 : n;
+  }
+};
+
 struct MachineConfig {
   std::string name = "machine";
   /// Worker kernels (execution cores). The OS core and - for the soft
@@ -81,6 +111,7 @@ struct MachineConfig {
   Cycles c2c_latency = 40;
 
   TsuTiming tsu;
+  TopologyConfig topology;
   /// Kernel-side cost of the transition into/out of a DThread (the
   /// paper keeps Kernel and DThread code in one function to make this
   /// minimal).
@@ -102,5 +133,13 @@ MachineConfig xeon_soft(std::uint16_t num_kernels);
 /// The "simulated 9 cores X86 system similar to Bagle" the paper
 /// mentions at the end of section 6.1.2: x86-like caches, hardware TSU.
 MachineConfig x86_hard(std::uint16_t num_kernels);
+
+/// Sharded-topology TFluxSoft: the xeon_soft machine with its kernels
+/// clustered into `shards` TSU domains, one emulator port per shard.
+/// Intra-shard exchanges keep the xeon_soft handshake cost; crossing a
+/// shard boundary models a cross-cluster cache-to-cache hop. Pair with
+/// PolicyKind::kHier for hierarchical stealing.
+MachineConfig xeon_soft_sharded(std::uint16_t num_kernels,
+                                std::uint16_t shards);
 
 }  // namespace tflux::machine

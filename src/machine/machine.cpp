@@ -19,6 +19,17 @@ Machine::Machine(const MachineConfig& config, const core::Program& program,
   if (config_.tsu.num_groups == 0) {
     throw core::TFluxError("Machine: tsu.num_groups must be >= 1");
   }
+  const std::uint16_t shards =
+      config_.topology.resolved_shards(config_.num_kernels);
+  if (shards > config_.num_kernels) {
+    throw core::TFluxError("Machine: topology shards must be <= num_kernels");
+  }
+  if (shards >= 2) {
+    shard_map_ = core::ShardMap::clustered(config_.num_kernels, shards);
+    num_groups_ = shards;
+  } else {
+    num_groups_ = config_.tsu.num_groups;
+  }
   running_.resize(config_.num_kernels);
 }
 
@@ -63,9 +74,17 @@ void Machine::dispatch(core::KernelId k, core::ThreadId tid) {
     // remainder stays in compute_left.
     cur.compute_left -= cur.compute_per_line * cur.lines_left;
   }
-  // Reach the kernel (access latency) and switch into the DThread.
-  const Cycles start =
-      eq_.now() + config_.tsu.access_latency + config_.thread_switch_cycles;
+  // Reach the kernel (access latency) and switch into the DThread. A
+  // sharded dispatch that crossed a shard boundary (hierarchical
+  // steal: the DThread's home lives in another cluster) pays the
+  // inter-shard link on top.
+  Cycles access = local_access_latency();
+  if (shard_map_) {
+    core::KernelId home = t.home_kernel;
+    if (home >= config_.num_kernels) home = 0;
+    if (!shard_map_->same_shard(home, k)) access += cross_group_latency();
+  }
+  const Cycles start = eq_.now() + access + config_.thread_switch_cycles;
   cur.started_at = start;
   eq_.at(start, [this, k] { exec_segment(k); });
 }
@@ -166,7 +185,7 @@ void Machine::complete_thread(core::KernelId k) {
   // the rest of the load continues in the background - so the visible
   // latency covers only ~one entry per kernel, not the whole block.
   const std::uint16_t local_group = group_of(k);
-  std::vector<std::uint64_t> ops_per_group(config_.tsu.num_groups, 0);
+  std::vector<std::uint64_t> ops_per_group(num_groups_, 0);
   ops_per_group[local_group] += 1;  // the completion note itself
   auto target_group = [this](core::ThreadId target) {
     core::KernelId home = program_.thread(target).home_kernel;
@@ -189,12 +208,12 @@ void Machine::complete_thread(core::KernelId k) {
   }
 
   Cycles t_done = 0;
-  for (std::uint16_t g = 0; g < config_.tsu.num_groups; ++g) {
+  for (std::uint16_t g = 0; g < num_groups_; ++g) {
     const std::uint64_t ops = ops_per_group[g];
     if (ops == 0) continue;
-    Cycles ready_at = now + config_.tsu.access_latency;
+    Cycles ready_at = now + local_access_latency();
     if (g != local_group) {
-      ready_at += config_.tsu.intergroup_latency;
+      ready_at += cross_group_latency();
       stats_.tsu_intergroup_updates += ops;
     }
     const Cycles grant =
@@ -204,10 +223,7 @@ void Machine::complete_thread(core::KernelId k) {
                        grant + ops * config_.tsu.op_cycles,
                        "tsu:" + t.label);
     }
-    // Kernels served by group g (round-robin partition).
-    const std::uint64_t group_kernels =
-        (config_.num_kernels + config_.tsu.num_groups - 1 - g) /
-        config_.tsu.num_groups;
+    const std::uint64_t group_kernels = kernels_of_group(g);
     const std::uint64_t visible_ops =
         t.kind == core::ThreadKind::kInlet
             ? std::min<std::uint64_t>(ops, group_kernels + 1u)
@@ -232,7 +248,7 @@ void Machine::kernel_request(core::KernelId k) {
   // command stream - kernels asking for work are never stalled by
   // other kernels' completion bursts.
   const Cycles done =
-      eq_.now() + config_.tsu.access_latency + config_.tsu.op_cycles;
+      eq_.now() + local_access_latency() + config_.tsu.op_cycles;
   eq_.at(done, [this, k] {
     if (tsu_->done()) return;
     if (auto tid = tsu_->fetch(k)) {
@@ -260,14 +276,15 @@ MachineStats Machine::run() {
 
   mem_ = std::make_unique<MemorySystem>(config_, config_.num_kernels);
   tsu_ = std::make_unique<core::TsuState>(program_, config_.num_kernels,
-                                          config_.policy);
+                                          config_.policy,
+                                          shard_map_ ? &*shard_map_ : nullptr);
   stats_.kernel_busy.assign(config_.num_kernels, 0);
-  tsu_ports_ = std::vector<sim::SerialResource>(config_.tsu.num_groups);
+  tsu_ports_ = std::vector<sim::SerialResource>(num_groups_);
   if (trace_) {
     for (core::KernelId k = 0; k < config_.num_kernels; ++k) {
       trace_->set_lane_name(k, "kernel " + std::to_string(k));
     }
-    for (std::uint16_t g = 0; g < config_.tsu.num_groups; ++g) {
+    for (std::uint16_t g = 0; g < num_groups_; ++g) {
       trace_->set_lane_name(config_.num_kernels + g,
                             "TSU group " + std::to_string(g));
     }

@@ -23,6 +23,11 @@ TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
   if (mailboxes_.empty()) {
     throw core::TFluxError("TsuEmulator: no kernels");
   }
+  if (options_.shard_map != nullptr &&
+      (options_.shard_map->num_shards() != options_.num_groups ||
+       options_.shard_map->num_kernels() != mailboxes_.size())) {
+    throw core::TFluxError("TsuEmulator: shard map / group geometry mismatch");
+  }
   for (core::KernelId k = 0;
        k < static_cast<core::KernelId>(mailboxes_.size()); ++k) {
     if (owns_kernel(k)) my_kernels_.push_back(k);
@@ -54,14 +59,10 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
     fault_->swallow = false;
     return;
   }
-  ++stats_.dispatches;
   // The consumer's home kernel belongs to this group by construction
   // (the TubGroup routed the update here via the TKT).
   const core::KernelId home = sm_.tkt(tid).kernel;
   assert(owns_kernel(home));
-  if (guard_.guard != nullptr) {
-    guard_.dispatch(tid, guard_.deep(program_.thread(tid).block));
-  }
 
   core::KernelId target = home;
   switch (options_.policy) {
@@ -93,16 +94,48 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
         }
       }
       break;
+    case core::PolicyKind::kHier: {
+      // kAdaptive within the shard, then escalate: while the home
+      // backlog is shallow the DThread stays put; overflow tries
+      // sibling kernels of this shard; and only when the whole shard
+      // is backlogged may the dispatch be delegated to a remote shard.
+      if (mailboxes_[home].size() > options_.adaptive_backlog) {
+        std::size_t best = mailboxes_[home].size();
+        for (core::KernelId k : my_kernels_) {
+          const std::size_t depth = mailboxes_[k].size();
+          if (depth < best) {
+            best = depth;
+            target = k;
+          }
+        }
+        if (best > options_.adaptive_backlog && try_delegate(tid, best)) {
+          // Granted away: the receiver dispatches (and counts); the
+          // partition slot is still this group's to account.
+          if (program_.thread(tid).block == my_block_ &&
+              partition_outstanding_ > 0) {
+            --partition_outstanding_;
+            maybe_prefetch();
+          }
+          return;
+        }
+      }
+      break;
+    }
     case core::PolicyKind::kFifo:
       // Round-robin over the group's kernels.
       target = my_kernels_[rr_next_];
       rr_next_ = (rr_next_ + 1) % my_kernels_.size();
       break;
   }
+  ++stats_.dispatches;
+  if (guard_.guard != nullptr) {
+    guard_.dispatch(tid, guard_.deep(program_.thread(tid).block));
+  }
   if (target == home) {
     ++stats_.home_dispatches;
   } else if (options_.policy != core::PolicyKind::kFifo) {
     ++stats_.steal_dispatches;
+    if (options_.policy == core::PolicyKind::kHier) ++stats_.steal_local;
   }
   // Ticket drawn before the mailbox put: the Dispatch seq always
   // precedes the Complete seq the receiving kernel will draw.
@@ -117,6 +150,75 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
     --partition_outstanding_;
     maybe_prefetch();
   }
+}
+
+bool TsuEmulator::try_delegate(core::ThreadId tid, std::size_t local_best) {
+  // Inlets/Outlets stay home (block chaining assumes their kernel
+  // round trip), and fault-injection runs keep every dispatch local so
+  // the armed victim's early-dispatch/swallow pair stays in one
+  // emulator.
+  if (options_.shard_map == nullptr || options_.num_groups <= 1 ||
+      fault_ != nullptr || !program_.thread(tid).is_application()) {
+    return false;
+  }
+  // Least-loaded remote shard (shallowest mailbox, relaxed reads; ties
+  // break to the lowest shard id). Depth is a placement heuristic only
+  // - a stale read costs balance, never correctness. In-flight grants
+  // sit in the victim's TUB ring, not its mailboxes, so they are added
+  // back explicitly; otherwise a burst keeps seeing a remote shard as
+  // idle and delegates its whole backlog.
+  std::uint16_t victim = options_.num_groups;
+  std::size_t remote_min = local_best;
+  for (std::uint16_t g = 0; g < options_.num_groups; ++g) {
+    if (g == options_.group) continue;
+    std::size_t g_min = remote_min;
+    for (core::KernelId k : options_.shard_map->kernels(g)) {
+      g_min = std::min(g_min, mailboxes_[k].size());
+    }
+    g_min += tubs_.pending_steal_grants(g);
+    if (g_min < remote_min) {
+      remote_min = g_min;
+      victim = g;
+    }
+  }
+  if (victim == options_.num_groups ||
+      local_best < remote_min + options_.steal_threshold) {
+    return false;
+  }
+  ++stats_.steal_remote;
+  // Published on this emulator's dedicated lane (kernel lanes are SPSC
+  // and owned by their kernels).
+  tubs_.publish_steal_grant(
+      victim, tid,
+      static_cast<std::uint32_t>(mailboxes_.size() + options_.group));
+  return true;
+}
+
+void TsuEmulator::dispatch_steal_grant(core::ThreadId tid) {
+  tubs_.steal_grant_consumed(options_.group);
+  ++stats_.steals_in;
+  ++stats_.dispatches;
+  // Epoch accounting happens on this emulator's guard lane; the TUB
+  // ring's release/acquire pair orders it after the delegator's update
+  // accounting.
+  if (guard_.guard != nullptr) {
+    guard_.dispatch(tid, guard_.deep(program_.thread(tid).block));
+  }
+  core::KernelId target = my_kernels_.front();
+  std::size_t best = mailboxes_[target].size();
+  for (core::KernelId k : my_kernels_) {
+    const std::size_t depth = mailboxes_[k].size();
+    if (depth < best) {
+      best = depth;
+      target = k;
+    }
+  }
+  ++stats_.steal_dispatches;
+  if (options_.trace) {
+    options_.trace->record(trace_lane_, core::TraceEvent::kDispatch, tid,
+                           target);
+  }
+  mailboxes_[target].put(tid);
 }
 
 void TsuEmulator::maybe_prefetch() {
@@ -370,6 +472,10 @@ void TsuEmulator::run() {
         case TubEntry::Kind::kUpdate:
         case TubEntry::Kind::kRangeUpdate: {
           handle_update(e);
+          break;
+        }
+        case TubEntry::Kind::kStealGrant: {
+          dispatch_steal_grant(static_cast<core::ThreadId>(e.id));
           break;
         }
         case TubEntry::Kind::kOutletDone: {

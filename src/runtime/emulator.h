@@ -11,6 +11,16 @@
 // Kernel-side TubGroup routes each command to the owning emulator's
 // TUB, and emulator 0 coordinates block chaining and shutdown.
 //
+// Sharded topology (Options::shard_map): ownership follows a
+// clustered ShardMap instead of the modular stripe - each emulator is
+// one shard's scheduling loop - and the kHier policy adds
+// hierarchical stealing on top: overflow dispatch tries sibling
+// kernels in the same shard first, and only a shard-wide backlog
+// escalates to a kStealGrant handed to the least-loaded remote shard
+// (subject to Options::steal_threshold, so warm-cache home dispatch
+// stays the common case). The receiving emulator dispatches the
+// granted DThread to its shallowest local mailbox.
+//
 // Block pipeline (Options::block_pipeline, default on): instead of a
 // synchronous SyncMemoryGroup reload at every block boundary, the
 // emulator stages the next block's Ready Counts in the shadow SM
@@ -71,6 +81,16 @@ struct alignas(kCacheLine) EmulatorStats {
   /// coalescing factor).
   std::uint64_t range_updates_processed = 0;
   std::uint64_t range_members = 0;
+  /// kHier only: dispatches routed to a sibling kernel of this shard
+  /// (counted into steal_dispatches as well).
+  std::uint64_t steal_local = 0;
+  /// kHier only: ready DThreads this emulator delegated to a remote
+  /// shard via kStealGrant (the grant's dispatch happens - and is
+  /// counted - at the receiver).
+  std::uint64_t steal_remote = 0;
+  /// kHier only: steal grants received and dispatched locally. Summed
+  /// over all emulators, steals_in == steal_remote.
+  std::uint64_t steals_in = 0;
 
   EmulatorStats& operator+=(const EmulatorStats& other) {
     updates_processed += other.updates_processed;
@@ -85,6 +105,9 @@ struct alignas(kCacheLine) EmulatorStats {
     steal_dispatches += other.steal_dispatches;
     range_updates_processed += other.range_updates_processed;
     range_members += other.range_members;
+    steal_local += other.steal_local;
+    steal_remote += other.steal_remote;
+    steals_in += other.steals_in;
     return *this;
   }
 };
@@ -106,10 +129,19 @@ class TsuEmulator {
     /// Outstanding-dispatch low-water mark that triggers the shadow
     /// preload of the next block. 0 = auto (2 x owned kernels).
     std::uint32_t prefetch_low_water = 0;
-    /// kAdaptive only: keep a DThread on its home kernel while that
+    /// kAdaptive / kHier: keep a DThread on its home kernel while that
     /// mailbox holds at most this many undelivered DThreads; beyond
     /// it, route to the shallowest owned mailbox.
     std::uint32_t adaptive_backlog = 2;
+    /// Topology map replacing the k % num_groups ownership stripe
+    /// (sharded TSU; must outlive the emulator, declare num_groups
+    /// shards, and cover every kernel). Null = legacy interleaving.
+    const core::ShardMap* shard_map = nullptr;
+    /// kHier only: minimum depth advantage a remote shard's shallowest
+    /// mailbox must have over this shard's before a backlogged
+    /// dispatch is delegated there (hysteresis keeping warm-cache home
+    /// dispatch the common case). Ignored without a shard_map.
+    std::uint32_t steal_threshold = 4;
     /// Execution-trace sink (null = tracing off, the default).
     TraceLog* trace = nullptr;
     /// ddmguard instance (null = online checking off, the default).
@@ -135,9 +167,20 @@ class TsuEmulator {
 
  private:
   bool owns_kernel(core::KernelId k) const {
-    return k % options_.num_groups == options_.group;
+    return options_.shard_map != nullptr
+               ? options_.shard_map->shard_of(k) == options_.group
+               : k % options_.num_groups == options_.group;
   }
   void dispatch(core::ThreadId tid);
+  /// kHier: whole shard backlogged at `local_best` - delegate `tid` to
+  /// the least-loaded remote shard if one beats us by steal_threshold.
+  /// Returns true when a kStealGrant was published (the caller must
+  /// skip the local mailbox put but still account the partition slot).
+  bool try_delegate(core::ThreadId tid, std::size_t local_best);
+  /// Receiver side of a kStealGrant: dispatch the granted DThread (its
+  /// home kernel lives in another shard) to the shallowest local
+  /// mailbox.
+  void dispatch_steal_grant(core::ThreadId tid);
   /// Make `block` the group's current block: flip the (pre)loaded
   /// shadow generation in (or reload synchronously in the ablation
   /// baseline), reset the outstanding count, optionally dispatch the

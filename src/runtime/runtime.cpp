@@ -7,9 +7,11 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "core/error.h"
+#include "core/topology.h"
 #include "runtime/trace_log.h"
 
 namespace tflux::runtime {
@@ -115,6 +117,9 @@ Runtime::Runtime(const core::Program& program, RuntimeOptions options)
     throw core::TFluxError(
         "Runtime: tsu_groups must be in [1, num_kernels]");
   }
+  if (options_.shards > options_.num_kernels) {
+    throw core::TFluxError("Runtime: shards must be <= num_kernels");
+  }
 }
 
 RuntimeStats Runtime::run() {
@@ -123,16 +128,36 @@ RuntimeStats Runtime::run() {
   }
   ran_ = true;
 
+  // Sharded topology: replace the interleaved k % tsu_groups ownership
+  // with clustered shards, one emulator per shard. The map lives on
+  // this frame and every holder of the pointer is joined before run()
+  // returns.
+  const bool sharded = options_.shards >= 1;
+  const std::uint16_t groups = sharded ? options_.shards : options_.tsu_groups;
+  std::optional<core::ShardMap> shard_map;
+  if (sharded) {
+    shard_map = core::ShardMap::clustered(options_.num_kernels,
+                                          options_.shards);
+  }
+  const core::ShardMap* map_ptr = sharded ? &*shard_map : nullptr;
+
   SyncMemoryGroup sm(program_, options_.num_kernels);
+  sm.set_shard_map(map_ptr);
+  // Sharded mode appends one dedicated lane per emulator after the
+  // kernels' lanes: steal grants are emulator-published, and kernel
+  // lanes are SPSC with the kernel as sole producer.
+  const std::uint32_t num_lanes =
+      options_.num_kernels + (sharded ? groups : 0u);
   TubGroup tubs(program_, sm,
                 TubGroupOptions{
-                    .num_groups = options_.tsu_groups,
+                    .num_groups = groups,
                     .lockfree = options_.lockfree,
-                    .num_lanes = options_.num_kernels,
+                    .num_lanes = num_lanes,
                     .lane_capacity = options_.tub_lane_capacity,
                     .segments = options_.tub_segments,
                     .segment_capacity = options_.tub_segment_capacity,
                     .coalesce = options_.coalesce_updates,
+                    .shard_map = map_ptr,
                 });
   // Size each mailbox ring to the largest block (plus chaining slack:
   // next block's inlet and the exit sentinel can be queued alongside),
@@ -150,22 +175,22 @@ RuntimeStats Runtime::run() {
 
   std::unique_ptr<TraceLog> trace_log;
   if (options_.trace != nullptr) {
-    trace_log = std::make_unique<TraceLog>(options_.num_kernels,
-                                           options_.tsu_groups);
+    trace_log = std::make_unique<TraceLog>(options_.num_kernels, groups);
     if (options_.trace_emergency) {
       // Abnormal teardown (exception unwinding through this frame, or
       // exit() mid-run): persist the record prefix as a trace marked
       // truncated. Captured state is by value except the options,
       // which outlive the TraceLog.
       trace_log->arm_emergency(
-          [this](std::vector<core::TraceRecord>&& records) {
+          [this, groups](std::vector<core::TraceRecord>&& records) {
             core::ExecTrace partial;
             partial.program = program_.name();
             partial.kernels = options_.num_kernels;
-            partial.groups = options_.tsu_groups;
+            partial.groups = groups;
             partial.policy = core::to_string(options_.policy);
             partial.pipelined = options_.block_pipeline;
             partial.lockfree = options_.lockfree;
+            partial.shards = options_.shards;
             partial.truncated = true;
             partial.records = std::move(records);
             options_.trace_emergency(partial);
@@ -176,8 +201,7 @@ RuntimeStats Runtime::run() {
   std::unique_ptr<core::Guard> guard;
   if (options_.guard.mode != core::GuardMode::kOff) {
     guard = std::make_unique<core::Guard>(program_, options_.guard,
-                                          options_.num_kernels,
-                                          options_.tsu_groups);
+                                          options_.num_kernels, groups);
     if (trace_log) {
       // First violation => persist the in-flight trace prefix, so the
       // online finding and the offline replay triage the same run.
@@ -200,18 +224,20 @@ RuntimeStats Runtime::run() {
       fault.kind != FaultInjection::Kind::kNone ? &fault : nullptr;
 
   std::vector<TsuEmulator> emulators;
-  emulators.reserve(options_.tsu_groups);
-  for (std::uint16_t g = 0; g < options_.tsu_groups; ++g) {
+  emulators.reserve(groups);
+  for (std::uint16_t g = 0; g < groups; ++g) {
     emulators.emplace_back(
         program_, tubs, sm, mailboxes,
         TsuEmulator::Options{
             .thread_indexing = options_.thread_indexing,
             .policy = options_.policy,
             .group = g,
-            .num_groups = options_.tsu_groups,
+            .num_groups = groups,
             .block_pipeline = options_.block_pipeline,
             .prefetch_low_water = options_.prefetch_low_water,
             .adaptive_backlog = options_.adaptive_backlog,
+            .shard_map = map_ptr,
+            .steal_threshold = options_.steal_threshold,
             .trace = trace_log.get(),
             .guard = guard.get(),
             .fault = fault_ptr,
@@ -252,10 +278,11 @@ RuntimeStats Runtime::run() {
     core::ExecTrace& trace = *options_.trace;
     trace.program = program_.name();
     trace.kernels = options_.num_kernels;
-    trace.groups = options_.tsu_groups;
+    trace.groups = groups;
     trace.policy = core::to_string(options_.policy);
     trace.pipelined = options_.block_pipeline;
     trace.lockfree = options_.lockfree;
+    trace.shards = options_.shards;
     trace.records = trace_log->finish();
   }
 

@@ -50,8 +50,21 @@ struct RuntimeOptions {
   bool pin_threads = false;
   /// Number of TSU Emulator threads (the section 4.1 multiple-TSU-
   /// Groups extension, software flavor). Emulator g owns kernels k
-  /// with k % tsu_groups == g; must be <= num_kernels.
+  /// with k % tsu_groups == g; must be <= num_kernels. Ignored when
+  /// `shards` selects the sharded topology below.
   std::uint16_t tsu_groups = 1;
+  /// Sharded TSU: 0 (default) keeps the legacy interleaved tsu_groups
+  /// ownership; >= 1 partitions the kernels into that many *clustered*
+  /// shards (contiguous kernel ranges, core::ShardMap), one emulator
+  /// scheduling loop per shard. SM spans, TKT-routed updates, and TUB
+  /// lanes all stay shard-local; range updates are split at shard
+  /// boundaries at publish time. Combine with policy kHier for
+  /// hierarchical stealing across shards. Must be <= num_kernels.
+  std::uint16_t shards = 0;
+  /// kHier only: depth advantage a remote shard must offer before a
+  /// backlogged dispatch is delegated there (TsuEmulator::Options::
+  /// steal_threshold).
+  std::uint32_t steal_threshold = 4;
   /// Pipelined block transitions (default): each emulator pre-stages
   /// the next block's Ready Counts in the shadow SM generation and
   /// activates it with a flip at the Outlet. false selects the

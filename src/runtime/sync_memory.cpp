@@ -77,6 +77,14 @@ SyncMemoryGroup::SyncMemoryGroup(const core::Program& program,
                     {core::kInvalidBlock, core::kInvalidBlock});
 }
 
+void SyncMemoryGroup::set_shard_map(const core::ShardMap* map) {
+  if (map != nullptr && map->num_kernels() != num_kernels_) {
+    throw core::TFluxError(
+        "SyncMemoryGroup::set_shard_map: kernel count mismatch");
+  }
+  shard_map_ = map;
+}
+
 void SyncMemoryGroup::load_block(core::BlockId block) {
   load_block_partition(block, 0, 1);
 }
@@ -91,15 +99,14 @@ void SyncMemoryGroup::load_block_partition(core::BlockId block,
     throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
   }
   loaded_block_.store(block, std::memory_order_relaxed);
-  for (std::size_t k = group; k < num_kernels_;
-       k += static_cast<std::size_t>(groups)) {
-    const Span& sp = span(block, static_cast<core::KernelId>(k));
+  for_each_owned(group, groups, [&](core::KernelId k) {
+    const Span& sp = span(block, k);
     std::uint32_t* counts = sm_data_[cur_gen_[k]].data() + sm_off_[k];
     for (std::uint32_t s = 0; s < sp.len; ++s) {
       counts[s] = program_.thread(tids_[sp.off + s]).ready_count_init;
     }
     gen_block_[k][cur_gen_[k]] = block;
-  }
+  });
 }
 
 void SyncMemoryGroup::preload_shadow(core::BlockId block,
@@ -111,16 +118,15 @@ void SyncMemoryGroup::preload_shadow(core::BlockId block,
   if (groups == 0) {
     throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
   }
-  for (std::size_t k = group; k < num_kernels_;
-       k += static_cast<std::size_t>(groups)) {
+  for_each_owned(group, groups, [&](core::KernelId k) {
     const std::uint8_t shadow = cur_gen_[k] ^ 1u;
-    const Span& sp = span(block, static_cast<core::KernelId>(k));
+    const Span& sp = span(block, k);
     std::uint32_t* counts = sm_data_[shadow].data() + sm_off_[k];
     for (std::uint32_t s = 0; s < sp.len; ++s) {
       counts[s] = program_.thread(tids_[sp.off + s]).ready_count_init;
     }
     gen_block_[k][shadow] = block;
-  }
+  });
 }
 
 void SyncMemoryGroup::promote_shadow(std::uint16_t group,
@@ -129,10 +135,7 @@ void SyncMemoryGroup::promote_shadow(std::uint16_t group,
     throw core::TFluxError("SyncMemoryGroup: groups must be >= 1");
   }
   assert(shadow_block(group) != core::kInvalidBlock);
-  for (std::size_t k = group; k < cur_gen_.size();
-       k += static_cast<std::size_t>(groups)) {
-    cur_gen_[k] ^= 1u;
-  }
+  for_each_owned(group, groups, [&](core::KernelId k) { cur_gen_[k] ^= 1u; });
   loaded_block_.store(current_block(group), std::memory_order_relaxed);
 }
 
@@ -183,9 +186,8 @@ std::size_t SyncMemoryGroup::decrement_range_in(
   // construction), so lo's block locates every member's spans.
   const core::BlockId block = program_.thread(lo).block;
   std::size_t applied = 0;
-  for (std::size_t k = group; k < num_kernels_;
-       k += static_cast<std::size_t>(groups)) {
-    const Span& sp = span(block, static_cast<core::KernelId>(k));
+  for_each_owned(group, groups, [&](core::KernelId k) {
+    const Span& sp = span(block, k);
     const auto first = tids_.begin() + sp.off;
     const auto last = first + sp.len;
     // The slice is ascending, so the range's members homed on kernel k
@@ -193,7 +195,7 @@ std::size_t SyncMemoryGroup::decrement_range_in(
     // counter slots.
     const auto run_first = std::lower_bound(first, last, lo);
     const auto run_last = std::upper_bound(run_first, last, hi);
-    if (run_first == run_last) continue;
+    if (run_first == run_last) return;
     const std::uint8_t gen = cur_gen_[k] ^ (shadow ? 1u : 0u);
     assert(gen_block_[k][gen] == block);
     std::uint32_t* counts = sm_data_[gen].data() + sm_off_[k] +
@@ -203,7 +205,7 @@ std::size_t SyncMemoryGroup::decrement_range_in(
       if (--*counts == 0) zeroed.push_back(*it);
     }
     applied += static_cast<std::size_t>(run_last - run_first);
-  }
+  });
   return applied;
 }
 
@@ -225,15 +227,14 @@ void SyncMemoryGroup::collect_owned(core::ThreadId lo, core::ThreadId hi,
                                     std::vector<core::ThreadId>& out) const {
   assert(lo <= hi);
   const core::BlockId block = program_.thread(lo).block;
-  for (std::size_t k = group; k < num_kernels_;
-       k += static_cast<std::size_t>(groups)) {
-    const Span& sp = span(block, static_cast<core::KernelId>(k));
+  for_each_owned(group, groups, [&](core::KernelId k) {
+    const Span& sp = span(block, k);
     const auto first = tids_.begin() + sp.off;
     const auto last = first + sp.len;
     const auto run_first = std::lower_bound(first, last, lo);
     const auto run_last = std::upper_bound(run_first, last, hi);
     out.insert(out.end(), run_first, run_last);
-  }
+  });
 }
 
 std::uint32_t SyncMemoryGroup::count(core::ThreadId tid) const {
@@ -251,10 +252,8 @@ std::size_t SyncMemoryGroup::partition_slots(core::BlockId block,
                                              std::uint16_t group,
                                              std::uint16_t groups) const {
   std::size_t n = 0;
-  for (std::size_t k = group; k < num_kernels_;
-       k += static_cast<std::size_t>(groups)) {
-    n += span(block, static_cast<core::KernelId>(k)).len;
-  }
+  for_each_owned(group, groups,
+                 [&](core::KernelId k) { n += span(block, k).len; });
   return n;
 }
 

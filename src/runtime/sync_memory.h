@@ -20,7 +20,10 @@
 //
 // Ownership discipline: kernel k's SM slots, generation cursor, and
 // staged-block markers are touched only by the TSU Emulator of the
-// group owning kernel k (k % groups), so none of it needs locking.
+// group owning kernel k, so none of it needs locking. Ownership is
+// kernel k -> group k % groups by default; set_shard_map() replaces
+// that striping with a topology ShardMap (clustered core domains) -
+// every partition operation then iterates the map's kernel lists.
 #pragma once
 
 #include <array>
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "core/program.h"
+#include "core/topology.h"
 #include "core/types.h"
 
 namespace tflux::runtime {
@@ -44,13 +48,20 @@ class SyncMemoryGroup {
 
   SyncMemoryGroup(const core::Program& program, std::uint16_t num_kernels);
 
+  /// Replace the default interleaved (k % groups) kernel-to-group
+  /// striping with a topology map (sharded TSU). The map must outlive
+  /// this object and cover exactly num_kernels kernels; the `groups`
+  /// argument of every partition call must then equal the map's shard
+  /// count. Call before any partition operation.
+  void set_shard_map(const core::ShardMap* map);
+
   /// Initialize the *current* generation with `block`'s Ready Counts
   /// (the Inlet's synchronous load). Any previous block's slots are
   /// dead after this.
   void load_block(core::BlockId block);
 
   /// Multiple-TSU-Groups variant: initialize only the SMs of the
-  /// kernels owned by `group` (kernel k belongs to group k % groups).
+  /// kernels owned by `group` (k % groups, or the shard map's list).
   /// Each emulator loads its own partition, so a shared
   /// SyncMemoryGroup needs no locking (slot ownership is disjoint).
   void load_block_partition(core::BlockId block, std::uint16_t group,
@@ -68,15 +79,17 @@ class SyncMemoryGroup {
 
   /// Block staged in `group`'s shadow generation (kInvalidBlock until
   /// the first preload). After a promote this reports the *retired*
-  /// block, since the generations swapped. Group g's first owned
-  /// kernel is kernel g, whose cursor speaks for the whole partition
-  /// (loads and flips cover a partition atomically w.r.t. its owner).
+  /// block, since the generations swapped. The group's first owned
+  /// kernel's cursor speaks for the whole partition (loads and flips
+  /// cover a partition atomically w.r.t. its owner).
   core::BlockId shadow_block(std::uint16_t group) const {
-    return gen_block_[group][cur_gen_[group] ^ 1u];
+    const core::KernelId k = first_owned(group);
+    return gen_block_[k][cur_gen_[k] ^ 1u];
   }
   /// Block live in `group`'s current generation.
   core::BlockId current_block(std::uint16_t group) const {
-    return gen_block_[group][cur_gen_[group]];
+    const core::KernelId k = first_owned(group);
+    return gen_block_[k][cur_gen_[k]];
   }
 
   /// Decrement `tid`'s Ready Count in the current generation; returns
@@ -150,6 +163,25 @@ class SyncMemoryGroup {
     std::uint32_t len = 0;
   };
 
+  /// Iterate the kernels `group` owns: the shard map's list when one
+  /// is installed, the legacy modular stride otherwise.
+  template <typename Fn>
+  void for_each_owned(std::uint16_t group, std::uint16_t groups,
+                      Fn&& fn) const {
+    if (shard_map_ != nullptr) {
+      for (core::KernelId k : shard_map_->kernels(group)) fn(k);
+    } else {
+      for (std::size_t k = group; k < num_kernels_;
+           k += static_cast<std::size_t>(groups)) {
+        fn(static_cast<core::KernelId>(k));
+      }
+    }
+  }
+  core::KernelId first_owned(std::uint16_t group) const {
+    return shard_map_ != nullptr ? shard_map_->first_kernel(group)
+                                 : static_cast<core::KernelId>(group);
+  }
+
   bool decrement_in(bool shadow, core::ThreadId tid, bool use_tkt,
                     std::uint64_t* search_steps);
   std::size_t decrement_range_in(bool shadow, core::ThreadId lo,
@@ -163,6 +195,8 @@ class SyncMemoryGroup {
 
   const core::Program& program_;
   std::uint16_t num_kernels_ = 0;
+  /// Topology override of the k % groups ownership (null = legacy).
+  const core::ShardMap* shard_map_ = nullptr;
   /// TKT: ThreadId -> SM slot. Built once from the Program, exactly as
   /// the preprocessor would embed it into the binary.
   std::vector<SmSlot> tkt_;

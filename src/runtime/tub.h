@@ -36,6 +36,11 @@ struct TubEntry {
                    ///< members it owns)
     kLoadBlock,    ///< an Inlet finished: load block `id` into the TSU
     kOutletDone,   ///< an Outlet finished: unload block `id`, chain on
+    kStealGrant,   ///< hierarchical steal: the home shard's emulator
+                   ///< hands ready DThread `id` to this shard, which
+                   ///< dispatches it to its shallowest local mailbox
+                   ///< (published on the delegating emulator's
+                   ///< dedicated lane, never a kernel's)
     kShutdown,     ///< program finished: the emulator must exit
   };
   Kind kind = Kind::kUpdate;

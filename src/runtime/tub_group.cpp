@@ -1,12 +1,19 @@
 #include "runtime/tub_group.h"
 
 #include <algorithm>
+#include <array>
 
 #include "core/error.h"
 
 namespace tflux::runtime {
 
 namespace {
+
+/// Largest shard count the stack-allocated range-trim scratch covers
+/// (the topology model tops out at 128 kernels, so 128 shards is the
+/// hard ceiling); beyond it range updates fall back to untrimmed
+/// broadcast routing.
+constexpr std::uint16_t kMaxTrimShards = 128;
 
 /// Publish `batch` into one TUB in max_batch-sized chunks.
 void publish_chunked(TubQueue& tub, const std::vector<TubEntry>& batch,
@@ -22,9 +29,19 @@ void publish_chunked(TubQueue& tub, const std::vector<TubEntry>& batch,
 
 TubGroup::TubGroup(const core::Program& program, const SyncMemoryGroup& sm,
                    TubGroupOptions options)
-    : program_(program), sm_(sm), coalesce_(options.coalesce) {
+    : program_(program), sm_(sm), shard_map_(options.shard_map),
+      coalesce_(options.coalesce) {
   if (options.num_groups == 0) {
     throw core::TFluxError("TubGroup: num_groups must be >= 1");
+  }
+  if (shard_map_ != nullptr &&
+      shard_map_->num_shards() != options.num_groups) {
+    throw core::TFluxError("TubGroup: shard map / num_groups mismatch");
+  }
+  pending_grants_ =
+      std::make_unique<std::atomic<std::uint32_t>[]>(options.num_groups);
+  for (std::uint16_t g = 0; g < options.num_groups; ++g) {
+    pending_grants_[g].store(0, std::memory_order_relaxed);
   }
   tubs_.reserve(options.num_groups);
   for (std::uint16_t g = 0; g < options.num_groups; ++g) {
@@ -46,6 +63,30 @@ std::size_t TubGroup::publish_range_update(core::ThreadId lo,
   const std::uint16_t groups = num_groups();
   if (groups == 1) {
     tubs_[0]->publish({&e, 1}, hint);
+    return members;
+  }
+  if (shard_map_ != nullptr && groups <= kMaxTrimShards) {
+    // Sharded TSU: split the record at shard boundaries. Each owning
+    // shard receives [its first member, its last member] - the full
+    // record trimmed to the sub-range that shard's SM sweep can
+    // actually decrement - so no emulator walks counters (or span
+    // bounds) belonging to another shard. With round-robin home
+    // assignment a shard's members need not be contiguous in id, but
+    // the SM applies a range only to owned slots, so trimming to the
+    // outermost members is exact.
+    std::array<core::ThreadId, kMaxTrimShards> first;
+    std::array<core::ThreadId, kMaxTrimShards> last;
+    first.fill(core::kInvalidThread);
+    for (core::ThreadId tid = lo; tid <= hi; ++tid) {
+      const std::uint16_t g = group_of_thread(tid);
+      if (first[g] == core::kInvalidThread) first[g] = tid;
+      last[g] = tid;
+    }
+    for (std::uint16_t g = 0; g < groups; ++g) {
+      if (first[g] == core::kInvalidThread) continue;
+      const TubEntry trimmed{TubEntry::Kind::kRangeUpdate, first[g], last[g]};
+      tubs_[g]->publish({&trimmed, 1}, hint);
+    }
     return members;
   }
   if (groups <= 64) {

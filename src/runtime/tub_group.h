@@ -4,11 +4,16 @@
 // The section 4.1 multiple-TSU-Groups extension applies to the
 // software TSU too: G emulator threads each own the Synchronization
 // Memories of the kernels in their group (kernel k belongs to group
-// k % G) and drain their own TUB. The Kernel's Local TSU routes each
-// Ready Count update to the TUB of the group owning the *consumer's*
-// home kernel (a TKT lookup); block-load events broadcast to every
-// group (each initializes its own SM partition); outlet events go to
-// group 0, the block-chaining coordinator.
+// k % G by default; a ShardMap in TubGroupOptions replaces that with
+// clustered topology shards) and drain their own TUB. The Kernel's
+// Local TSU routes each Ready Count update to the TUB of the group
+// owning the *consumer's* home kernel (a TKT lookup); block-load
+// events broadcast to every group (each initializes its own SM
+// partition); outlet events go to group 0, the block-chaining
+// coordinator. Under a ShardMap a range update is additionally split
+// at shard boundaries at publish time - each owning shard receives
+// the record trimmed to its own first/last member - so every
+// decrement it triggers stays shard-local.
 //
 // Each group's TUB is either a LaneTub (per-kernel SPSC lanes, the
 // lock-free default) or a segmented try-lock Tub (the paper-faithful
@@ -16,12 +21,14 @@
 // identical either way.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/guard.h"
 #include "core/program.h"
+#include "core/topology.h"
 #include "runtime/lane_tub.h"
 #include "runtime/sync_memory.h"
 #include "runtime/tub.h"
@@ -42,6 +49,10 @@ struct TubGroupOptions {
   /// kRangeUpdate records (the paper's "multiple update" message).
   /// false = the unit-update ablation baseline.
   bool coalesce = true;
+  /// Topology map replacing the k % num_groups kernel-to-group
+  /// striping (sharded TSU). Must outlive the TubGroup and declare
+  /// exactly num_groups shards. Null = legacy interleaved ownership.
+  const core::ShardMap* shard_map = nullptr;
 };
 
 class TubGroup {
@@ -74,7 +85,9 @@ class TubGroup {
 
   /// Group owning a kernel's Synchronization Memory.
   std::uint16_t group_of_kernel(core::KernelId k) const {
-    return static_cast<std::uint16_t>(k % num_groups());
+    return shard_map_ != nullptr
+               ? shard_map_->shard_of(k)
+               : static_cast<std::uint16_t>(k % num_groups());
   }
   /// Group owning a DThread's Ready Count (via the TKT).
   std::uint16_t group_of_thread(core::ThreadId tid) const {
@@ -150,11 +163,42 @@ class TubGroup {
     tubs_[0]->publish({&e, 1}, hint);
   }
 
+  /// Delegating emulator side: hand ready DThread `tid` to `to_group`,
+  /// which dispatches it to its shallowest local mailbox (hierarchical
+  /// remote steal). `hint` must be the delegating emulator's dedicated
+  /// lane (num_kernels + its group), never a kernel's - emulators and
+  /// kernels publish concurrently and a LaneTub lane is SPSC.
+  void publish_steal_grant(std::uint16_t to_group, core::ThreadId tid,
+                           std::uint32_t hint) {
+    pending_grants_[to_group].fetch_add(1, std::memory_order_relaxed);
+    const TubEntry e{TubEntry::Kind::kStealGrant, tid};
+    tubs_[to_group]->publish({&e, 1}, hint);
+  }
+
+  /// Receiving emulator side: a grant left the TUB and entered a local
+  /// mailbox. Pairs with publish_steal_grant's increment.
+  void steal_grant_consumed(std::uint16_t group) {
+    pending_grants_[group].fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Grants published to `group` but not yet redispatched by it. Victim
+  /// selection adds this to the group's observed mailbox depths -
+  /// in-flight grants are otherwise invisible (they sit in the TUB
+  /// ring), and without the correction a dispatch burst sees a remote
+  /// shard as idle forever and delegates its entire backlog.
+  std::uint32_t pending_steal_grants(std::uint16_t group) const {
+    return pending_grants_[group].load(std::memory_order_relaxed);
+  }
+
   /// Coordinator side: program finished - every emulator shuts down.
+  /// Published on the coordinator's dedicated lane (hint num_kernels:
+  /// group 0's emulator lane when the lane space has one, and lane 0
+  /// mod num_lanes in the legacy kernels-only geometry, where no
+  /// kernel publishes after the final Outlet).
   void broadcast_shutdown() {
     const TubEntry e{TubEntry::Kind::kShutdown, 0};
     for (auto& tub : tubs_) {
-      tub->publish({&e, 1}, 0);
+      tub->publish({&e, 1}, sm_.num_kernels());
       tub->shutdown_wake();
     }
   }
@@ -164,9 +208,13 @@ class TubGroup {
  private:
   const core::Program& program_;
   const SyncMemoryGroup& sm_;
+  const core::ShardMap* shard_map_ = nullptr;  ///< null = k % groups
   bool coalesce_ = true;
   core::Guard* guard_ = nullptr;  ///< null = online checking off
   std::vector<std::unique_ptr<TubQueue>> tubs_;
+  /// Per-group in-flight steal grants (atomics are not movable, so the
+  /// array is heap-allocated at construction).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending_grants_;
 };
 
 }  // namespace tflux::runtime

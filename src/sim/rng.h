@@ -27,6 +27,11 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  /// Advance the stream by `k` draws in O(1): splitmix64's state moves
+  /// by a fixed increment per draw, so parallel workers can each jump
+  /// to their slice of one logical stream.
+  void discard(std::uint64_t k) { state_ += k * 0x9E3779B97f4A7C15ull; }
+
  private:
   std::uint64_t state_;
 };

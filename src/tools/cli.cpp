@@ -1,7 +1,9 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "cell/cell_machine.h"
@@ -12,6 +14,7 @@
 #include "core/graph_io.h"
 #include "core/error.h"
 #include "core/scheduler.h"
+#include "core/topology.h"
 #include "core/verify.h"
 #include "machine/config.h"
 #include "machine/machine.h"
@@ -75,8 +78,9 @@ core::PolicyKind parse_policy(const std::string& name) {
   if (name == "fifo") return core::PolicyKind::kFifo;
   if (name == "locality") return core::PolicyKind::kLocality;
   if (name == "adaptive") return core::PolicyKind::kAdaptive;
+  if (name == "hier") return core::PolicyKind::kHier;
   throw TFluxError("tflux_run: unknown policy '" + name +
-                   "' (fifo, locality, adaptive)");
+                   "' (fifo, locality, adaptive, hier)");
 }
 
 std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
@@ -121,7 +125,13 @@ std::string usage() {
       "(default 512)\n"
       "  --tsu-groups=N                       TSU Groups, hard/soft "
       "targets (default 1)\n"
-      "  --policy=fifo|locality|adaptive      ready-thread policy\n"
+      "  --shards=K                           sharded TSU: K clustered "
+      "domains\n"
+      "                                       (0 = flat, the default; "
+      "pair with\n"
+      "                                       --policy=hier for "
+      "hierarchical stealing)\n"
+      "  --policy=fifo|locality|adaptive|hier ready-thread policy\n"
       "  --mutex-runtime                      soft platform: use the "
       "paper-faithful\n"
       "                                       mutex/try-lock runtime "
@@ -205,6 +215,9 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       if (options.tsu_groups == 0) {
         throw TFluxError("tflux_run: --tsu-groups must be >= 1");
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = static_cast<std::uint16_t>(
+          parse_uint("--shards", value_of("--shards=")));
     } else if (arg.rfind("--policy=", 0) == 0) {
       options.policy = parse_policy(value_of("--policy="));
     } else if (arg == "--mutex-runtime") {
@@ -260,6 +273,14 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.app == apps::AppKind::kFft) {
     throw TFluxError(
         "tflux_run: FFT is not part of the Cell evaluation (Figure 7)");
+  }
+  if (options.shards > options.kernels) {
+    throw TFluxError("tflux_run: --shards must be <= --kernels");
+  }
+  if (options.shards != 0 && options.platform == CliPlatform::kCell) {
+    throw TFluxError(
+        "tflux_run: --shards models the sharded TSU and does not apply "
+        "to the Cell platform");
   }
   if (options.check && options.platform != CliPlatform::kSoft) {
     throw TFluxError(
@@ -383,8 +404,14 @@ int run_cli(const CliOptions& options, std::ostream& out) {
 
   switch (options.platform) {
     case CliPlatform::kReference: {
+      std::optional<core::ShardMap> shard_map;
+      if (options.shards >= 1) {
+        shard_map =
+            core::ShardMap::clustered(options.kernels, options.shards);
+      }
       core::ReferenceScheduler sched(run.program, options.kernels,
-                                     options.policy);
+                                     options.policy,
+                                     shard_map ? &*shard_map : nullptr);
       const core::ScheduleResult r = sched.run();
       out << "  executed " << r.records.size()
           << " DThreads (incl. inlets/outlets)\n";
@@ -397,6 +424,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       rt_options.lockfree = options.lockfree;
       rt_options.tsu_groups =
           std::min(options.tsu_groups, options.kernels);
+      rt_options.shards = options.shards;
       rt_options.block_pipeline = options.block_pipeline;
       rt_options.coalesce_updates = options.coalesce;
       rt_options.guard = options.guard;
@@ -455,6 +483,25 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           << st.emulator.home_dispatches << " home, "
           << st.emulator.steal_dispatches << " stolen, mailbox backlog "
           << "peak " << backlog_peak << "\n";
+      // Per-shard dispatch imbalance: max deviation from the uniform
+      // share, as a percentage (0 = perfectly balanced).
+      double imbalance_pct = 0.0;
+      if (st.emulators.size() > 1 && st.emulator.dispatches > 0) {
+        const double mean = static_cast<double>(st.emulator.dispatches) /
+                            static_cast<double>(st.emulators.size());
+        for (const runtime::EmulatorStats& e : st.emulators) {
+          const double dev =
+              (static_cast<double>(e.dispatches) - mean) / mean * 100.0;
+          imbalance_pct = std::max(imbalance_pct, std::abs(dev));
+        }
+      }
+      if (rt_options.shards >= 1) {
+        out << "  shards (" << st.emulators.size()
+            << "): " << st.emulator.steal_local << " sibling steals, "
+            << st.emulator.steal_remote << " remote grants out, "
+            << st.emulator.steals_in << " grants in, imbalance "
+            << imbalance_pct << "%\n";
+      }
       if (options.guard.mode != core::GuardMode::kOff) {
         for (const core::GuardViolation& v : st.guard_violations) {
           out << "  guard: " << v.to_string(run.program) << "\n";
@@ -477,6 +524,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << "  \"platform\": \"soft\",\n"
              << "  \"kernels\": " << options.kernels << ",\n"
              << "  \"tsu_groups\": " << rt_options.tsu_groups << ",\n"
+             << "  \"shards\": " << rt_options.shards << ",\n"
              << "  \"policy\": \"" << core::to_string(options.policy)
              << "\",\n"
              << "  \"lockfree\": " << (options.lockfree ? "true" : "false")
@@ -503,6 +551,9 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << "    \"home_dispatches\": " << e.home_dispatches << ",\n"
              << "    \"steal_dispatches\": " << e.steal_dispatches
              << ",\n"
+             << "    \"steal_local\": " << e.steal_local << ",\n"
+             << "    \"steal_remote\": " << e.steal_remote << ",\n"
+             << "    \"steals_in\": " << e.steals_in << ",\n"
              << "    \"updates_processed\": " << e.updates_processed
              << ",\n"
              << "    \"range_updates\": " << e.range_updates_processed
@@ -512,7 +563,19 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << "    \"prefetch_hits\": " << e.prefetch_hits << ",\n"
              << "    \"prefetch_misses\": " << e.prefetch_misses << ",\n"
              << "    \"deferred_replays\": " << e.deferred_replays << "\n"
-             << "  }\n"
+             << "  },\n"
+             << "  \"shard_imbalance_pct\": " << imbalance_pct << ",\n"
+             << "  \"per_shard\": [";
+        for (std::size_t g = 0; g < st.emulators.size(); ++g) {
+          const runtime::EmulatorStats& pe = st.emulators[g];
+          json << (g == 0 ? "\n" : ",\n")
+               << "    {\"dispatches\": " << pe.dispatches
+               << ", \"home_dispatches\": " << pe.home_dispatches
+               << ", \"steal_local\": " << pe.steal_local
+               << ", \"steal_remote\": " << pe.steal_remote
+               << ", \"steals_in\": " << pe.steals_in << "}";
+        }
+        json << "\n  ]\n"
              << "}\n";
         std::ofstream(options.json_file) << json.str();
         out << "  wrote " << options.json_file << "\n";
@@ -562,6 +625,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
                     : machine::xeon_soft(options.kernels);
       cfg.policy = options.policy;
       cfg.tsu.num_groups = options.tsu_groups;
+      if (options.shards != 0) cfg.topology.shards = options.shards;
       machine::Machine m(cfg, run.program, validate);
       if (want_trace) m.attach_trace(&trace);
       const machine::MachineStats st = m.run();

@@ -36,6 +36,11 @@ struct CliOptions {
   std::uint32_t unroll = 4;
   std::uint32_t tsu_capacity = 512;
   std::uint16_t tsu_groups = 1;
+  /// Sharded TSU (--shards=K): 0 keeps the flat/interleaved layout.
+  /// Soft platform: K clustered emulator domains (hierarchical
+  /// stealing with --policy=hier). Simulated platforms: K-shard
+  /// topology model (per-shard TSU ports, inter-shard link).
+  std::uint16_t shards = 0;
   core::PolicyKind policy = core::PolicyKind::kLocality;
   /// Native runtime (--platform=soft): lock-free hot path (default) vs
   /// the paper-faithful mutex/try-lock structures (--mutex-runtime).

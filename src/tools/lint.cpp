@@ -83,6 +83,15 @@ std::string lint_usage() {
       "ddmguard sampled-mode\n"
       "                                       overhead hotspot (0 = "
       "off)\n"
+      "  --shards=K                           clustered topology for "
+      "the shard-imbalance\n"
+      "                                       check (0 = no topology)\n"
+      "  --shard-imbalance=N                  warn when a shard's "
+      "homed DThread/update\n"
+      "                                       load deviates more than "
+      "N% from uniform\n"
+      "                                       (0 = off; needs "
+      "--shards)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --werror                             promote warnings to "
@@ -135,6 +144,12 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--guard-hotspots=", 0) == 0) {
       options.guard_hotspots = static_cast<std::uint32_t>(parse_uint(
           "--guard-hotspots", value_of("--guard-hotspots=")));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = static_cast<std::uint16_t>(
+          parse_uint("--shards", value_of("--shards=")));
+    } else if (arg.rfind("--shard-imbalance=", 0) == 0) {
+      options.shard_imbalance = static_cast<std::uint32_t>(parse_uint(
+          "--shard-imbalance", value_of("--shard-imbalance=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--werror") {
@@ -159,6 +174,8 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.min_block_threads = options.min_block_threads;
   verify_options.coalescable_arc_min = options.coalescable_arcs;
   verify_options.guard_hotspot_budget = options.guard_hotspots;
+  verify_options.shards = options.shards;
+  verify_options.shard_imbalance_pct = options.shard_imbalance;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {
     for (core::Diagnostic& d : report.diagnostics) {

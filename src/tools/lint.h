@@ -43,6 +43,12 @@ struct LintOptions {
   /// this many updates - deep-checking that block concentrates the
   /// guard's per-member accounting into a single transition.
   std::uint32_t guard_hotspots = 0;
+  /// Shard count of the target clustered topology for the
+  /// shard-imbalance check (0 = no topology).
+  std::uint16_t shards = 0;
+  /// Allowed per-shard load deviation from uniform, in percent, before
+  /// the shard-imbalance check warns (0 disables; needs --shards).
+  std::uint32_t shard_imbalance = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Promote every warning to an error (CI gate: the diagnostics are

@@ -186,10 +186,14 @@ TEST(CellMachineTest, OversizedDThreadThrows) {
   EXPECT_THROW(m.run(), core::TFluxError);
 }
 
-TEST(CellMachineTest, PaperQsortSizesFitButNativeSizesDoNot) {
-  // Section 6.3: QSORT's Cell sizes (3K/6K/12K) fit the Local Store;
-  // the native 50K size does not (its final merge needs the whole
-  // array resident).
+TEST(CellMachineTest, QsortSizesFitTheLocalStore) {
+  // Section 6.3 kept QSORT's Cell sizes at 3K/6K/12K because the
+  // original decomposition's final merge needed the whole array
+  // resident — the native 50K size overflowed the Local Store. The
+  // depth-balanced sample-sort decomposition bounds every DThread's
+  // resident footprint to ~2/P of the array, so both the paper's Cell
+  // sizes and the native 50K size now fit (the LS capacity limit
+  // itself is still enforced — see OversizedDThreadThrows above).
   apps::DdmParams params;
   params.num_kernels = 6;
   apps::AppRun cell_run = apps::build_app(
@@ -200,8 +204,7 @@ TEST(CellMachineTest, PaperQsortSizesFitButNativeSizesDoNot) {
   apps::AppRun native_run = apps::build_app(
       apps::AppKind::kQsort, apps::SizeClass::kLarge,
       apps::Platform::kNative, params);
-  CellMachine m(ps3_cell(6), native_run.program, false);
-  EXPECT_THROW(m.run(), core::TFluxError);
+  EXPECT_NO_THROW(CellMachine(ps3_cell(6), native_run.program, false).run());
 }
 
 TEST(CellMachineTest, TraceRecordsSpeAndPpeLanes) {
