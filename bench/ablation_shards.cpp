@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   std::printf("-----------------+-------------------------------\n");
 
   bool ok = true;
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     for (std::uint16_t k : kernel_counts) {
       params.num_kernels = k;
       machine::MachineConfig flat = machine::xeon_soft(k);
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   std::printf("%-7s %-8s %-7s | %10s %6s %8s %8s %8s\n", "app", "kernels",
               "shards", "dispatches", "home", "sibling", "remote",
               "status");
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     for (std::uint16_t k : kernel_counts) {
       const std::uint16_t shards = shards_for(k);
       apps::DdmParams native_params = params;

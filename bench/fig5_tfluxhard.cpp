@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> unrolls = {1, 2, 4};
 
   std::vector<bench::SpeedupCell> cells;
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     for (std::uint16_t k : kernel_counts) {
       for (apps::SizeClass size :
            {apps::SizeClass::kSmall, apps::SizeClass::kMedium,
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   bench::print_figure(
       "Figure 5: TFluxHard speedup (simulated Sparc multicore, HW TSU)",
-      apps::all_apps(), kernel_counts, cells);
+      apps::table1_apps(), kernel_counts, cells);
 
   std::printf("\naverage Large speedup @27 kernels: %.1fx (paper: ~21x)\n",
               bench::average_large_speedup(cells, 27));

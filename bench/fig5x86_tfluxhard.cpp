@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> unrolls = {1, 2, 4};
 
   std::vector<bench::SpeedupCell> cells;
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     for (std::uint16_t k : kernel_counts) {
       for (apps::SizeClass size :
            {apps::SizeClass::kSmall, apps::SizeClass::kMedium,
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   bench::print_figure(
       "Section 6.1.2 footnote: TFluxHard on a simulated 9-core x86",
-      apps::all_apps(), kernel_counts, cells);
+      apps::table1_apps(), kernel_counts, cells);
   std::printf("\nexpected: trends similar to Figure 5 at matching kernel "
               "counts (near-linear TRAPEZ/SUSAN/MMULT, QSORT merge-bound, "
               "FFT phase-bound)\n");

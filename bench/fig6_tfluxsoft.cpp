@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> unrolls = {8, 16, 32, 64};
 
   std::vector<bench::SpeedupCell> cells;
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     for (std::uint16_t k : kernel_counts) {
       for (apps::SizeClass size :
            {apps::SizeClass::kSmall, apps::SizeClass::kMedium,
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
   bench::print_figure(
       "Figure 6: TFluxSoft(x86) speedup (software TSU on dedicated core)",
-      apps::all_apps(), kernel_counts, cells);
+      apps::table1_apps(), kernel_counts, cells);
 
   std::printf("\naverage Large speedup @6 kernels: %.1fx (paper: ~4.4x)\n",
               bench::average_large_speedup(cells, 6));

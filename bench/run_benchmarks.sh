@@ -16,6 +16,10 @@
 #   BENCH_shards.json        - sharded TSU vs flat (hierarchical
 #                              stealing) + native steal-stat
 #                              reconciliation against ddmcheck
+#   BENCH_dataplane.json     - managed data plane (bulk forwarding +
+#                              affinity dispatch) vs implicit shared
+#                              memory + native forwarding-stat
+#                              reconciliation against ddmcheck
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
@@ -68,6 +72,7 @@ run_bench "$BENCH_DIR/trace_overhead" "$OUT_DIR/BENCH_trace_overhead.json"
 run_bench "$BENCH_DIR/update_coalesce" "$OUT_DIR/BENCH_coalesce.json"
 run_bench "$BENCH_DIR/guard_overhead" "$OUT_DIR/BENCH_guard_overhead.json"
 run_bench "$BENCH_DIR/ablation_shards" "$OUT_DIR/BENCH_shards.json"
+run_bench "$BENCH_DIR/ablation_dataplane" "$OUT_DIR/BENCH_dataplane.json"
 
 if [ "${FULL:-0}" = "1" ]; then
   run_bench "$BENCH_DIR/ablation_tub_tkt" \

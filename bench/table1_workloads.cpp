@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
     for (apps::Platform platform :
          {apps::Platform::kSimulated, apps::Platform::kNative,
           apps::Platform::kCell}) {
-      if (platform == apps::Platform::kCell && app == apps::AppKind::kFft) {
-        continue;  // FFT is not part of the Cell evaluation
+      if (platform == apps::Platform::kCell &&
+          (app == apps::AppKind::kFft || app == apps::AppKind::kSusanPipe)) {
+        continue;  // FFT and SUSANPIPE are not part of the Cell evaluation
       }
       for (apps::SizeClass size :
            {apps::SizeClass::kSmall, apps::SizeClass::kMedium,

@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
   params.num_kernels = kernels;
   params.unroll = 32;
   params.tsu_capacity = 512;
-  for (apps::AppKind app : apps::all_apps()) {
+  for (apps::AppKind app : apps::table1_apps()) {
     const apps::AppRun run = apps::build_app(
         app, apps::SizeClass::kSmall, apps::Platform::kNative, params);
     const auto [unit, coal] = run_pair(run.program, kernels, repeats);

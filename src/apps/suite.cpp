@@ -4,6 +4,7 @@
 #include "apps/mmult.h"
 #include "apps/qsort.h"
 #include "apps/susan.h"
+#include "apps/susan_pipeline.h"
 #include "apps/trapez.h"
 #include "core/error.h"
 
@@ -21,6 +22,8 @@ const char* to_string(AppKind kind) {
       return "SUSAN";
     case AppKind::kFft:
       return "FFT";
+    case AppKind::kSusanPipe:
+      return "SUSANPIPE";
   }
   return "?";
 }
@@ -51,6 +54,11 @@ const char* to_string(Platform p) {
 
 std::vector<AppKind> all_apps() {
   return {AppKind::kTrapez, AppKind::kMmult, AppKind::kQsort,
+          AppKind::kSusan, AppKind::kFft, AppKind::kSusanPipe};
+}
+
+std::vector<AppKind> table1_apps() {
+  return {AppKind::kTrapez, AppKind::kMmult, AppKind::kQsort,
           AppKind::kSusan, AppKind::kFft};
 }
 
@@ -72,6 +80,8 @@ AppRun build_app(AppKind kind, SizeClass size, Platform platform,
       return build_susan(susan_input(size), params);
     case AppKind::kFft:
       return build_fft(fft_input(size), params);
+    case AppKind::kSusanPipe:
+      return build_susan_pipeline(susan_pipe_input(size), params);
   }
   throw core::TFluxError("build_app: unknown AppKind");
 }
@@ -90,6 +100,10 @@ std::vector<WorkloadRow> table1_catalog() {
        "256x288 / 512x576 / 1024x576"},
       {AppKind::kFft, "NAS", "FFT on a matrix of complex numbers",
        "32 / 64 / 128", "32 / 64 / 128", "(not run on Cell)"},
+      {AppKind::kSusanPipe, "DDRoom",
+       "Tiled smooth-edge-corner frame pipeline",
+       "256x288x3 / 512x576x4 / 1024x576x6",
+       "256x288x3 / 512x576x4 / 1024x576x6", "(not run on Cell)"},
   };
 }
 

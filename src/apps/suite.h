@@ -1,4 +1,5 @@
-// Uniform driver interface over the five Table-1 benchmarks.
+// Uniform driver interface over the five Table-1 benchmarks plus the
+// SUSANPIPE pipeline workload (the data-plane evaluation app).
 #pragma once
 
 #include <cstdint>
@@ -9,12 +10,24 @@
 
 namespace tflux::apps {
 
-enum class AppKind : std::uint8_t { kTrapez, kMmult, kQsort, kSusan, kFft };
+enum class AppKind : std::uint8_t {
+  kTrapez,
+  kMmult,
+  kQsort,
+  kSusan,
+  kFft,
+  kSusanPipe,
+};
 
 const char* to_string(AppKind kind);
 
-/// All five benchmarks (Figure 5/6 order).
+/// Every shipped benchmark: the five Table-1 apps (Figure 5/6 order)
+/// plus SUSANPIPE.
 std::vector<AppKind> all_apps();
+
+/// The five Table-1 benchmarks only - the paper's figure
+/// reproductions iterate these (SUSANPIPE is a post-paper workload).
+std::vector<AppKind> table1_apps();
 
 /// The four benchmarks evaluated on TFluxCell (Figure 7 omits FFT).
 std::vector<AppKind> cell_apps();

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <sstream>
 #include <utility>
 
+#include "core/dataplane.h"
 #include "core/topology.h"
 
 namespace tflux::core {
@@ -269,6 +271,15 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
     shard_map = ShardMap::clustered(trace.kernels, trace.shards);
   }
 
+  // Data-plane replay: drive a fresh DataPlane with the recorded
+  // schedule so the run's forward/affinity stats reconcile against the
+  // trace (DataPlaneTally above).
+  std::unique_ptr<DataPlane> dataplane;
+  if (trace.dataplane) {
+    dataplane = std::make_unique<DataPlane>(
+        program, shard_map ? &*shard_map : nullptr);
+  }
+
   auto valid_thread = [&](std::uint32_t id) { return id < n_threads; };
 
   // Replay one unit Ready Count update producer -> consumer (the body
@@ -395,6 +406,21 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
           } else {
             ++report.steals.remote;
           }
+          if (dataplane && t.is_application()) {
+            // Account against the record as it stood when the live run
+            // dispatched, then claim ownership at the target kernel.
+            const DataPlane::DispatchAccount acct =
+                dataplane->account_dispatch(r.a, target);
+            if (acct.cold) {
+              ++report.dataplane.affinity_cold;
+            } else if (acct.hit) {
+              ++report.dataplane.affinity_hits;
+            } else {
+              ++report.dataplane.affinity_misses;
+            }
+            report.dataplane.cross_shard_bytes += acct.cross_shard_bytes;
+            dataplane->record_execution(r.a, target);
+          }
         }
         ThreadState& s = st[r.a];
         ++s.dispatches;
@@ -464,6 +490,15 @@ CheckReport check_trace(const Program& program, const ExecTrace& trace,
                       "'s OutletDone (seq " +
                       std::to_string(outlet_done_seq[t.block]) +
                       "); the block was already retired");
+        }
+        if (dataplane && t.is_application()) {
+          // One bulk forward per arc run, batched the way the recorded
+          // run batched its updates (the trace's coalesce mode).
+          for (const ForwardRun& run :
+               dataplane->forward_runs(r.a, trace.coalesce)) {
+            ++report.dataplane.forwards;
+            report.dataplane.bytes_forwarded += run.bytes;
+          }
         }
         break;
       }

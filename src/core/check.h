@@ -95,10 +95,33 @@ struct StealTally {
   std::uint64_t remote = 0;
 };
 
+/// Data-plane tally rebuilt from the trace (only when the trace's
+/// `dataplane` config clause is set). The replay drives a fresh
+/// core::DataPlane with the recorded schedule: each application
+/// dispatch is accounted against the execution record and then claims
+/// ownership at its target kernel (the dispatch target *is* the
+/// executing kernel - the mailbox delivers the DThread nowhere else),
+/// and each application completion accounts its bulk forwards with the
+/// trace's coalesce mode. A run's reported dataplane stats must
+/// reconcile *exactly* against this tally: every producer's updates
+/// are published after its Complete ticket and every consumer
+/// dispatches only after all its producers' updates, so no scoring in
+/// the live run can observe a producer between its dispatch and its
+/// execution record.
+struct DataPlaneTally {
+  std::uint64_t forwards = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
+  std::uint64_t affinity_cold = 0;
+  std::uint64_t cross_shard_bytes = 0;
+};
+
 struct CheckReport {
   std::vector<CheckFinding> findings;
   std::uint64_t records_checked = 0;
   StealTally steals;            ///< observed dispatch routing
+  DataPlaneTally dataplane;     ///< observed forwards/affinity (if on)
   bool races_skipped = false;   ///< program above race_check_max_threads
   bool truncated = false;       ///< stopped at max_findings
 

@@ -55,9 +55,11 @@ std::string save_trace(const ExecTrace& trace) {
       << " policy " << trace.policy << " pipeline "
       << (trace.pipelined ? 1 : 0) << " lockfree "
       << (trace.lockfree ? 1 : 0);
-  // Optional clause: only sharded runs carry it, so flat traces stay
-  // byte-identical with pre-shard writers.
+  // Optional clauses: only non-default values are written, so older
+  // traces stay byte-identical with their original writers.
   if (trace.shards != 0) out << " shards " << trace.shards;
+  if (!trace.coalesce) out << " coalesce 0";
+  if (trace.dataplane) out << " dataplane 1";
   out << "\n";
   if (!trace.app.empty()) {
     out << "app " << trace.app << " " << trace.size << " unroll "
@@ -132,6 +134,14 @@ ExecTrace load_trace(const std::string& text) {
           unsigned s = 0;
           if (!(ls >> s)) fail("config shards needs a count");
           trace.shards = static_cast<std::uint16_t>(s);
+        } else if (clause == "coalesce") {
+          int v = 0;
+          if (!(ls >> v)) fail("config coalesce needs 0 or 1");
+          trace.coalesce = v != 0;
+        } else if (clause == "dataplane") {
+          int v = 0;
+          if (!(ls >> v)) fail("config dataplane needs 0 or 1");
+          trace.dataplane = v != 0;
         } else {
           fail("unknown config clause '" + clause + "'");
         }

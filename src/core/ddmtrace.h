@@ -84,6 +84,16 @@ struct ExecTrace {
   /// as an optional `shards <S>` clause on the config line; absent in
   /// pre-shard traces, which load as 0.
   std::uint16_t shards = 0;
+  /// Coalesced range-update publishing (RuntimeOptions::
+  /// coalesce_updates). Optional `coalesce <0|1>` config clause;
+  /// absent in older traces, which load as 1 (the default) - the
+  /// replayed DataPlane tally must batch forwards the same way the
+  /// runtime did.
+  bool coalesce = true;
+  /// Managed data plane enabled (RuntimeOptions::dataplane). Optional
+  /// `dataplane <0|1>` config clause; absent in older traces, which
+  /// load as 0 (those runtimes had no data plane to reconcile).
+  bool dataplane = false;
   std::string policy = "locality";
   bool pipelined = true;
   bool lockfree = true;

@@ -14,6 +14,8 @@ const char* to_string(PolicyKind kind) {
       return "adaptive";
     case PolicyKind::kHier:
       return "hier";
+    case PolicyKind::kAffinity:
+      return "affinity";
   }
   return "?";
 }
@@ -21,7 +23,9 @@ const char* to_string(PolicyKind kind) {
 ReadySet::ReadySet(std::uint16_t num_kernels, PolicyKind policy,
                    const ShardMap* shards)
     : policy_(policy),
-      shards_(policy == PolicyKind::kHier ? shards : nullptr),
+      shards_(policy == PolicyKind::kHier || policy == PolicyKind::kAffinity
+                  ? shards
+                  : nullptr),
       queues_(policy == PolicyKind::kFifo ? 1u
                                           : (num_kernels == 0 ? 1u
                                                               : num_kernels)) {
@@ -108,7 +112,7 @@ std::optional<ThreadId> ReadySet::pop(KernelId requester) {
     return tid;
   }
   const std::size_t n = queues_.size();
-  if (shards_ != nullptr && policy_ == PolicyKind::kHier) {
+  if (shards_ != nullptr) {  // kHier or kAffinity with a ShardMap
     return pop_hier(requester < n ? requester : KernelId{0});
   }
   const std::size_t start = requester < n ? requester : 0u;

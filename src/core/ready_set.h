@@ -31,6 +31,13 @@ enum class PolicyKind : std::uint8_t {
   /// overloaded cluster). Without a ShardMap this degenerates to
   /// kLocality (one flat shard).
   kHier,
+  /// Data-plane affinity: route each ready DThread to the kernel
+  /// holding the largest share of its input bytes (the DataPlane's
+  /// execution record), falling back to the home kernel when cold.
+  /// The routing happens on the *push* side (TsuState / TsuEmulator
+  /// consult the DataPlane); inside the ReadySet the pull side is
+  /// identical to kHier - home queue, shard siblings, remote shards.
+  kAffinity,
 };
 
 const char* to_string(PolicyKind kind);

@@ -7,8 +7,11 @@
 namespace tflux::core {
 
 TsuState::TsuState(const Program& program, std::uint16_t num_kernels,
-                   PolicyKind policy, const ShardMap* shards)
+                   PolicyKind policy, const ShardMap* shards,
+                   const DataPlane* dataplane)
     : program_(program),
+      dataplane_(dataplane),
+      affinity_(policy == PolicyKind::kAffinity && dataplane != nullptr),
       ready_(num_kernels, policy, shards),
       ready_counts_(program.num_threads(), 0),
       states_(program.num_threads(), ThreadState::kNotLoaded) {}
@@ -29,6 +32,21 @@ std::optional<ThreadId> TsuState::fetch(KernelId kernel) {
   }
   assert(states_[*tid] == ThreadState::kReady);
   states_[*tid] = ThreadState::kRunning;
+  if (dataplane_ != nullptr && program_.thread(*tid).is_application()) {
+    // Account against the record *before* this thread becomes the
+    // producer of its own outputs, then claim ownership of them.
+    const DataPlane::DispatchAccount acct =
+        dataplane_->account_dispatch(*tid, kernel);
+    if (acct.cold) {
+      ++counters_.affinity_cold;
+    } else if (acct.hit) {
+      ++counters_.affinity_hits;
+    } else {
+      ++counters_.affinity_misses;
+    }
+    counters_.cross_shard_bytes += acct.cross_shard_bytes;
+    dataplane_->record_execution(*tid, kernel);
+  }
   counters_.steals = ready_.steals();
   counters_.steal_local = ready_.steal_local();
   counters_.steal_remote = ready_.steal_remote();
@@ -69,6 +87,15 @@ void TsuState::complete(ThreadId tid) {
     }
     case ThreadKind::kApplication: {
       ++counters_.threads_completed;
+      if (dataplane_ != nullptr) {
+        // The single-threaded TSUs always batch per coalesced run: the
+        // forward happens once per producer/consumer-run pair.
+        for (const ForwardRun& run :
+             dataplane_->forward_runs(tid, /*coalesce=*/true)) {
+          ++counters_.forwards;
+          counters_.bytes_forwarded += run.bytes;
+        }
+      }
       for (ThreadId consumer : t.consumers) {
         decrement(consumer);
       }
@@ -89,7 +116,17 @@ void TsuState::complete(ThreadId tid) {
 
 void TsuState::make_ready(ThreadId tid) {
   states_[tid] = ThreadState::kReady;
-  ready_.push(tid, program_.thread(tid).home_kernel);
+  const DThread& t = program_.thread(tid);
+  KernelId target = t.home_kernel;
+  if (affinity_ && t.is_application()) {
+    // Push-side affinity routing: queue the DThread where the largest
+    // share of its input bytes is warm; cold threads keep their home.
+    const AffinityScore s = dataplane_->score(tid);
+    if (s.total_bytes > 0 && s.best < ready_.num_kernels()) {
+      target = s.best;
+    }
+  }
+  ready_.push(tid, target);
 }
 
 void TsuState::decrement(ThreadId consumer) {

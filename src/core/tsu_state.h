@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/dataplane.h"
 #include "core/program.h"
 #include "core/ready_set.h"
 #include "core/types.h"
@@ -43,17 +44,31 @@ struct TsuCounters {
   std::uint64_t steals = 0;              ///< non-home-queue dispatches
   std::uint64_t steal_local = 0;         ///< kHier: same-shard steals
   std::uint64_t steal_remote = 0;        ///< kHier: cross-shard steals
+  // Data plane (all zero without a DataPlane). affinity_hits +
+  // affinity_misses + affinity_cold == application dispatches, under
+  // *every* policy - the classification measures where warm bytes were,
+  // not whether the policy chased them.
+  std::uint64_t forwards = 0;            ///< bulk forward runs accounted
+  std::uint64_t bytes_forwarded = 0;     ///< producer->consumer bytes
+  std::uint64_t affinity_hits = 0;       ///< dispatched where most bytes warm
+  std::uint64_t affinity_misses = 0;     ///< warm bytes lived elsewhere
+  std::uint64_t affinity_cold = 0;       ///< no recorded producer yet
+  std::uint64_t cross_shard_bytes = 0;   ///< warm input bytes crossing shards
 };
 
 class TsuState {
  public:
   /// `num_kernels` is the number of worker Kernels the program will run
   /// on; it sizes the per-kernel ready queues of the locality policy.
-  /// `shards` (kHier only) supplies the topology for hierarchical
-  /// stealing; it must outlive the TsuState.
+  /// `shards` (kHier/kAffinity only) supplies the topology for
+  /// hierarchical stealing; `dataplane` (optional) enables forward and
+  /// affinity accounting, and under kAffinity routes each ready DThread
+  /// to its warmest kernel instead of its home. Both must outlive the
+  /// TsuState.
   TsuState(const Program& program, std::uint16_t num_kernels,
            PolicyKind policy = PolicyKind::kLocality,
-           const ShardMap* shards = nullptr);
+           const ShardMap* shards = nullptr,
+           const DataPlane* dataplane = nullptr);
 
   /// Arm the TSU: the first block's Inlet becomes the only ready
   /// DThread. Must be called exactly once before any fetch().
@@ -89,6 +104,8 @@ class TsuState {
   void decrement(ThreadId consumer);
 
   const Program& program_;
+  const DataPlane* dataplane_;
+  bool affinity_;  ///< kAffinity routing engaged (policy + dataplane)
   ReadySet ready_;
   std::vector<std::uint32_t> ready_counts_;
   std::vector<ThreadState> states_;

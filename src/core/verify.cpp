@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <utility>
 
+#include "core/dataplane.h"
 #include "core/topology.h"
 
 namespace tflux::core {
@@ -65,6 +67,8 @@ const char* to_string(Diag code) {
       return "guard-hotspot";
     case Diag::kShardImbalance:
       return "shard-imbalance";
+    case Diag::kAffinitySplit:
+      return "affinity-split";
   }
   return "?";
 }
@@ -504,6 +508,50 @@ void check_capacity_and_kernels(const Program& program,
           out.warn(Diag::kShardImbalance, kInvalidThread, kInvalidBlock,
                    msg.str());
         }
+      }
+    }
+  }
+  if (options.affinity_split != 0) {
+    // A consumer whose input bytes come from producers homed on many
+    // kernels (shards, when a topology is given) is *split*: the data
+    // plane's affinity dispatch can make at most one producer's share
+    // warm, and everything else crosses caches no matter the placement.
+    // The contribution table already intersects every producer's write
+    // set with every consumer's read set over same- and cross-block
+    // arcs, zero-byte ranges excluded.
+    const bool by_shard = options.shards != 0 && options.num_kernels != 0 &&
+                          options.shards <= options.num_kernels;
+    std::optional<ShardMap> map;
+    if (by_shard) {
+      map = ShardMap::clustered(options.num_kernels, options.shards);
+    }
+    const DataPlane plane(program);
+    std::vector<KernelId> homes;
+    for (const DThread& t : program.threads()) {
+      if (!t.is_application()) continue;
+      homes.clear();
+      for (const Contribution& c : plane.contributions(t.id)) {
+        KernelId home = program.thread(c.producer).home_kernel;
+        if (home == kInvalidKernel) continue;  // reported below
+        if (options.num_kernels != 0 && home >= options.num_kernels) {
+          home = 0;  // TKT clamp
+        }
+        if (by_shard) home = map->shard_of(home);
+        if (std::find(homes.begin(), homes.end(), home) == homes.end()) {
+          homes.push_back(home);
+        }
+      }
+      if (homes.size() > options.affinity_split) {
+        out.warn(Diag::kAffinitySplit, t.id, t.block,
+                 thread_ref(program, t.id) +
+                     "'s input footprint is written by producers homed "
+                     "on " +
+                     std::to_string(homes.size()) + " distinct " +
+                     (by_shard ? "shards" : "kernels") + " (threshold " +
+                     std::to_string(options.affinity_split) +
+                     "); no placement keeps more than one producer's "
+                     "share warm - align producer and consumer homes or "
+                     "coarsen the decomposition");
       }
     }
   }

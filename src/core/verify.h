@@ -63,6 +63,7 @@ enum class Diag : std::uint8_t {
   kCoalescableArcs,       ///< unit-arc fan-out that should be one range arc
   kGuardHotspot,          ///< block fan-in exceeds the sampled-guard budget
   kShardImbalance,        ///< per-shard load deviates from uniform
+  kAffinitySplit,         ///< consumer input spans too many producers' homes
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -129,6 +130,14 @@ struct VerifyOptions {
   /// uniform per-shard share before kShardImbalance fires (0 disables).
   /// tflux_lint --shard-imbalance=N.
   std::uint32_t shard_imbalance_pct = 0;
+  /// Maximum number of distinct producer home kernels - home *shards*
+  /// when `shards` is also set - a consumer's input footprint may span
+  /// before kAffinitySplit fires (0 disables). A consumer whose input
+  /// bytes are written by producers homed on many kernels has no warm
+  /// placement: wherever the data plane's affinity dispatch puts it,
+  /// most of its input crosses caches (and shard links). tflux_lint
+  /// --affinity-split=N.
+  std::uint32_t affinity_split = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -121,6 +121,11 @@ struct MachineConfig {
   Cycles exec_quantum = 4096;
 
   core::PolicyKind policy = core::PolicyKind::kLocality;
+  /// Managed data plane (core/dataplane.h): forward/affinity accounting
+  /// plus push-side affinity routing under PolicyKind::kAffinity. false
+  /// = implicit shared memory only (the ablation baseline); kAffinity
+  /// then schedules exactly like kHier.
+  bool dataplane = true;
 };
 
 /// The paper's TFluxHard target (hardware TSU attached via MMI).

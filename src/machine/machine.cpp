@@ -275,9 +275,14 @@ MachineStats Machine::run() {
   ran_ = true;
 
   mem_ = std::make_unique<MemorySystem>(config_, config_.num_kernels);
+  if (config_.dataplane) {
+    dataplane_ = std::make_unique<core::DataPlane>(
+        program_, shard_map_ ? &*shard_map_ : nullptr);
+  }
   tsu_ = std::make_unique<core::TsuState>(program_, config_.num_kernels,
                                           config_.policy,
-                                          shard_map_ ? &*shard_map_ : nullptr);
+                                          shard_map_ ? &*shard_map_ : nullptr,
+                                          dataplane_.get());
   stats_.kernel_busy.assign(config_.num_kernels, 0);
   tsu_ports_ = std::vector<sim::SerialResource>(num_groups_);
   if (trace_) {

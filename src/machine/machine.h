@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/dataplane.h"
 #include "core/program.h"
 #include "core/topology.h"
 #include "core/tsu_state.h"
@@ -134,6 +135,8 @@ class Machine {
 
   sim::EventQueue eq_;
   std::unique_ptr<MemorySystem> mem_;
+  /// Managed data plane (config.dataplane); must outlive tsu_.
+  std::unique_ptr<core::DataPlane> dataplane_;
   std::unique_ptr<core::TsuState> tsu_;
   std::vector<sim::SerialResource> tsu_ports_;  // one per TSU Group
   std::deque<core::KernelId> parked_;

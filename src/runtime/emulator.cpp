@@ -51,6 +51,24 @@ TsuEmulator::TsuEmulator(const core::Program& program, TubGroup& tubs,
   fault_ = options_.fault;
 }
 
+void TsuEmulator::account_dataplane(core::ThreadId tid,
+                                    core::KernelId target) {
+  if (options_.dataplane == nullptr ||
+      !program_.thread(tid).is_application()) {
+    return;
+  }
+  const core::DataPlane::DispatchAccount account =
+      options_.dataplane->account_dispatch(tid, target);
+  if (account.cold) {
+    ++stats_.affinity_cold;
+  } else if (account.hit) {
+    ++stats_.affinity_hits;
+  } else {
+    ++stats_.affinity_misses;
+  }
+  stats_.cross_shard_bytes += account.cross_shard_bytes;
+}
+
 void TsuEmulator::dispatch(core::ThreadId tid) {
   if (fault_ != nullptr && fault_->swallow && tid == fault_->victim) {
     // kLostUpdate second half: the victim was already dispatched one
@@ -121,6 +139,52 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
       }
       break;
     }
+    case core::PolicyKind::kAffinity: {
+      // Data-plane placement: put the consumer where the largest share
+      // of its input bytes is warm, as long as that kernel is owned
+      // here and not backlogged *relative to* the shallowest owned
+      // mailbox (block activations burst-fill every mailbox, so an
+      // absolute depth check would reject affinity exactly when the
+      // whole first wave lands; slack = adaptive_backlog). A cold
+      // score, a foreign-shard winner, or a missing DataPlane
+      // (--no-dataplane) falls back to the kHier ladder.
+      std::size_t shallowest = mailboxes_[home].size();
+      for (core::KernelId k : my_kernels_) {
+        shallowest = std::min(shallowest, mailboxes_[k].size());
+      }
+      bool placed = false;
+      if (options_.dataplane != nullptr &&
+          program_.thread(tid).is_application()) {
+        const core::AffinityScore s = options_.dataplane->score(tid);
+        if (s.total_bytes > 0 &&
+            s.best < static_cast<core::KernelId>(mailboxes_.size()) &&
+            owns_kernel(s.best) &&
+            mailboxes_[s.best].size() <=
+                shallowest + options_.adaptive_backlog) {
+          target = s.best;
+          placed = true;
+        }
+      }
+      if (!placed && mailboxes_[home].size() > options_.adaptive_backlog) {
+        std::size_t best = mailboxes_[home].size();
+        for (core::KernelId k : my_kernels_) {
+          const std::size_t depth = mailboxes_[k].size();
+          if (depth < best) {
+            best = depth;
+            target = k;
+          }
+        }
+        if (best > options_.adaptive_backlog && try_delegate(tid, best)) {
+          if (program_.thread(tid).block == my_block_ &&
+              partition_outstanding_ > 0) {
+            --partition_outstanding_;
+            maybe_prefetch();
+          }
+          return;
+        }
+      }
+      break;
+    }
     case core::PolicyKind::kFifo:
       // Round-robin over the group's kernels.
       target = my_kernels_[rr_next_];
@@ -135,8 +199,12 @@ void TsuEmulator::dispatch(core::ThreadId tid) {
     ++stats_.home_dispatches;
   } else if (options_.policy != core::PolicyKind::kFifo) {
     ++stats_.steal_dispatches;
-    if (options_.policy == core::PolicyKind::kHier) ++stats_.steal_local;
+    if (options_.policy == core::PolicyKind::kHier ||
+        options_.policy == core::PolicyKind::kAffinity) {
+      ++stats_.steal_local;
+    }
   }
+  account_dataplane(tid, target);
   // Ticket drawn before the mailbox put: the Dispatch seq always
   // precedes the Complete seq the receiving kernel will draw.
   if (options_.trace) {
@@ -214,6 +282,7 @@ void TsuEmulator::dispatch_steal_grant(core::ThreadId tid) {
     }
   }
   ++stats_.steal_dispatches;
+  account_dataplane(tid, target);
   if (options_.trace) {
     options_.trace->record(trace_lane_, core::TraceEvent::kDispatch, tid,
                            target);

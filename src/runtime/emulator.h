@@ -40,6 +40,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/dataplane.h"
 #include "core/program.h"
 #include "core/ready_set.h"
 #include "core/types.h"
@@ -91,6 +92,20 @@ struct alignas(kCacheLine) EmulatorStats {
   /// kHier only: steal grants received and dispatched locally. Summed
   /// over all emulators, steals_in == steal_remote.
   std::uint64_t steals_in = 0;
+  /// Data plane (Options::dataplane, any policy): application
+  /// dispatches whose target kernel held the maximal warm share of the
+  /// consumer's input bytes (ties count as hits)...
+  std::uint64_t affinity_hits = 0;
+  /// ...whose warm maximum sat on some other kernel...
+  std::uint64_t affinity_misses = 0;
+  /// ...and whose producers had no warm bytes anywhere (first wave /
+  /// no overlapping footprints). hits + misses + cold == application
+  /// dispatches when the data plane is on.
+  std::uint64_t affinity_cold = 0;
+  /// Warm input bytes that lived on a shard other than the dispatch
+  /// target's (0 without a ShardMap): the cross-shard traffic the
+  /// affinity policy tries to avoid.
+  std::uint64_t cross_shard_bytes = 0;
 
   EmulatorStats& operator+=(const EmulatorStats& other) {
     updates_processed += other.updates_processed;
@@ -108,6 +123,10 @@ struct alignas(kCacheLine) EmulatorStats {
     steal_local += other.steal_local;
     steal_remote += other.steal_remote;
     steals_in += other.steals_in;
+    affinity_hits += other.affinity_hits;
+    affinity_misses += other.affinity_misses;
+    affinity_cold += other.affinity_cold;
+    cross_shard_bytes += other.cross_shard_bytes;
     return *this;
   }
 };
@@ -142,6 +161,12 @@ class TsuEmulator {
     /// dispatch is delegated there (hysteresis keeping warm-cache home
     /// dispatch the common case). Ignored without a shard_map.
     std::uint32_t steal_threshold = 4;
+    /// Managed data plane (must outlive the emulator). Non-null turns
+    /// on affinity accounting for every application dispatch (any
+    /// policy) and enables the kAffinity placement. Null = implicit
+    /// shared memory only (the --no-dataplane ablation; kAffinity
+    /// then degrades to kHier).
+    const core::DataPlane* dataplane = nullptr;
     /// Execution-trace sink (null = tracing off, the default).
     TraceLog* trace = nullptr;
     /// ddmguard instance (null = online checking off, the default).
@@ -172,6 +197,9 @@ class TsuEmulator {
                : k % options_.num_groups == options_.group;
   }
   void dispatch(core::ThreadId tid);
+  /// Data-plane accounting for one application dispatch onto `target`
+  /// (no-op without Options::dataplane or for Inlets/Outlets).
+  void account_dataplane(core::ThreadId tid, core::KernelId target);
   /// kHier: whole shard backlogged at `local_best` - delegate `tid` to
   /// the least-loaded remote shard if one beats us by steal_threshold.
   /// Returns true when a kStealGrant was published (the caller must

@@ -9,9 +9,10 @@ namespace tflux::runtime {
 
 Kernel::Kernel(const core::Program& program, core::KernelId id,
                Mailbox& mailbox, TubGroup& tubs, TraceLog* trace,
-               GuardHook guard, FaultPlan* fault)
+               GuardHook guard, FaultPlan* fault,
+               const core::DataPlane* dataplane)
     : program_(program), id_(id), mailbox_(mailbox), tubs_(tubs),
-      trace_(trace), guard_(guard), fault_(fault) {}
+      trace_(trace), guard_(guard), fault_(fault), dataplane_(dataplane) {}
 
 void Kernel::post_process(const core::DThread& t) {
   // Local TSU: translate the completion into TSU commands, routed to
@@ -93,11 +94,27 @@ void Kernel::run() {
         std::max<std::uint64_t>(stats_.mailbox_backlog_peak,
                                 mailbox_.size() + 1);
     const core::DThread& t = program_.thread(tid);
+    if (dataplane_ != nullptr && t.is_application()) {
+      // Ownership record before the body and the publish below: by the
+      // time any consumer can be scored, this thread's written ranges
+      // are attributed here (the TUB's release/acquire orders it).
+      dataplane_->record_execution(tid, id_);
+    }
     if (t.body) {
       t.body(core::ExecContext{id_, tid});
     }
     ++stats_.threads_executed;
     if (t.is_application()) ++stats_.app_threads_executed;
+    if (dataplane_ != nullptr && t.is_application()) {
+      // One bulk forward per coalesced [lo, hi] run (or per consumer
+      // in the unit ablation), counted once per completion - the
+      // double-publish fault duplicates updates, never forwards.
+      for (const core::ForwardRun& run :
+           dataplane_->forward_runs(tid, tubs_.coalesce())) {
+        ++stats_.forwards;
+        stats_.bytes_forwarded += run.bytes;
+      }
+    }
     // Epoch stamp before the Complete ticket: the execute event takes
     // its place in the causal order ahead of everything this
     // completion publishes.

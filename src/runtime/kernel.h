@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/dataplane.h"
 #include "core/program.h"
 #include "core/types.h"
 #include "runtime/guard_hooks.h"
@@ -31,13 +32,19 @@ struct alignas(kCacheLine) KernelStats {
   /// Deepest mailbox backlog observed on take() (the DThread taken
   /// included) - what the kAdaptive dispatch policy tries to flatten.
   std::uint64_t mailbox_backlog_peak = 0;
+  /// Data plane only: bulk forwards this kernel's completions
+  /// performed (one per coalesced [lo, hi] run, or one per consumer
+  /// in the unit ablation) and the payload bytes they carried.
+  std::uint64_t forwards = 0;
+  std::uint64_t bytes_forwarded = 0;
 };
 
 class Kernel {
  public:
   Kernel(const core::Program& program, core::KernelId id, Mailbox& mailbox,
          TubGroup& tubs, TraceLog* trace = nullptr, GuardHook guard = {},
-         FaultPlan* fault = nullptr);
+         FaultPlan* fault = nullptr,
+         const core::DataPlane* dataplane = nullptr);
 
   /// Thread main: Figure 2's loop. Returns when the exit sentinel
   /// arrives (sent by the emulator after the last Outlet).
@@ -57,6 +64,9 @@ class Kernel {
   TraceLog* trace_;  ///< null unless RuntimeOptions::trace was set
   GuardHook guard_;  ///< null guard = online checking off
   FaultPlan* fault_ = nullptr;  ///< null = no fault injection
+  /// Managed data plane (null = implicit shared memory): executions
+  /// are recorded as range ownership, completions as bulk forwards.
+  const core::DataPlane* dataplane_ = nullptr;
   KernelStats stats_;
 };
 

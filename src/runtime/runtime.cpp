@@ -141,6 +141,13 @@ RuntimeStats Runtime::run() {
   }
   const core::ShardMap* map_ptr = sharded ? &*shard_map : nullptr;
 
+  // Managed data plane: static forward/contribution tables plus the
+  // shared execution record kernels write and emulators score against.
+  std::unique_ptr<core::DataPlane> dataplane;
+  if (options_.dataplane) {
+    dataplane = std::make_unique<core::DataPlane>(program_, map_ptr);
+  }
+
   SyncMemoryGroup sm(program_, options_.num_kernels);
   sm.set_shard_map(map_ptr);
   // Sharded mode appends one dedicated lane per emulator after the
@@ -191,6 +198,8 @@ RuntimeStats Runtime::run() {
             partial.pipelined = options_.block_pipeline;
             partial.lockfree = options_.lockfree;
             partial.shards = options_.shards;
+            partial.coalesce = options_.coalesce_updates;
+            partial.dataplane = options_.dataplane;
             partial.truncated = true;
             partial.records = std::move(records);
             options_.trace_emergency(partial);
@@ -238,6 +247,7 @@ RuntimeStats Runtime::run() {
             .adaptive_backlog = options_.adaptive_backlog,
             .shard_map = map_ptr,
             .steal_threshold = options_.steal_threshold,
+            .dataplane = dataplane.get(),
             .trace = trace_log.get(),
             .guard = guard.get(),
             .fault = fault_ptr,
@@ -248,7 +258,8 @@ RuntimeStats Runtime::run() {
   kernels.reserve(options_.num_kernels);
   for (core::KernelId k = 0; k < options_.num_kernels; ++k) {
     kernels.emplace_back(program_, k, mailboxes[k], tubs, trace_log.get(),
-                         GuardHook{guard.get(), k}, fault_ptr);
+                         GuardHook{guard.get(), k}, fault_ptr,
+                         dataplane.get());
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -283,6 +294,8 @@ RuntimeStats Runtime::run() {
     trace.pipelined = options_.block_pipeline;
     trace.lockfree = options_.lockfree;
     trace.shards = options_.shards;
+    trace.coalesce = options_.coalesce_updates;
+    trace.dataplane = options_.dataplane;
     trace.records = trace_log->finish();
   }
 

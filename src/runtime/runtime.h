@@ -81,6 +81,12 @@ struct RuntimeOptions {
   /// update" message). false = one unit update per arc (the ablation
   /// baseline, tflux_run --no-coalesce).
   bool coalesce_updates = true;
+  /// Managed data plane (core/dataplane.h, default on): track which
+  /// kernel last wrote each footprint range, account bulk forwards
+  /// along arcs, and enable the kAffinity dispatch policy. false =
+  /// implicit shared memory only (the ablation baseline, tflux_run
+  /// --no-dataplane); kAffinity then degrades to kHier.
+  bool dataplane = true;
   /// Execution tracing for the ddmcheck verifier: when set, every
   /// actor records Dispatch/Complete/Update/... events into lock-free
   /// lanes (runtime/trace_log.h) and run() fills this trace with the

@@ -52,7 +52,7 @@ apps::AppKind parse_app(const std::string& name) {
     if (name == lower) return kind;
   }
   throw TFluxError("tflux_run: unknown app '" + name +
-                   "' (trapez, mmult, qsort, susan, fft)");
+                   "' (trapez, mmult, qsort, susan, susanpipe, fft)");
 }
 
 apps::SizeClass parse_size(const std::string& name) {
@@ -79,8 +79,9 @@ core::PolicyKind parse_policy(const std::string& name) {
   if (name == "locality") return core::PolicyKind::kLocality;
   if (name == "adaptive") return core::PolicyKind::kAdaptive;
   if (name == "hier") return core::PolicyKind::kHier;
+  if (name == "affinity") return core::PolicyKind::kAffinity;
   throw TFluxError("tflux_run: unknown policy '" + name +
-                   "' (fifo, locality, adaptive, hier)");
+                   "' (fifo, locality, adaptive, hier, affinity)");
 }
 
 std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
@@ -113,7 +114,8 @@ apps::Platform table1_platform(CliPlatform platform) {
 std::string usage() {
   return
       "usage: tflux_run [options]\n"
-      "  --app=trapez|mmult|qsort|susan|fft   (default trapez)\n"
+      "  --app=trapez|mmult|qsort|susan|susanpipe|fft\n"
+      "                                       (default trapez)\n"
       "  --size=small|medium|large            (default small)\n"
       "  --platform=reference|soft|hard|x86hard|softsim|cell\n"
       "                                       (default hard)\n"
@@ -131,7 +133,13 @@ std::string usage() {
       "pair with\n"
       "                                       --policy=hier for "
       "hierarchical stealing)\n"
-      "  --policy=fifo|locality|adaptive|hier ready-thread policy\n"
+      "  --policy=fifo|locality|adaptive|hier|affinity\n"
+      "                                       ready-thread policy "
+      "(affinity routes each\n"
+      "                                       consumer to the kernel "
+      "holding most of its\n"
+      "                                       input bytes; needs the "
+      "data plane)\n"
       "  --mutex-runtime                      soft platform: use the "
       "paper-faithful\n"
       "                                       mutex/try-lock runtime "
@@ -145,6 +153,13 @@ std::string usage() {
       "                                       updates instead of "
       "coalesced range\n"
       "                                       records (ablation)\n"
+      "  --no-dataplane                       disable the managed data "
+      "plane: no forward\n"
+      "                                       or affinity accounting, "
+      "implicit shared\n"
+      "                                       memory only (ablation; "
+      "--policy=affinity\n"
+      "                                       then degrades to hier)\n"
       "  --no-validate                        skip result validation\n"
       "  --no-baseline                        skip the sequential "
       "baseline\n"
@@ -226,6 +241,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.block_pipeline = false;
     } else if (arg == "--no-coalesce") {
       options.coalesce = false;
+    } else if (arg == "--no-dataplane") {
+      options.dataplane = false;
     } else if (arg == "--no-validate") {
       options.validate = false;
     } else if (arg == "--no-baseline") {
@@ -273,6 +290,12 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.app == apps::AppKind::kFft) {
     throw TFluxError(
         "tflux_run: FFT is not part of the Cell evaluation (Figure 7)");
+  }
+  if (options.platform == CliPlatform::kCell &&
+      options.app == apps::AppKind::kSusanPipe) {
+    throw TFluxError(
+        "tflux_run: SUSANPIPE targets the shared-memory data plane and "
+        "is not part of the Cell evaluation");
   }
   if (options.shards > options.kernels) {
     throw TFluxError("tflux_run: --shards must be <= --kernels");
@@ -427,6 +450,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
       rt_options.shards = options.shards;
       rt_options.block_pipeline = options.block_pipeline;
       rt_options.coalesce_updates = options.coalesce;
+      rt_options.dataplane = options.dataplane;
       rt_options.guard = options.guard;
       rt_options.inject_fault = options.inject_fault;
       core::ExecTrace exec_trace;
@@ -483,6 +507,20 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           << st.emulator.home_dispatches << " home, "
           << st.emulator.steal_dispatches << " stolen, mailbox backlog "
           << "peak " << backlog_peak << "\n";
+      std::uint64_t forwards = 0;
+      std::uint64_t bytes_forwarded = 0;
+      for (const runtime::KernelStats& k : st.kernels) {
+        forwards += k.forwards;
+        bytes_forwarded += k.bytes_forwarded;
+      }
+      if (options.dataplane) {
+        out << "  data plane: " << forwards << " bulk forwards ("
+            << bytes_forwarded << " bytes), affinity "
+            << st.emulator.affinity_hits << " hits / "
+            << st.emulator.affinity_misses << " misses / "
+            << st.emulator.affinity_cold << " cold, "
+            << st.emulator.cross_shard_bytes << " cross-shard bytes\n";
+      }
       // Per-shard dispatch imbalance: max deviation from the uniform
       // share, as a percentage (0 = perfectly balanced).
       double imbalance_pct = 0.0;
@@ -533,6 +571,17 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << (options.block_pipeline ? "true" : "false") << ",\n"
              << "  \"coalesce\": "
              << (options.coalesce ? "true" : "false") << ",\n"
+             << "  \"dataplane\": {\n"
+             << "    \"enabled\": "
+             << (options.dataplane ? "true" : "false") << ",\n"
+             << "    \"forwards\": " << forwards << ",\n"
+             << "    \"bytes_forwarded\": " << bytes_forwarded << ",\n"
+             << "    \"affinity_hits\": " << e.affinity_hits << ",\n"
+             << "    \"affinity_misses\": " << e.affinity_misses << ",\n"
+             << "    \"affinity_cold\": " << e.affinity_cold << ",\n"
+             << "    \"cross_shard_bytes\": " << e.cross_shard_bytes
+             << "\n"
+             << "  },\n"
              << "  \"trace\": "
              << (rt_options.trace != nullptr ? "true" : "false") << ",\n"
              << "  \"check\": " << (options.check ? "true" : "false")
@@ -610,6 +659,28 @@ int run_cli(const CliOptions& options, std::ostream& out) {
             out << "  check: " << line << "\n";
           }
           check_failed = !report.clean();
+          if (exec_trace.dataplane && !exec_trace.truncated) {
+            // Reconcile the runtime's data-plane counters against the
+            // independent replay: every figure must match exactly (the
+            // replay sees the same producers-executed state at each
+            // dispatch as the live scoring did).
+            const core::DataPlaneTally& tally = report.dataplane;
+            const bool reconciled =
+                tally.forwards == forwards &&
+                tally.bytes_forwarded == bytes_forwarded &&
+                tally.affinity_hits == st.emulator.affinity_hits &&
+                tally.affinity_misses == st.emulator.affinity_misses &&
+                tally.affinity_cold == st.emulator.affinity_cold &&
+                tally.cross_shard_bytes == st.emulator.cross_shard_bytes;
+            out << "  check: data plane "
+                << (reconciled ? "reconciles with" : "DOES NOT match")
+                << " the trace replay (" << tally.forwards
+                << " forwards, " << tally.bytes_forwarded << " bytes, "
+                << tally.affinity_hits << "/" << tally.affinity_misses
+                << "/" << tally.affinity_cold << " hits/misses/cold, "
+                << tally.cross_shard_bytes << " cross-shard bytes)\n";
+            if (!reconciled) check_failed = true;
+          }
         }
       }
       break;
@@ -625,6 +696,7 @@ int run_cli(const CliOptions& options, std::ostream& out) {
                     : machine::xeon_soft(options.kernels);
       cfg.policy = options.policy;
       cfg.tsu.num_groups = options.tsu_groups;
+      cfg.dataplane = options.dataplane;
       if (options.shards != 0) cfg.topology.shards = options.shards;
       machine::Machine m(cfg, run.program, validate);
       if (want_trace) m.attach_trace(&trace);
@@ -634,6 +706,14 @@ int run_cli(const CliOptions& options, std::ostream& out) {
           << st.kernel_utilization() * 100.0 << "%, " << st.mem.accesses()
           << " memory accesses (" << st.mem.l2_misses << " L2 misses)\n";
       out << "  DThread cycles: " << st.thread_cycles.summary() << "\n";
+      if (cfg.dataplane) {
+        out << "  data plane: " << st.tsu.forwards << " bulk forwards ("
+            << st.tsu.bytes_forwarded << " bytes), affinity "
+            << st.tsu.affinity_hits << " hits / "
+            << st.tsu.affinity_misses << " misses / "
+            << st.tsu.affinity_cold << " cold, "
+            << st.tsu.cross_shard_bytes << " cross-shard bytes\n";
+      }
       if (options.baseline) {
         baseline_cycles =
             machine::simulate_sequential(cfg, run.sequential_plan);

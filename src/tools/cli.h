@@ -51,6 +51,11 @@ struct CliOptions {
   /// Native runtime: coalesced range updates (default) vs per-consumer
   /// unit updates (--no-coalesce, ablation).
   bool coalesce = true;
+  /// Managed data plane (default on; soft + simulated platforms):
+  /// forward/affinity accounting and the --policy=affinity routing.
+  /// --no-dataplane selects the implicit-shared-memory ablation;
+  /// kAffinity then schedules exactly like kHier.
+  bool dataplane = true;
   bool validate = true;
   bool baseline = true;        ///< also simulate the sequential baseline
   /// Run the ddmlint static verifier on the program before executing;

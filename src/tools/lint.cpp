@@ -20,7 +20,7 @@ apps::AppKind parse_app(const std::string& name) {
     if (name == lower) return kind;
   }
   throw TFluxError("tflux_lint: unknown app '" + name +
-                   "' (trapez, mmult, qsort, susan, fft)");
+                   "' (trapez, mmult, qsort, susan, susanpipe, fft)");
 }
 
 apps::SizeClass parse_size(const std::string& name) {
@@ -49,7 +49,8 @@ std::string lint_usage() {
   return
       "usage: tflux_lint [options]\n"
       "Statically verify DDM synchronization graphs (ddmlint).\n"
-      "  --app=trapez|mmult|qsort|susan|fft   lint one benchmark "
+      "  --app=trapez|mmult|qsort|susan|susanpipe|fft\n"
+      "                                       lint one benchmark "
       "(default trapez)\n"
       "  --all                                lint every shipped "
       "benchmark\n"
@@ -92,6 +93,12 @@ std::string lint_usage() {
       "N% from uniform\n"
       "                                       (0 = off; needs "
       "--shards)\n"
+      "  --affinity-split=N                   warn when a consumer's "
+      "input footprint is\n"
+      "                                       written by producers "
+      "homed on more than N\n"
+      "                                       kernels (shards with "
+      "--shards; 0 = off)\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --werror                             promote warnings to "
@@ -150,6 +157,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--shard-imbalance=", 0) == 0) {
       options.shard_imbalance = static_cast<std::uint32_t>(parse_uint(
           "--shard-imbalance", value_of("--shard-imbalance=")));
+    } else if (arg.rfind("--affinity-split=", 0) == 0) {
+      options.affinity_split = static_cast<std::uint32_t>(parse_uint(
+          "--affinity-split", value_of("--affinity-split=")));
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--werror") {
@@ -176,6 +186,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.guard_hotspot_budget = options.guard_hotspots;
   verify_options.shards = options.shards;
   verify_options.shard_imbalance_pct = options.shard_imbalance;
+  verify_options.affinity_split = options.affinity_split;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {
     for (core::Diagnostic& d : report.diagnostics) {

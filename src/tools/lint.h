@@ -49,6 +49,10 @@ struct LintOptions {
   /// Allowed per-shard load deviation from uniform, in percent, before
   /// the shard-imbalance check warns (0 disables; needs --shards).
   std::uint32_t shard_imbalance = 0;
+  /// Maximum distinct producer home kernels (home shards with
+  /// --shards) a consumer's input footprint may span before the
+  /// affinity-split check warns (0 disables).
+  std::uint32_t affinity_split = 0;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Promote every warning to an error (CI gate: the diagnostics are

@@ -16,6 +16,7 @@
 #include "apps/mmult.h"
 #include "apps/qsort.h"
 #include "apps/susan.h"
+#include "apps/susan_pipeline.h"
 #include "apps/trapez.h"
 #include "core/scheduler.h"
 #include "machine/config.h"
@@ -121,6 +122,31 @@ TEST(FftTest, StridedColumnTransformMatchesGathered) {
   }
 }
 
+TEST(SusanPipeTest, SequentialCornerMapIsBinaryAndStable) {
+  const SusanPipeInput in{96, 64, 8, 2};
+  const auto a = susan_pipe_sequential(in);
+  const auto b = susan_pipe_sequential(in);
+  ASSERT_EQ(a.size(), in.pixels());
+  EXPECT_EQ(a, b);  // frame pipeline is deterministic
+  std::size_t nonbinary = 0;
+  for (const std::uint8_t v : a) {
+    if (v != 0 && v != 255) ++nonbinary;
+  }
+  EXPECT_EQ(nonbinary, 0u);
+}
+
+TEST(SusanPipeTest, StagesTileAtMisalignedGranularities) {
+  // The structural point of the workload: T -> 2T -> T strip counts,
+  // linked by explicit cross-block data arcs.
+  DdmParams params;
+  params.num_kernels = 4;
+  const SusanPipeInput in{64, 48, 4, 2};
+  AppRun run = build_susan_pipeline(in, params);
+  // Per frame: init T + smooth T + edge 2T + corner T app threads.
+  EXPECT_EQ(run.program.num_app_threads(), in.frames * 5 * in.strips);
+  EXPECT_FALSE(run.program.cross_block_arcs().empty());
+}
+
 // ---------------------------------------------------------------------------
 // Cross-platform validation sweep: every app, on every executor,
 // produces results identical to its sequential reference.
@@ -167,7 +193,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllAppsAllExecutors, AppValidationTest,
     ::testing::Combine(::testing::Values(AppKind::kTrapez, AppKind::kMmult,
                                          AppKind::kQsort, AppKind::kSusan,
-                                         AppKind::kFft),
+                                         AppKind::kFft, AppKind::kSusanPipe),
                        ::testing::Values(Executor::kReference,
                                          Executor::kNativeRuntime,
                                          Executor::kSimulatedMachine)));
@@ -198,11 +224,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SuiteTest, Table1CatalogCoversAllApps) {
   const auto rows = table1_catalog();
-  ASSERT_EQ(rows.size(), 5u);
+  ASSERT_EQ(rows.size(), 6u);
   EXPECT_EQ(rows[0].app, AppKind::kTrapez);
   EXPECT_EQ(rows[4].app, AppKind::kFft);
+  EXPECT_EQ(rows[5].app, AppKind::kSusanPipe);
   EXPECT_EQ(cell_apps().size(), 4u);   // no FFT on Cell (Figure 7)
-  EXPECT_EQ(all_apps().size(), 5u);
+  EXPECT_EQ(table1_apps().size(), 5u); // the paper's figure apps
+  EXPECT_EQ(all_apps().size(), 6u);    // ... plus SUSANPIPE
 }
 
 TEST(SuiteTest, SequentialPlansNonEmpty) {

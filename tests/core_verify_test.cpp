@@ -508,6 +508,65 @@ TEST(VerifyTest, HomeKernelOutOfRangeIsAnError) {
   EXPECT_TRUE(verify(program, options).clean());
 }
 
+// -- Affinity-split (data-plane locality smell) ------------------------
+
+/// Four producers homed on kernels 0..3, each writing a distinct 64 B
+/// range, all feeding one consumer that reads all four.
+Program make_split_consumer() {
+  ProgramBuilder builder("split");
+  const BlockId blk = builder.add_block();
+  Footprint rc;
+  rc.compute(100);
+  std::vector<ThreadId> producers;
+  for (KernelId k = 0; k < 4; ++k) {
+    const SimAddr addr = 0x1000 + static_cast<SimAddr>(k) * 0x100;
+    producers.push_back(builder.add_thread(
+        blk, "p" + std::to_string(k), {}, write_range(addr, 64), k));
+    rc.read(addr, 64);
+  }
+  const ThreadId c = builder.add_thread(blk, "c", {}, std::move(rc));
+  for (ThreadId p : producers) builder.add_arc(p, c);
+  BuildOptions build_options;
+  build_options.num_kernels = 4;
+  return builder.build(build_options);
+}
+
+TEST(VerifyTest, AffinitySplitFlagsManyProducerConsumers) {
+  const Program program = make_split_consumer();
+
+  VerifyOptions options;
+  options.num_kernels = 4;
+  options.affinity_split = 2;  // input spans 4 kernels > 2
+  const VerifyReport report = verify(program, options);
+  const auto found = with_code(report, Diag::kAffinitySplit);
+  ASSERT_EQ(found.size(), 1u) << report.to_string(program);
+  EXPECT_EQ(found[0]->severity, Severity::kWarning);
+  EXPECT_FALSE(report.has_errors());
+
+  options.affinity_split = 4;  // exactly at the threshold: allowed
+  EXPECT_TRUE(verify(program, options).clean());
+  options.affinity_split = 0;  // disabled (the default)
+  EXPECT_TRUE(verify(program, options).clean());
+}
+
+TEST(VerifyTest, AffinitySplitCountsShardsWhenTopologyGiven) {
+  const Program program = make_split_consumer();
+
+  // Kernels 0..3 clustered into 2 shards: the same consumer spans only
+  // 2 shards, so the kernel-level split disappears at shard level.
+  VerifyOptions options;
+  options.num_kernels = 4;
+  options.shards = 2;
+  options.affinity_split = 2;
+  EXPECT_TRUE(verify(program, options).clean());
+
+  options.affinity_split = 1;
+  const VerifyReport report = verify(program, options);
+  const auto found = with_code(report, Diag::kAffinitySplit);
+  ASSERT_EQ(found.size(), 1u) << report.to_string(program);
+  EXPECT_NE(found[0]->message.find("shards"), std::string::npos);
+}
+
 // -- Strict build mode -------------------------------------------------
 
 TEST(VerifyTest, StrictBuildThrowsOnRace) {

@@ -82,6 +82,13 @@ thread b compute 10
   EXPECT_EQ(run_lint(options, off_out), 0) << off_out.str();
 }
 
+TEST(ToolsLintTest, ParsesAffinitySplit) {
+  EXPECT_EQ(parse_lint_args({}).affinity_split, 0u);  // off by default
+  EXPECT_EQ(parse_lint_args({"--affinity-split=3"}).affinity_split, 3u);
+  EXPECT_THROW(parse_lint_args({"--affinity-split=wide"}),
+               core::TFluxError);
+}
+
 TEST(ToolsLintTest, ParsesCoalescableArcs) {
   EXPECT_EQ(parse_lint_args({}).coalescable_arcs, 0u);  // off by default
   EXPECT_EQ(parse_lint_args({"--coalescable-arcs=4"}).coalescable_arcs,
