@@ -1,0 +1,107 @@
+// ddmmodel state-space budget: exhaustively model-check every shipped
+// benchmark's tuned small configuration (the same targets `tflux_model
+// --all` verifies in CI) and report explored/deduped state counts,
+// transition counts and wall time, plus a partial-order-reduction
+// ablation row per app. The point is trend tracking: a protocol or
+// small-config change that blows up the state space shows up here
+// before it times out the CI sweep. Target, asserted by the summary
+// line: every config verifies clean and the whole sweep stays under
+// 60 seconds.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/suite.h"
+#include "apps/susan_pipeline.h"
+#include "core/model.h"
+#include "json_out.h"
+#include "tools/model.h"
+
+namespace {
+
+using namespace tflux;
+
+core::Program small_config_program(apps::AppKind kind,
+                                   std::uint16_t kernels) {
+  std::uint32_t unroll = 0;
+  std::uint32_t capacity = 0;
+  tools::model_small_config(kind, unroll, capacity);
+  apps::DdmParams params;
+  params.num_kernels = kernels;
+  params.unroll = unroll;
+  params.tsu_capacity = capacity;
+  if (kind == apps::AppKind::kSusanPipe) {
+    // The micro pipeline tflux_model models (one frame, two strips);
+    // the real small size is far beyond exhaustive exploration.
+    apps::SusanPipeInput micro;
+    micro.width = 32;
+    micro.height = 8;
+    micro.strips = 2;
+    micro.frames = 1;
+    return apps::build_susan_pipeline(micro, params).program;
+  }
+  return apps::build_app(kind, apps::SizeClass::kSmall,
+                         apps::Platform::kNative, params)
+      .program;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::parse_json_flag(argc, argv);
+  bench::JsonWriter json("model_budget");
+
+  constexpr std::uint16_t kKernels = 2;
+  bool ok = true;
+  double total_ms = 0.0;
+  std::printf("%-12s %4s %8s %9s %11s %6s %9s %8s\n", "app", "por",
+              "states", "deduped", "transitions", "depth", "reduced",
+              "ms");
+  for (apps::AppKind kind : apps::all_apps()) {
+    const core::Program program = small_config_program(kind, kKernels);
+    for (bool por : {true, false}) {
+      core::ModelOptions options;
+      options.kernels = kKernels;
+      options.por = por;
+      const auto start = std::chrono::steady_clock::now();
+      const core::ModelReport report = core::check_model(program, options);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      total_ms += ms;
+      ok &= report.clean();
+
+      std::printf("%-12s %4s %8llu %9llu %11llu %6u %9llu %8.1f\n",
+                  program.name().c_str(), por ? "on" : "off",
+                  static_cast<unsigned long long>(report.states_explored),
+                  static_cast<unsigned long long>(report.states_deduped),
+                  static_cast<unsigned long long>(report.transitions),
+                  report.depth,
+                  static_cast<unsigned long long>(report.por_ample_hits),
+                  ms);
+
+      json.begin_row();
+      json.field("app", program.name());
+      json.field("kernels", static_cast<std::uint32_t>(kKernels));
+      json.field("threads", program.num_threads());
+      json.field("blocks", static_cast<std::uint32_t>(program.num_blocks()));
+      json.field("por", por);
+      json.field("verdict", core::to_string(report.verdict));
+      json.field("states_explored", report.states_explored);
+      json.field("states_deduped", report.states_deduped);
+      json.field("transitions", report.transitions);
+      json.field("depth", report.depth);
+      json.field("por_ample_hits", report.por_ample_hits);
+      json.field("wall_ms", ms);
+    }
+  }
+
+  const bool in_budget = total_ms < 60'000.0;
+  std::printf("model_budget: %s, total %.1f ms (budget 60000 ms) -> %s\n",
+              ok ? "every config clean" : "NOT CLEAN", total_ms,
+              (ok && in_budget) ? "ok" : "FAIL");
+  if (!json.write_file(json_path)) return EXIT_FAILURE;
+  return (ok && in_budget) ? EXIT_SUCCESS : EXIT_FAILURE;
+}

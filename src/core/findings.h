@@ -28,6 +28,31 @@ enum class FindingCode : std::uint8_t {
   kTruncatedTrace,           ///< trace marked truncated (abnormal exit)
 };
 
+/// Every FindingCode, in declaration order. Keep in sync with the
+/// enum: the static_assert below pins the count, and the golden
+/// enumeration test (tests/findings_coverage_test.cpp) fails when a
+/// code is added here without at least one verifier fixture able to
+/// produce it.
+inline constexpr FindingCode kAllFindingCodes[] = {
+    FindingCode::kMalformedRecord,
+    FindingCode::kUndeclaredArc,
+    FindingCode::kDuplicateUpdate,
+    FindingCode::kNegativeReadyCount,
+    FindingCode::kPrematureDispatch,
+    FindingCode::kDoubleDispatch,
+    FindingCode::kDoubleExecution,
+    FindingCode::kExecutionWithoutDispatch,
+    FindingCode::kMissingExecution,
+    FindingCode::kMissingUpdate,
+    FindingCode::kBlockLifecycle,
+    FindingCode::kFootprintRace,
+    FindingCode::kTruncatedTrace,
+};
+
+static_assert(sizeof(kAllFindingCodes) / sizeof(kAllFindingCodes[0]) ==
+                  static_cast<std::uint8_t>(FindingCode::kTruncatedTrace) + 1,
+              "kAllFindingCodes must list every FindingCode exactly once");
+
 /// Stable kebab-case name of a finding (e.g. "undeclared-arc").
 constexpr const char* to_string(FindingCode code) {
   switch (code) {

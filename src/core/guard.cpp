@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/spec.h"
+
 namespace tflux::core {
 
 namespace {
@@ -46,17 +48,17 @@ bool parse_guard_spec(const std::string& spec, GuardOptions& out) {
     out.sample_period = 8;
     return true;
   }
-  constexpr const char kPrefix[] = "sampled:";
-  if (spec.rfind(kPrefix, 0) == 0) {
-    const std::string digits = spec.substr(sizeof(kPrefix) - 1);
-    if (digits.empty()) return false;
+  std::string key;
+  std::string value;
+  if (split_spec(spec, key, value) && key == "sampled") {
+    // min_one: a period of 0 would divide by zero at the first sample
+    // point, so "sampled:0" is rejected here (and Guard's constructor
+    // additionally normalizes a zero period from programmatic
+    // GuardOptions to 1, as a belt-and-braces guard).
     std::uint64_t period = 0;
-    for (char ch : digits) {
-      if (ch < '0' || ch > '9') return false;
-      period = period * 10 + static_cast<std::uint64_t>(ch - '0');
-      if (period > 1u << 20) return false;
+    if (!parse_spec_uint(value, 1u << 20, /*min_one=*/true, period)) {
+      return false;
     }
-    if (period == 0) return false;
     out.mode = GuardMode::kSampled;
     out.sample_period = static_cast<std::uint32_t>(period);
     return true;

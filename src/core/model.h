@@ -1,0 +1,182 @@
+// ddmmodel: bounded exhaustive model checking of the DDM protocol -
+// the third leg of the verification stack. ddmlint (core/verify.h)
+// proves graph properties statically and ddmcheck/ddmguard prove that
+// *one observed execution* obeyed the protocol; check_model() proves
+// the transition rules themselves over *all* schedules of a small
+// configuration, by encoding the TSU/TUB/SM protocol as an explicit
+// transition system and exhaustively exploring every interleaving.
+//
+// The model (one TSU group, K kernels):
+//   - per DThread instance: lifecycle (not-loaded / waiting / ready /
+//     dispatched / executed) plus ever-dispatched / ever-executed
+//     bits, the remaining Ready Count, and the updates received this
+//     activation;
+//   - per DDM Block: pending / active / retired, plus the emulator's
+//     last-activated watermark (the PR 4 stale-Inlet guard);
+//   - per kernel: a FIFO mailbox of dispatched DThreads and a FIFO
+//     TUB lane of in-flight messages (coalesced Ready Count update
+//     runs, Inlet block loads, Outlet completions).
+//
+// Three transition kinds interleave freely: the emulator grants a
+// ready DThread to its home kernel's mailbox, a kernel executes its
+// mailbox head (publishing update runs / load / outlet-done into its
+// TUB lane), and the emulator drains one TUB lane head (applying
+// updates to the SM, activating or retiring blocks). Both block
+// activation modes are modeled: synchronous Inlet loads, and the
+// PR 3 pipelined promote-at-OutletDone shadow-generation flip (where
+// the late Inlet load message is redundant and must be skipped by the
+// `block <= last_activated` guard - the PR 4 bug class).
+//
+// The oracle checks the same invariant catalog as core/findings.h at
+// every transition: exactly-once dispatch and execution, no premature
+// dispatch, no lost or surplus Ready Count updates, monotone block
+// lifecycle, stale-generation publish safety, plus deadlock-freedom
+// (a quiescent state that is not the completed program). On a
+// violation the minimal schedule (BFS) is re-simulated into a
+// synthetic ddmtrace v2 file so `tflux_check` replays the exact
+// counterexample and reports the same finding code - closing the loop
+// between the three checkers.
+//
+// The mutation harness (ModelMutation) removes one protocol guard per
+// run - drop the stale-Inlet retire guard (the PR 4 regression),
+// promote to a zeroed shadow generation, grant without removing from
+// the ready set, publish a completion twice, replay an applied update
+// after retire - and the search must find a counterexample for every
+// mutation. Partial-order reduction is disabled under mutation (its
+// soundness argument assumes the unbroken protocol).
+//
+// Entry points: check_model() (library), `tflux_model` (CLI).
+// docs/CHECKING.md has the decision matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ddmtrace.h"
+#include "core/findings.h"
+#include "core/program.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// One protocol guard to remove (one-shot, like the runtime's
+/// --inject-fault seeds): every mutation must yield a counterexample
+/// whose replay through check_trace() reports the same finding code.
+enum class ModelMutation : std::uint8_t {
+  kNone,
+  /// Process a stale Inlet load (block <= last_activated) instead of
+  /// skipping it: the block re-activates, its Ready Counts re-
+  /// initialize, and already-executed zero-RC DThreads re-enter the
+  /// ready pool - the PR 4 stale-Inlet double-execution bug.
+  kDropRetireGuard,
+  /// Promote-at-OutletDone flips to a zeroed shadow generation: the
+  /// promoted block's Ready Counts initialize to zero instead of
+  /// rc_init, so unsatisfied DThreads are ready immediately
+  /// (premature-dispatch).
+  kSkipShadowPromote,
+  /// The first grant leaves the DThread in the ready set, so a second
+  /// grant of the same instance can follow (double-dispatch, then
+  /// double-execution downstream).
+  kUnorderedGrant,
+  /// One completion publishes its consumer update runs twice
+  /// (negative-ready-count once the surplus updates land).
+  kDoublePublish,
+  /// Re-inject an already-applied update run after its block retired
+  /// (block-lifecycle: the decrement would hit a reloaded SM
+  /// generation).
+  kReplayStaleUpdate,
+};
+
+/// Stable kebab-case name (e.g. "drop-retire-guard").
+const char* to_string(ModelMutation mutation);
+
+/// Parse a --mutate= spec. Returns false (out untouched) on an
+/// unknown name.
+bool parse_model_mutation(const std::string& name, ModelMutation& out);
+
+/// Every real mutation (kNone excluded), in declaration order.
+std::vector<ModelMutation> all_model_mutations();
+
+struct ModelOptions {
+  /// Worker kernels of the modeled configuration (>= 1). Home kernels
+  /// beyond this fold to kernel 0 (the runtime's TKT clamp).
+  std::uint16_t kernels = 2;
+  /// Pipelined block transitions (promote at OutletDone, PR 3) vs
+  /// synchronous Inlet loads.
+  bool pipelined = true;
+  ModelMutation mutation = ModelMutation::kNone;
+  /// Stop exploring after this many distinct states (0 = unlimited).
+  /// Hitting the bound yields ModelVerdict::kBounded, not kClean.
+  std::uint64_t max_states = 1'000'000;
+  /// Ample-set partial-order reduction: when a TUB lane head is a
+  /// Ready Count update run whose consumers' blocks are all active and
+  /// no Outlet completion is anywhere in flight, applying it commutes
+  /// with every other enabled transition, so only that transition is
+  /// explored. Automatically disabled under mutation.
+  bool por = true;
+  /// After the first violation, continue with a fixed deterministic
+  /// schedule for at most this many transitions, collecting follow-on
+  /// violations (the PR 4 stale Inlet trips double-dispatch first;
+  /// the double-execution it causes surfaces in the epilogue).
+  std::uint32_t epilogue_steps = 20'000;
+  /// Stop collecting violations after this many (>= 1).
+  std::uint32_t max_violations = 8;
+};
+
+enum class ModelVerdict : std::uint8_t {
+  kClean,      ///< every reachable state satisfies every invariant
+  kViolation,  ///< an invariant violation was reached (counterexample)
+  kDeadlock,   ///< a quiescent, non-final state was reached
+  kBounded,    ///< max_states hit before the frontier emptied
+};
+
+const char* to_string(ModelVerdict verdict);
+
+/// One oracle trip, with the same finding codes the offline checker
+/// assigns to the same root cause (core/findings.h).
+struct ModelViolation {
+  FindingCode code = FindingCode::kMalformedRecord;
+  ThreadId thread = kInvalidThread;  ///< primary instance, if any
+  ThreadId other = kInvalidThread;   ///< producer / second instance
+  BlockId block = kInvalidBlock;     ///< owning block, if any
+  std::uint64_t step = 0;            ///< transition index on the path
+  std::string message;
+
+  /// "[double-execution] step 12, block 1, thread 4 'a1': ..."
+  std::string to_string(const Program& program) const;
+};
+
+struct ModelReport {
+  ModelVerdict verdict = ModelVerdict::kClean;
+  /// Violations along the counterexample path, primary (the BFS-
+  /// minimal trip) first; empty unless verdict == kViolation.
+  std::vector<ModelViolation> violations;
+
+  std::uint64_t states_explored = 0;  ///< distinct states expanded
+  std::uint64_t states_deduped = 0;   ///< canonical-encoding hits
+  std::uint64_t transitions = 0;      ///< transition applications
+  std::uint32_t depth = 0;            ///< BFS depth reached / cex length
+  std::uint64_t por_ample_hits = 0;   ///< states reduced to one move
+
+  /// The counterexample (violation or deadlock) as a synthetic
+  /// ddmtrace: the minimal schedule plus the deterministic epilogue,
+  /// marked truncated when the epilogue did not drain the program.
+  /// Feed it to check_trace()/tflux_check for the replay parity leg.
+  bool has_counterexample = false;
+  ExecTrace counterexample;
+
+  bool clean() const { return verdict == ModelVerdict::kClean; }
+
+  /// Violations one per line plus a summary line with state counts.
+  std::string to_string(const Program& program) const;
+};
+
+/// Exhaustively model-check `program` under `options`. Throws
+/// TFluxError when the configuration is too large to model (the
+/// checker is for *small-scope* configurations: a handful of DThreads
+/// per block); never throws on protocol violations - those are the
+/// findings.
+ModelReport check_model(const Program& program, const ModelOptions& options);
+
+}  // namespace tflux::core

@@ -1,0 +1,31 @@
+#include "core/spec.h"
+
+namespace tflux::core {
+
+bool parse_spec_uint(const std::string& text, std::uint64_t max,
+                     bool min_one, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(ch - '0');
+    // Guard before multiplying: value * 10 + digit must not wrap
+    // uint64 even when max itself is UINT64_MAX.
+    if (digit > max || value > (max - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  if (min_one && value == 0) return false;
+  out = value;
+  return true;
+}
+
+bool split_spec(const std::string& spec, std::string& key,
+                std::string& value) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  key = spec.substr(0, colon);
+  value = spec.substr(colon + 1);
+  return true;
+}
+
+}  // namespace tflux::core

@@ -69,6 +69,8 @@ const char* to_string(Diag code) {
       return "shard-imbalance";
     case Diag::kAffinitySplit:
       return "affinity-split";
+    case Diag::kDeadFootprint:
+      return "dead-footprint";
   }
   return "?";
 }
@@ -602,6 +604,60 @@ void check_ranges(const Program& program, Reporter& out) {
   }
 }
 
+/// Dead-footprint detection (opt-in). A DThread's write ranges are
+/// the data its arcs hand downstream; when every same-block consumer
+/// declares read ranges and none of them touches any of the
+/// producer's writes, the arcs synchronize on data nobody loads -
+/// either the footprint or the dependency is wrong. Conservative by
+/// design: a consumer with no declared reads suppresses the warning
+/// (its footprint is undeclared, not provably disjoint), as does a
+/// producer with no writes or no same-block app consumers.
+void check_dead_footprints(const Program& program, const BlockView& v,
+                           Reporter& out) {
+  auto overlaps = [](const MemRange& a, const MemRange& b) {
+    if (a.bytes == 0 || b.bytes == 0) return false;
+    if (a.bytes > std::numeric_limits<SimAddr>::max() - a.addr ||
+        b.bytes > std::numeric_limits<SimAddr>::max() - b.addr) {
+      return false;  // wrapping ranges are check_ranges's findings
+    }
+    return a.addr < b.addr + b.bytes && b.addr < a.addr + a.bytes;
+  };
+  for (ThreadId tid : v.threads) {
+    const DThread& t = program.thread(tid);
+    bool has_write = false;
+    for (const MemRange& r : t.footprint.ranges) has_write |= r.write;
+    if (!has_write) continue;
+    std::uint32_t app_consumers = 0;
+    bool all_declare_reads = true;
+    bool any_read_overlap = false;
+    for (ThreadId cid : t.consumers) {
+      const DThread& c = program.thread(cid);
+      if (!c.is_application()) continue;  // the Outlet reads nothing
+      ++app_consumers;
+      bool declares_read = false;
+      for (const MemRange& cr : c.footprint.ranges) {
+        if (cr.write) continue;
+        declares_read = true;
+        for (const MemRange& pr : t.footprint.ranges) {
+          if (pr.write && overlaps(pr, cr)) any_read_overlap = true;
+        }
+      }
+      all_declare_reads &= declares_read;
+    }
+    if (app_consumers == 0 || !all_declare_reads || any_read_overlap) {
+      continue;
+    }
+    out.warn(Diag::kDeadFootprint, t.id, t.block,
+             thread_ref(program, t.id) + " writes " +
+                 std::to_string(t.footprint.bytes_written()) +
+                 " byte(s) but none of its " +
+                 std::to_string(app_consumers) +
+                 " consumer(s) declares a read range overlapping any "
+                 "of them; the arcs synchronize on data nobody loads - "
+                 "fix the footprint or drop the dependency");
+  }
+}
+
 /// Footprint race detection. Two application DThreads of the same
 /// block with no dependency path between them (in either direction)
 /// may run concurrently under any ASAP schedule; if their footprints
@@ -750,6 +806,9 @@ VerifyReport verify(const Program& program, const VerifyOptions& options) {
     const BlockView v = make_view(program, blk);
     check_ready_counts(program, v, out);
     check_inlet_outlet(program, v, out);
+    if (options.check_dead_footprint) {
+      check_dead_footprints(program, v, out);
+    }
     if (!v.acyclic) {
       const std::vector<ThreadId> cycle = find_cycle(v);
       std::ostringstream msg;

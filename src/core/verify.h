@@ -64,6 +64,7 @@ enum class Diag : std::uint8_t {
   kGuardHotspot,          ///< block fan-in exceeds the sampled-guard budget
   kShardImbalance,        ///< per-shard load deviates from uniform
   kAffinitySplit,         ///< consumer input spans too many producers' homes
+  kDeadFootprint,         ///< written range no consumer ever reads
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -138,6 +139,16 @@ struct VerifyOptions {
   /// most of its input crosses caches (and shard links). tflux_lint
   /// --affinity-split=N.
   std::uint32_t affinity_split = 0;
+  /// Dead-footprint detection (opt-in): warn when a DThread declares a
+  /// write range but none of its same-block consumers' declared read
+  /// ranges overlaps any of its writes - the arc synchronizes on data
+  /// nobody loads, so either the footprint or the arc is wrong.
+  /// Conservative: suppressed when any consumer declares no read
+  /// ranges at all (its footprint is simply undeclared, not provably
+  /// disjoint). tflux_lint --dead-footprint; on by default in the
+  /// ddmcpp IR lint, where footprints come from #pragma ddm and a
+  /// mismatch is a preprocessor-input bug with a source line.
+  bool check_dead_footprint = false;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

@@ -58,6 +58,11 @@ LintResult lint(const ProgramIR& ir, const std::string& filename,
 
   core::VerifyOptions verify_options;
   verify_options.num_kernels = kernels;
+  // ddmcpp footprints come straight from #pragma ddm declarations, so
+  // a write range no consumer reads is a preprocessor-input bug worth
+  // a source-line diagnostic; the check is opt-in for hand-built
+  // programs (apps often model cost, not dataflow) but on here.
+  verify_options.check_dead_footprint = true;
   const core::VerifyReport report = core::verify(program, verify_options);
   for (const core::Diagnostic& d : report.diagnostics) {
     std::uint32_t line = 0;

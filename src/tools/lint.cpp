@@ -1,6 +1,7 @@
 #include "tools/lint.h"
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -41,6 +42,37 @@ std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
     throw TFluxError("tflux_lint: " + flag + " expects a number, got '" +
                      value + "'");
   }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -99,6 +131,12 @@ std::string lint_usage() {
       "homed on more than N\n"
       "                                       kernels (shards with "
       "--shards; 0 = off)\n"
+      "  --dead-footprint                     warn when a DThread's "
+      "write ranges are\n"
+      "                                       read by none of its "
+      "consumers\n"
+      "  --json=FILE                          also write the findings "
+      "as JSON\n"
       "  --strict                             exit nonzero on warnings "
       "too\n"
       "  --werror                             promote warnings to "
@@ -160,6 +198,13 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--affinity-split=", 0) == 0) {
       options.affinity_split = static_cast<std::uint32_t>(parse_uint(
           "--affinity-split", value_of("--affinity-split=")));
+    } else if (arg == "--dead-footprint") {
+      options.dead_footprint = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_file = value_of("--json=");
+      if (options.json_file.empty()) {
+        throw TFluxError("tflux_lint: --json needs a file name");
+      }
     } else if (arg == "--strict") {
       options.strict = true;
     } else if (arg == "--werror") {
@@ -187,6 +232,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.shards = options.shards;
   verify_options.shard_imbalance_pct = options.shard_imbalance;
   verify_options.affinity_split = options.affinity_split;
+  verify_options.check_dead_footprint = options.dead_footprint;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {
     for (core::Diagnostic& d : report.diagnostics) {
@@ -209,6 +255,43 @@ core::VerifyReport lint_program(const core::Program& program,
   return report;
 }
 
+std::string lint_report_json(const core::Program& program,
+                             const core::VerifyReport& report) {
+  std::ostringstream json;
+  json << "{\"program\": \"" << json_escape(program.name())
+       << "\", \"errors\": " << report.num_errors
+       << ", \"warnings\": " << report.num_warnings
+       << ", \"diagnostics\": [";
+  bool first = true;
+  for (const core::Diagnostic& d : report.diagnostics) {
+    if (!first) json << ", ";
+    first = false;
+    json << "{\"severity\": \"" << core::to_string(d.severity)
+         << "\", \"code\": \"" << core::to_string(d.code) << "\", ";
+    json << "\"thread\": ";
+    if (d.thread == core::kInvalidThread) {
+      json << "null";
+    } else {
+      json << d.thread;
+    }
+    json << ", \"other\": ";
+    if (d.other == core::kInvalidThread) {
+      json << "null";
+    } else {
+      json << d.other;
+    }
+    json << ", \"block\": ";
+    if (d.block == core::kInvalidBlock) {
+      json << "null";
+    } else {
+      json << d.block;
+    }
+    json << ", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  json << "]}";
+  return json.str();
+}
+
 int run_lint(const LintOptions& options, std::ostream& out) {
   if (options.help) {
     out << lint_usage();
@@ -217,9 +300,14 @@ int run_lint(const LintOptions& options, std::ostream& out) {
 
   std::uint32_t errors = 0;
   std::uint32_t warnings = 0;
-  auto account = [&](const core::VerifyReport& report) {
+  std::vector<std::string> json_programs;
+  auto account = [&](const core::Program& program,
+                     const core::VerifyReport& report) {
     errors += report.num_errors;
     warnings += report.num_warnings;
+    if (!options.json_file.empty()) {
+      json_programs.push_back(lint_report_json(program, report));
+    }
   };
 
   if (!options.graph_file.empty()) {
@@ -236,8 +324,9 @@ int run_lint(const LintOptions& options, std::ostream& out) {
     // Lint wants diagnostics, not a build() throw, so materialize
     // whatever the file describes and let verify() judge it.
     build_options.validate = false;
-    account(lint_program(core::load_graph(gtext.str(), build_options),
-                         options, out));
+    const core::Program program =
+        core::load_graph(gtext.str(), build_options);
+    account(program, lint_program(program, options, out));
   } else {
     apps::DdmParams params;
     params.num_kernels = options.kernels;
@@ -249,11 +338,26 @@ int run_lint(const LintOptions& options, std::ostream& out) {
     for (apps::AppKind kind : kinds) {
       const apps::AppRun run = apps::build_app(
           kind, options.size, apps::Platform::kSimulated, params);
-      account(lint_program(run.program, options, out));
+      account(run.program, lint_program(run.program, options, out));
     }
   }
 
   const bool failed = errors != 0 || (options.strict && warnings != 0);
+  if (!options.json_file.empty()) {
+    std::ofstream json_out(options.json_file);
+    if (!json_out) {
+      throw TFluxError("tflux_lint: cannot write --json file '" +
+                       options.json_file + "'");
+    }
+    json_out << "{\"tool\": \"tflux_lint\", \"errors\": " << errors
+             << ", \"warnings\": " << warnings << ", \"failed\": "
+             << (failed ? "true" : "false") << ", \"programs\": [";
+    for (std::size_t i = 0; i < json_programs.size(); ++i) {
+      if (i != 0) json_out << ", ";
+      json_out << json_programs[i];
+    }
+    json_out << "]}\n";
+  }
   out << "tflux_lint: " << errors << " error(s), " << warnings
       << " warning(s) total -> " << (failed ? "FAIL" : "ok") << "\n";
   return failed ? 1 : 0;

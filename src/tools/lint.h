@@ -53,6 +53,14 @@ struct LintOptions {
   /// --shards) a consumer's input footprint may span before the
   /// affinity-split check warns (0 disables).
   std::uint32_t affinity_split = 0;
+  /// Enable the opt-in dead-footprint check (write ranges no consumer
+  /// reads).
+  bool dead_footprint = false;
+  /// Write machine-readable findings (JSON: per-program diagnostics
+  /// with code/severity/thread/block ids) to this file; empty = off.
+  /// CI gates and the ddmmodel fixtures diff this structurally
+  /// instead of grepping the text output.
+  std::string json_file;
   /// Exit nonzero on warnings too, not just errors.
   bool strict = false;
   /// Promote every warning to an error (CI gate: the diagnostics are
@@ -75,6 +83,13 @@ std::string lint_usage();
 core::VerifyReport lint_program(const core::Program& program,
                                 const LintOptions& options,
                                 std::ostream& out);
+
+/// Render one program's findings as a JSON object (no trailing
+/// newline): {"program": ..., "errors": N, "warnings": N,
+/// "diagnostics": [{"severity", "code", "thread", "other", "block",
+/// "message"}, ...]}. Invalid thread/block ids render as null.
+std::string lint_report_json(const core::Program& program,
+                             const core::VerifyReport& report);
 
 /// Execute per the options, writing diagnostics to `out`. Returns a
 /// process exit code: 0 clean (no errors; no warnings under --strict),

@@ -1,0 +1,83 @@
+// The `tflux_model` command-line driver, split into a testable
+// library: run the ddmmodel bounded exhaustive model checker
+// (core/model.h) over small configurations of the shipped benchmarks
+// or a ddmgraph file, and drive the mutation harness - every
+// `--mutate=` guard removal must yield a counterexample whose
+// synthetic ddmtrace, replayed through ddmcheck, reports the same
+// finding code the model reported.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/suite.h"
+#include "core/model.h"
+
+namespace tflux::tools {
+
+struct ModelCliOptions {
+  /// Model one benchmark's small configuration... (ignored with --all
+  /// or --graph)
+  apps::AppKind app = apps::AppKind::kTrapez;
+  apps::SizeClass size = apps::SizeClass::kSmall;
+  /// ...or every shipped benchmark's...
+  bool all = false;
+  /// ...or a ddmgraph file (adversarial fixtures).
+  std::string graph_file;
+
+  std::uint16_t kernels = 2;
+  /// Loop unroll factor; 0 = the per-app small-config default (high:
+  /// the model wants few, coarse DThreads).
+  std::uint32_t unroll = 0;
+  /// TSU capacity; 0 = the per-app small-config default (low enough
+  /// to split the program into 2-3 blocks).
+  std::uint32_t tsu_capacity = 0;
+  /// Pipelined block transitions (promote at OutletDone) vs
+  /// synchronous Inlet loads (--no-pipeline).
+  bool pipelined = true;
+
+  /// Remove one protocol guard (--mutate=NAME); the run then *must*
+  /// find a counterexample. kNone = verify clean.
+  core::ModelMutation mutation = core::ModelMutation::kNone;
+  /// Run the clean check plus every mutation (--mutate-all).
+  bool mutate_all = false;
+  /// Replay each counterexample through check_trace() in-process and
+  /// require the model's primary finding code among ddmcheck's
+  /// findings (--no-replay disables; the parity leg is the point).
+  bool replay = true;
+
+  std::uint64_t max_states = 1'000'000;
+  bool por = true;  ///< --no-por: full interleaving exploration
+
+  /// Write the first counterexample trace here (empty = off).
+  std::string trace_out;
+  /// Write every counterexample as <dir>/<program>-<mutation>.ddmtrace
+  /// (empty = off; CI uploads these as artifacts).
+  std::string cex_dir;
+  bool quiet = false;
+  bool help = false;
+};
+
+/// Parse argv-style arguments (without the program name). Throws
+/// core::TFluxError with a usable message on malformed input.
+ModelCliOptions parse_model_args(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string model_usage();
+
+/// The tuned small configuration (unroll, tsu_capacity) the model
+/// checker uses for `kind` when the CLI does not override them: the
+/// coarsest decomposition that still yields >= 2 DDM blocks, keeping
+/// the exhaustive state space tractable.
+void model_small_config(apps::AppKind kind, std::uint32_t& unroll,
+                        std::uint32_t& tsu_capacity);
+
+/// Execute per the options, writing a report to `out`. Returns a
+/// process exit code: 0 when every clean run verified clean and every
+/// mutation run produced a replay-confirmed counterexample, 1
+/// otherwise.
+int run_model(const ModelCliOptions& options, std::ostream& out);
+
+}  // namespace tflux::tools

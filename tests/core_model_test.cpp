@@ -1,0 +1,217 @@
+// ddmmodel (core/model.h): bounded exhaustive model checking of the
+// DDM protocol. Clean small configurations must verify clean over
+// every schedule (with and without partial-order reduction), every
+// guard-removal mutation must produce a counterexample whose replay
+// through check_trace() reports the same finding code, cycles must be
+// caught as deadlocks, and oversized configurations must be rejected
+// up front.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/check.h"
+#include "core/error.h"
+#include "core/model.h"
+#include "core/program.h"
+
+namespace tflux::core {
+namespace {
+
+/// Two blocks of a (rc 0) -> m -> c plus a -> v, c -> v (the guardfix
+/// shape): same-block app->app arcs in a non-final block, a zero-RC
+/// DThread per block, and >= 2 blocks - enough structure for every
+/// mutation's fault to be carryable.
+Program two_block_diamond() {
+  ProgramBuilder builder("modeltest");
+  for (int b = 0; b < 2; ++b) {
+    const BlockId block = builder.add_block();
+    const std::string suffix = std::to_string(b);
+    const ThreadId a = builder.add_thread(block, "a" + suffix, {});
+    const ThreadId m = builder.add_thread(block, "m" + suffix, {});
+    const ThreadId c = builder.add_thread(block, "c" + suffix, {});
+    const ThreadId v = builder.add_thread(block, "v" + suffix, {});
+    builder.add_arc(a, m);
+    builder.add_arc(m, c);
+    builder.add_arc(a, v);
+    builder.add_arc(c, v);
+  }
+  BuildOptions options;
+  options.num_kernels = 2;
+  return builder.build(options);
+}
+
+TEST(ModelTest, CleanProgramVerifiesClean) {
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  const ModelReport report = check_model(program, options);
+  EXPECT_EQ(report.verdict, ModelVerdict::kClean) << report.to_string(program);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_FALSE(report.has_counterexample);
+  EXPECT_GT(report.states_explored, 0u);
+  EXPECT_GT(report.transitions, 0u);
+  EXPECT_GT(report.depth, 0u);
+}
+
+TEST(ModelTest, SynchronousInletModeAlsoVerifiesClean) {
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  options.pipelined = false;
+  const ModelReport report = check_model(program, options);
+  EXPECT_EQ(report.verdict, ModelVerdict::kClean) << report.to_string(program);
+}
+
+TEST(ModelTest, PartialOrderReductionPreservesTheVerdict) {
+  // POR is a pruning of equivalent interleavings: same verdict, fewer
+  // (or equal) states, and on this config it must actually fire.
+  const Program program = two_block_diamond();
+  ModelOptions with_por;
+  ModelOptions without_por;
+  without_por.por = false;
+  const ModelReport reduced = check_model(program, with_por);
+  const ModelReport full = check_model(program, without_por);
+  EXPECT_EQ(reduced.verdict, full.verdict);
+  EXPECT_EQ(reduced.verdict, ModelVerdict::kClean);
+  EXPECT_GT(reduced.por_ample_hits, 0u);
+  EXPECT_EQ(full.por_ample_hits, 0u);
+  EXPECT_LE(reduced.states_explored, full.states_explored);
+}
+
+TEST(ModelTest, MaxStatesBoundYieldsBoundedVerdict) {
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  options.max_states = 3;
+  const ModelReport report = check_model(program, options);
+  EXPECT_EQ(report.verdict, ModelVerdict::kBounded);
+}
+
+TEST(ModelTest, DependencyCycleIsReportedAsDeadlock) {
+  ProgramBuilder builder("cycle");
+  const BlockId block = builder.add_block();
+  const ThreadId a = builder.add_thread(block, "a", {});
+  const ThreadId b = builder.add_thread(block, "b", {});
+  builder.add_arc(a, b);
+  builder.add_arc(b, a);
+  BuildOptions build_options;
+  build_options.validate = false;  // a strict build() rejects cycles
+  const Program program = builder.build(build_options);
+
+  const ModelReport report = check_model(program, {});
+  EXPECT_EQ(report.verdict, ModelVerdict::kDeadlock)
+      << report.to_string(program);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().code, FindingCode::kTruncatedTrace);
+  // The truncated counterexample still replays: ddmcheck sees the
+  // never-executed DThreads.
+  ASSERT_TRUE(report.has_counterexample);
+  EXPECT_TRUE(report.counterexample.truncated);
+}
+
+struct MutationCase {
+  ModelMutation mutation;
+  FindingCode primary;
+};
+
+class ModelMutationTest : public ::testing::TestWithParam<MutationCase> {};
+
+TEST_P(ModelMutationTest, MutationYieldsReplayConfirmedCounterexample) {
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  options.mutation = GetParam().mutation;
+  const ModelReport report = check_model(program, options);
+
+  ASSERT_EQ(report.verdict, ModelVerdict::kViolation)
+      << to_string(GetParam().mutation) << ": " << report.to_string(program);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().code, GetParam().primary)
+      << report.to_string(program);
+
+  // Parity leg: the synthetic counterexample trace, replayed through
+  // the offline checker, must rediscover the model's primary finding
+  // (containment: the replay also sees every downstream consequence).
+  ASSERT_TRUE(report.has_counterexample);
+  const CheckReport replay = check_trace(program, report.counterexample);
+  bool found = false;
+  for (const CheckFinding& f : replay.findings) {
+    found |= f.code == GetParam().primary;
+  }
+  EXPECT_TRUE(found) << "ddmcheck replay missed ["
+                     << to_string(GetParam().primary) << "]:\n"
+                     << replay.to_string(program);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMutations, ModelMutationTest,
+    ::testing::Values(
+        MutationCase{ModelMutation::kDropRetireGuard,
+                     FindingCode::kDoubleDispatch},
+        MutationCase{ModelMutation::kSkipShadowPromote,
+                     FindingCode::kPrematureDispatch},
+        MutationCase{ModelMutation::kUnorderedGrant,
+                     FindingCode::kDoubleDispatch},
+        MutationCase{ModelMutation::kDoublePublish,
+                     FindingCode::kNegativeReadyCount},
+        MutationCase{ModelMutation::kReplayStaleUpdate,
+                     FindingCode::kBlockLifecycle}),
+    [](const ::testing::TestParamInfo<MutationCase>& info) {
+      std::string name = to_string(info.param.mutation);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelTest, DropRetireGuardReproducesThePr4DoubleExecution) {
+  // The regression the mutation harness exists for: dropping the
+  // stale-Inlet retire guard must not merely flag the bad activation -
+  // the counterexample has to carry the full consequence chain, a
+  // zero-RC DThread dispatched and executed a second time.
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  options.mutation = ModelMutation::kDropRetireGuard;
+  const ModelReport report = check_model(program, options);
+  ASSERT_EQ(report.verdict, ModelVerdict::kViolation);
+  bool double_dispatch = false;
+  bool double_execution = false;
+  for (const ModelViolation& v : report.violations) {
+    double_dispatch |= v.code == FindingCode::kDoubleDispatch;
+    double_execution |= v.code == FindingCode::kDoubleExecution;
+  }
+  EXPECT_TRUE(double_dispatch) << report.to_string(program);
+  EXPECT_TRUE(double_execution) << report.to_string(program);
+
+  const CheckReport replay = check_trace(program, report.counterexample);
+  bool replay_double_execution = false;
+  for (const CheckFinding& f : replay.findings) {
+    replay_double_execution |= f.code == FindingCode::kDoubleExecution;
+  }
+  EXPECT_TRUE(replay_double_execution) << replay.to_string(program);
+}
+
+TEST(ModelTest, MutationNamesRoundTrip) {
+  const std::vector<ModelMutation> all = all_model_mutations();
+  EXPECT_EQ(all.size(), 5u);
+  for (ModelMutation m : all) {
+    ModelMutation parsed = ModelMutation::kNone;
+    ASSERT_TRUE(parse_model_mutation(to_string(m), parsed)) << to_string(m);
+    EXPECT_EQ(parsed, m);
+  }
+  ModelMutation parsed = ModelMutation::kNone;
+  EXPECT_FALSE(parse_model_mutation("drop-everything", parsed));
+  EXPECT_EQ(parsed, ModelMutation::kNone);
+}
+
+TEST(ModelTest, RejectsUnmodelableConfigurations) {
+  const Program empty;
+  EXPECT_THROW(check_model(empty, {}), TFluxError);
+
+  const Program program = two_block_diamond();
+  ModelOptions options;
+  options.kernels = 0;
+  EXPECT_THROW(check_model(program, options), TFluxError);
+}
+
+}  // namespace
+}  // namespace tflux::core

@@ -1,0 +1,104 @@
+// Shared spec-parsing helpers (core/spec.h) and the guard spec that
+// now rides on them: the same strict digit rules must hold everywhere
+// a CLI accepts `key:value` numbers.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/guard.h"
+#include "core/spec.h"
+
+namespace tflux::core {
+namespace {
+
+TEST(SpecTest, ParsesPlainNumbers) {
+  std::uint64_t out = 7;
+  EXPECT_TRUE(parse_spec_uint("0", 100, /*min_one=*/false, out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(parse_spec_uint("42", 100, /*min_one=*/false, out));
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(parse_spec_uint("100", 100, /*min_one=*/false, out));
+  EXPECT_EQ(out, 100u);
+}
+
+TEST(SpecTest, RejectsNonDigitsAndEmpty) {
+  std::uint64_t out = 7;
+  EXPECT_FALSE(parse_spec_uint("", 100, /*min_one=*/false, out));
+  EXPECT_FALSE(parse_spec_uint("4x", 100, /*min_one=*/false, out));
+  EXPECT_FALSE(parse_spec_uint("-1", 100, /*min_one=*/false, out));
+  EXPECT_FALSE(parse_spec_uint(" 4", 100, /*min_one=*/false, out));
+  EXPECT_FALSE(parse_spec_uint("0x10", 100, /*min_one=*/false, out));
+  EXPECT_EQ(out, 7u);  // out untouched on failure
+}
+
+TEST(SpecTest, RejectsOverflow) {
+  std::uint64_t out = 7;
+  EXPECT_FALSE(parse_spec_uint("101", 100, /*min_one=*/false, out));
+  // Past uint64 range entirely: must not wrap.
+  EXPECT_FALSE(parse_spec_uint("99999999999999999999999", UINT64_MAX,
+                               /*min_one=*/false, out));
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(SpecTest, MinOneRejectsZero) {
+  std::uint64_t out = 7;
+  EXPECT_FALSE(parse_spec_uint("0", 100, /*min_one=*/true, out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(parse_spec_uint("1", 100, /*min_one=*/true, out));
+  EXPECT_EQ(out, 1u);
+}
+
+TEST(SpecTest, SplitsAtFirstColon) {
+  std::string key, value;
+  ASSERT_TRUE(split_spec("sampled:8", key, value));
+  EXPECT_EQ(key, "sampled");
+  EXPECT_EQ(value, "8");
+
+  ASSERT_TRUE(split_spec("a:b:c", key, value));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(value, "b:c");
+
+  ASSERT_TRUE(split_spec("sampled:", key, value));
+  EXPECT_EQ(key, "sampled");
+  EXPECT_EQ(value, "");
+}
+
+TEST(SpecTest, SplitReportsMissingColon) {
+  std::string key = "k", value = "v";
+  EXPECT_FALSE(split_spec("full", key, value));
+  EXPECT_EQ(key, "k");  // untouched on failure
+  EXPECT_EQ(value, "v");
+}
+
+TEST(SpecTest, GuardSpecAcceptsValidPeriods) {
+  GuardOptions options;
+  ASSERT_TRUE(parse_guard_spec("sampled:3", options));
+  EXPECT_EQ(options.mode, GuardMode::kSampled);
+  EXPECT_EQ(options.sample_period, 3u);
+
+  ASSERT_TRUE(parse_guard_spec("sampled", options));
+  EXPECT_EQ(options.sample_period, 8u);  // documented default
+
+  ASSERT_TRUE(parse_guard_spec("full", options));
+  EXPECT_EQ(options.mode, GuardMode::kFull);
+  ASSERT_TRUE(parse_guard_spec("off", options));
+  EXPECT_EQ(options.mode, GuardMode::kOff);
+}
+
+TEST(SpecTest, GuardSpecRejectsDegeneratePeriods) {
+  // A period of 0 would mean `block % 0` at the first sample point;
+  // the spec parser must reject it (and every other malformed value)
+  // up front rather than rely on downstream clamping.
+  GuardOptions options;
+  EXPECT_FALSE(parse_guard_spec("sampled:0", options));
+  EXPECT_FALSE(parse_guard_spec("sampled:", options));
+  EXPECT_FALSE(parse_guard_spec("sampled:x", options));
+  EXPECT_FALSE(parse_guard_spec("sampled:-1", options));
+  EXPECT_FALSE(parse_guard_spec("sampled:8 ", options));
+  EXPECT_FALSE(parse_guard_spec("", options));
+  EXPECT_FALSE(parse_guard_spec("deep", options));
+}
+
+}  // namespace
+}  // namespace tflux::core

@@ -121,5 +121,67 @@ for (long i = 0; i < 100; i++) { }
   EXPECT_EQ(result.warnings, 0u);
 }
 
+TEST(DdmcppLintTest, DeadFootprintWarnsWithSourceLine) {
+  // Thread 1 declares a write no consumer ever reads: every dependent
+  // thread declares read ranges, none of which touch [4096,4352). The
+  // IR-level warning must carry the producer pragma's source line.
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name deadfp
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) reads(8192:256) depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u) << (result.messages.empty()
+                                       ? std::string("no messages")
+                                       : result.messages[0]);
+  ASSERT_EQ(result.warnings, 1u);
+  EXPECT_NE(result.messages[0].find("dead-footprint"), std::string::npos)
+      << result.messages[0];
+  EXPECT_NE(result.messages[0].find("test.ddm.c:"), std::string::npos)
+      << result.messages[0];
+}
+
+TEST(DdmcppLintTest, OverlappingConsumerReadSuppressesDeadFootprint) {
+  // Same shape, but the consumer actually reads the produced range:
+  // no warning.
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name livefp
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) reads(4096:256) depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u) << (result.messages.empty()
+                                         ? std::string("no messages")
+                                         : result.messages[0]);
+}
+
+TEST(DdmcppLintTest, UndeclaredConsumerReadsSuppressDeadFootprint) {
+  // A consumer with *no* read declarations may read anything; the
+  // warning must stay silent rather than guess.
+  const LintResult result = lint_source(R"(
+#pragma ddm startprogram kernels 2 name silent
+#pragma ddm thread 1 cycles(100) writes(4096:256)
+{ }
+#pragma ddm endthread
+#pragma ddm thread 2 cycles(100) depends(1)
+{ }
+#pragma ddm endthread
+#pragma ddm endprogram
+)");
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.warnings, 0u) << (result.messages.empty()
+                                         ? std::string("no messages")
+                                         : result.messages[0]);
+}
+
 }  // namespace
 }  // namespace tflux::ddmcpp

@@ -1,0 +1,269 @@
+// Golden enumeration over the shared finding catalog
+// (core/findings.h): every FindingCode must be producible by at least
+// one verifier fixture - the offline trace checker (ddmcheck) or the
+// model checker's mutation harness (ddmmodel). When a new code is
+// added to the catalog this test fails until some fixture here can
+// produce it, so the catalog can never grow unverifiable entries.
+#include <functional>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/check.h"
+#include "core/ddmtrace.h"
+#include "core/findings.h"
+#include "core/model.h"
+
+namespace tflux::core {
+namespace {
+
+/// One block: a (writes [0x1000,0x1040)) --arc--> b (reads the same),
+/// plus independent c. Ids: a=0, b=1, c=2, inlet=3, outlet=4.
+Program make_diamond() {
+  ProgramBuilder b("diamond");
+  const BlockId b0 = b.add_block();
+  Footprint fa;
+  fa.write(0x1000, 64);
+  const ThreadId a = b.add_thread(b0, "a", {}, std::move(fa));
+  Footprint fb;
+  fb.read(0x1000, 64);
+  const ThreadId x = b.add_thread(b0, "b", {}, std::move(fb));
+  b.add_thread(b0, "c", {});
+  b.add_arc(a, x);
+  return b.build(BuildOptions{.num_kernels = 1});
+}
+
+/// Like make_diamond but without the ordering arc: a faithful trace
+/// races on the overlapping footprints. Ids: a=0, b=1, inlet=2,
+/// outlet=3.
+Program make_racy() {
+  ProgramBuilder b("racy");
+  const BlockId b0 = b.add_block();
+  Footprint fa;
+  fa.write(0x1000, 64);
+  b.add_thread(b0, "a", {}, std::move(fa));
+  Footprint fb;
+  fb.read(0x1000, 64);
+  b.add_thread(b0, "b", {}, std::move(fb));
+  return b.build(BuildOptions{.num_kernels = 1});
+}
+
+/// Two blocks of a -> m -> c plus a -> v, c -> v: the mutation
+/// harness's target shape (same-block app arcs, >= 2 blocks).
+Program make_two_block_diamond() {
+  ProgramBuilder builder("modeltest");
+  for (int b = 0; b < 2; ++b) {
+    const BlockId block = builder.add_block();
+    const std::string suffix = std::to_string(b);
+    const ThreadId a = builder.add_thread(block, "a" + suffix, {});
+    const ThreadId m = builder.add_thread(block, "m" + suffix, {});
+    const ThreadId c = builder.add_thread(block, "c" + suffix, {});
+    const ThreadId v = builder.add_thread(block, "v" + suffix, {});
+    builder.add_arc(a, m);
+    builder.add_arc(m, c);
+    builder.add_arc(a, v);
+    builder.add_arc(c, v);
+  }
+  BuildOptions options;
+  options.num_kernels = 2;
+  return builder.build(options);
+}
+
+void add(ExecTrace& t, TraceEvent event, std::uint16_t actor,
+         std::uint32_t a, std::uint32_t b, std::uint32_t c = 0) {
+  TraceRecord r;
+  r.seq = t.records.size();
+  r.event = event;
+  r.actor = actor;
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  t.records.push_back(r);
+}
+
+/// A faithful single-kernel execution of make_diamond(), the baseline
+/// the corruption fixtures perturb.
+ExecTrace diamond_trace() {
+  ExecTrace t;
+  t.program = "diamond";
+  t.kernels = 1;
+  t.groups = 1;
+  t.pipelined = false;
+  add(t, TraceEvent::kDispatch, 1, 3, 0);  // inlet
+  add(t, TraceEvent::kComplete, 0, 3, 0);
+  add(t, TraceEvent::kInletLoad, 1, 0, 0);
+  add(t, TraceEvent::kDispatch, 1, 0, 0);  // roots a, c
+  add(t, TraceEvent::kDispatch, 1, 2, 0);
+  add(t, TraceEvent::kComplete, 0, 0, 0);  // a -> b
+  add(t, TraceEvent::kUpdate, 0, 0, 1);
+  add(t, TraceEvent::kDispatch, 1, 1, 0);
+  add(t, TraceEvent::kComplete, 0, 2, 0);  // c -> outlet
+  add(t, TraceEvent::kUpdate, 0, 2, 4);
+  add(t, TraceEvent::kComplete, 0, 1, 0);  // b -> outlet
+  add(t, TraceEvent::kUpdate, 0, 1, 4);
+  add(t, TraceEvent::kDispatch, 1, 4, 0);  // outlet
+  add(t, TraceEvent::kComplete, 0, 4, 0);
+  add(t, TraceEvent::kOutletDone, 0, 0, 0);
+  return t;
+}
+
+/// Does replaying `trace` against `program` report `code`?
+bool check_reports(const Program& program, const ExecTrace& trace,
+                   FindingCode code) {
+  const CheckReport report = check_trace(program, trace);
+  for (const CheckFinding& f : report.findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+/// Does model-checking the two-block diamond under `mutation` report
+/// `code` among its counterexample violations?
+bool model_reports(ModelMutation mutation, FindingCode code) {
+  ModelOptions options;
+  options.mutation = mutation;
+  const ModelReport report = check_model(make_two_block_diamond(), options);
+  for (const ModelViolation& v : report.violations) {
+    if (v.code == code) return true;
+  }
+  return false;
+}
+
+TEST(FindingsCoverageTest, EveryFindingCodeHasAProducer) {
+  // code -> a fixture that must produce it through one of the
+  // verifiers. ddmmodel's mutation harness covers the protocol-rule
+  // violations (the codes a schedule can reach); hand-corrupted
+  // traces through ddmcheck cover the trace-integrity codes a correct
+  // transition system can never emit.
+  const std::map<FindingCode, std::function<bool()>> producers = {
+      {FindingCode::kMalformedRecord,
+       [] {
+         ExecTrace t = diamond_trace();
+         add(t, TraceEvent::kUpdate, 0, 99, 1);  // unknown producer id
+         return check_reports(make_diamond(), t,
+                              FindingCode::kMalformedRecord);
+       }},
+      {FindingCode::kUndeclaredArc,
+       [] {
+         ExecTrace t = diamond_trace();
+         add(t, TraceEvent::kUpdate, 0, 2, 1);  // c -> b: no such arc
+         return check_reports(make_diamond(), t,
+                              FindingCode::kUndeclaredArc);
+       }},
+      {FindingCode::kDuplicateUpdate,
+       [] {
+         ExecTrace t = diamond_trace();
+         add(t, TraceEvent::kUpdate, 0, 0, 1);  // a -> b fired again
+         return check_reports(make_diamond(), t,
+                              FindingCode::kDuplicateUpdate);
+       }},
+      {FindingCode::kNegativeReadyCount,
+       [] {
+         return model_reports(ModelMutation::kDoublePublish,
+                              FindingCode::kNegativeReadyCount);
+       }},
+      {FindingCode::kPrematureDispatch,
+       [] {
+         return model_reports(ModelMutation::kSkipShadowPromote,
+                              FindingCode::kPrematureDispatch);
+       }},
+      {FindingCode::kDoubleDispatch,
+       [] {
+         return model_reports(ModelMutation::kUnorderedGrant,
+                              FindingCode::kDoubleDispatch);
+       }},
+      {FindingCode::kDoubleExecution,
+       [] {
+         // The PR 4 regression chain: the dropped stale-Inlet guard
+         // ends in a second execution of an already-executed DThread.
+         return model_reports(ModelMutation::kDropRetireGuard,
+                              FindingCode::kDoubleExecution);
+       }},
+      {FindingCode::kExecutionWithoutDispatch,
+       [] {
+         ExecTrace t = diamond_trace();
+         t.records.erase(t.records.begin() + 4);  // c's dispatch gone
+         return check_reports(make_diamond(), t,
+                              FindingCode::kExecutionWithoutDispatch);
+       }},
+      {FindingCode::kMissingExecution,
+       [] {
+         ExecTrace t = diamond_trace();
+         t.records.resize(5);  // stop after dispatching the roots
+         return check_reports(make_diamond(), t,
+                              FindingCode::kMissingExecution);
+       }},
+      {FindingCode::kMissingUpdate,
+       [] {
+         ExecTrace t = diamond_trace();
+         t.records.erase(t.records.begin() + 6);  // drop update a -> b
+         return check_reports(make_diamond(), t,
+                              FindingCode::kMissingUpdate);
+       }},
+      {FindingCode::kBlockLifecycle,
+       [] {
+         return model_reports(ModelMutation::kReplayStaleUpdate,
+                              FindingCode::kBlockLifecycle);
+       }},
+      {FindingCode::kFootprintRace,
+       [] {
+         // make_racy faithful trace: a and b execute concurrently
+         // (both dispatched before either completes) with overlapping
+         // write/read footprints. Ids: a=0, b=1, inlet=2, outlet=3.
+         ExecTrace t;
+         t.program = "racy";
+         t.kernels = 1;
+         t.groups = 1;
+         t.pipelined = false;
+         add(t, TraceEvent::kDispatch, 1, 2, 0);
+         add(t, TraceEvent::kComplete, 0, 2, 0);
+         add(t, TraceEvent::kInletLoad, 1, 0, 0);
+         add(t, TraceEvent::kDispatch, 1, 0, 0);
+         add(t, TraceEvent::kDispatch, 1, 1, 0);
+         add(t, TraceEvent::kComplete, 0, 0, 0);
+         add(t, TraceEvent::kUpdate, 0, 0, 3);
+         add(t, TraceEvent::kComplete, 0, 1, 0);
+         add(t, TraceEvent::kUpdate, 0, 1, 3);
+         add(t, TraceEvent::kDispatch, 1, 3, 0);
+         add(t, TraceEvent::kComplete, 0, 3, 0);
+         add(t, TraceEvent::kOutletDone, 0, 0, 0);
+         return check_reports(make_racy(), t, FindingCode::kFootprintRace);
+       }},
+      {FindingCode::kTruncatedTrace,
+       [] {
+         // The model's deadlock verdict: a dependency cycle leaves
+         // every schedule quiescent short of completion, reported as
+         // a truncated counterexample.
+         ProgramBuilder builder("cycle");
+         const BlockId block = builder.add_block();
+         const ThreadId a = builder.add_thread(block, "a", {});
+         const ThreadId b = builder.add_thread(block, "b", {});
+         builder.add_arc(a, b);
+         builder.add_arc(b, a);
+         BuildOptions build_options;
+         build_options.validate = false;
+         const Program program = builder.build(build_options);
+         const ModelReport report = check_model(program, {});
+         for (const ModelViolation& v : report.violations) {
+           if (v.code == FindingCode::kTruncatedTrace) return true;
+         }
+         return false;
+       }},
+  };
+
+  for (FindingCode code : kAllFindingCodes) {
+    const auto it = producers.find(code);
+    ASSERT_NE(it, producers.end())
+        << "no verifier fixture produces [" << to_string(code)
+        << "] - add one before growing the catalog";
+    EXPECT_TRUE(it->second())
+        << "the fixture for [" << to_string(code)
+        << "] no longer produces it";
+  }
+  EXPECT_EQ(producers.size(),
+            sizeof(kAllFindingCodes) / sizeof(kAllFindingCodes[0]));
+}
+
+}  // namespace
+}  // namespace tflux::core

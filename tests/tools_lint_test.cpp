@@ -228,6 +228,93 @@ read 4096 0
       << werror_out.str();
 }
 
+TEST(ToolsLintTest, ParsesDeadFootprintAndJson) {
+  EXPECT_FALSE(parse_lint_args({}).dead_footprint);
+  EXPECT_TRUE(parse_lint_args({"--dead-footprint"}).dead_footprint);
+  EXPECT_TRUE(parse_lint_args({}).json_file.empty());
+  EXPECT_EQ(parse_lint_args({"--json=report.json"}).json_file,
+            "report.json");
+}
+
+TEST(ToolsLintTest, DeadFootprintFlagsUnreadWrites) {
+  // The producer's write is never read by its only consumer, whose
+  // declared reads sit elsewhere: a warning under --dead-footprint,
+  // silence without it.
+  const std::string path = write_temp_graph("deadfp.ddmg", R"(ddmgraph 1
+program deadfp
+block
+thread producer compute 10
+write 4096 256
+thread consumer compute 10
+read 8192 256
+arc 0 1
+)");
+  LintOptions options;
+  options.graph_file = path;
+  std::ostringstream quiet_out;
+  EXPECT_EQ(run_lint(options, quiet_out), 0) << quiet_out.str();
+  EXPECT_EQ(quiet_out.str().find("dead-footprint"), std::string::npos)
+      << quiet_out.str();
+
+  options.dead_footprint = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();  // warning, not error
+  EXPECT_NE(out.str().find("dead-footprint"), std::string::npos)
+      << out.str();
+
+  options.strict = true;
+  std::ostringstream strict_out;
+  EXPECT_EQ(run_lint(options, strict_out), 1) << strict_out.str();
+}
+
+TEST(ToolsLintTest, JsonReportCarriesTheFindings) {
+  const std::string path = write_temp_graph("jsonwarn.ddmg", R"(ddmgraph 1
+program jsonwarn
+block
+thread t compute 10
+read 4096 0
+)");
+  const std::string json_path = ::testing::TempDir() + "lint_report.json";
+  LintOptions options;
+  options.graph_file = path;
+  options.json_file = json_path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << json_path;
+  std::ostringstream json;
+  json << in.rdbuf();
+  EXPECT_NE(json.str().find("\"tool\": \"tflux_lint\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"program\": \"jsonwarn\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"code\": \"empty-range\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"severity\": \"warning\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"failed\": false"), std::string::npos)
+      << json.str();
+}
+
+TEST(ToolsLintTest, JsonReportCoversAllApps) {
+  const std::string json_path = ::testing::TempDir() + "lint_all.json";
+  LintOptions options;
+  options.all = true;
+  options.json_file = json_path;
+  std::ostringstream out;
+  EXPECT_EQ(run_lint(options, out), 0) << out.str();
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream json;
+  json << in.rdbuf();
+  EXPECT_NE(json.str().find("\"errors\": 0"), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"program\": \"trapez\""), std::string::npos)
+      << json.str();
+}
+
 TEST(ToolsLintTest, CleanGraphFilePasses) {
   const std::string path = write_temp_graph("clean.ddmg", R"(ddmgraph 1
 program clean

@@ -1,0 +1,203 @@
+// tflux_model driver tests: argument parsing, exit codes, the
+// mutation harness on a graph fixture, and counterexample trace
+// files round-tripping through the ddmtrace loader.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ddmtrace.h"
+#include "core/error.h"
+#include "tools/model.h"
+
+namespace tflux::tools {
+namespace {
+
+std::string write_temp_graph(const std::string& name,
+                             const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream(path) << text;
+  return path;
+}
+
+/// The guardfix diamond: two blocks of a -> m -> c with a -> v and
+/// c -> v, the smallest shape every mutation's fault can target.
+constexpr const char* kDiamondGraph = R"(ddmgraph 1
+program modeldiamond
+block
+thread a0
+thread m0
+thread c0
+thread v0
+arc 0 1
+arc 1 2
+arc 0 3
+arc 2 3
+block
+thread a1
+thread m1
+thread c1
+thread v1
+arc 4 5
+arc 5 6
+arc 4 7
+arc 6 7
+)";
+
+TEST(ToolsModelTest, ParsesDefaults) {
+  const ModelCliOptions options = parse_model_args({});
+  EXPECT_EQ(options.app, apps::AppKind::kTrapez);
+  EXPECT_FALSE(options.all);
+  EXPECT_TRUE(options.graph_file.empty());
+  EXPECT_EQ(options.kernels, 2u);
+  EXPECT_EQ(options.unroll, 0u);       // per-app small config
+  EXPECT_EQ(options.tsu_capacity, 0u); // per-app small config
+  EXPECT_TRUE(options.pipelined);
+  EXPECT_EQ(options.mutation, core::ModelMutation::kNone);
+  EXPECT_FALSE(options.mutate_all);
+  EXPECT_TRUE(options.replay);
+  EXPECT_EQ(options.max_states, 1'000'000u);
+  EXPECT_TRUE(options.por);
+}
+
+TEST(ToolsModelTest, ParsesFlags) {
+  const ModelCliOptions options = parse_model_args(
+      {"--app=mmult", "--kernels=3", "--unroll=8", "--tsu-capacity=6",
+       "--no-pipeline", "--mutate=double-publish", "--no-replay",
+       "--max-states=5000", "--no-por", "--trace-out=/tmp/cex.ddmtrace",
+       "--cex-dir=/tmp/cexes", "--quiet"});
+  EXPECT_EQ(options.app, apps::AppKind::kMmult);
+  EXPECT_EQ(options.kernels, 3u);
+  EXPECT_EQ(options.unroll, 8u);
+  EXPECT_EQ(options.tsu_capacity, 6u);
+  EXPECT_FALSE(options.pipelined);
+  EXPECT_EQ(options.mutation, core::ModelMutation::kDoublePublish);
+  EXPECT_FALSE(options.replay);
+  EXPECT_EQ(options.max_states, 5000u);
+  EXPECT_FALSE(options.por);
+  EXPECT_EQ(options.trace_out, "/tmp/cex.ddmtrace");
+  EXPECT_EQ(options.cex_dir, "/tmp/cexes");
+  EXPECT_TRUE(options.quiet);
+
+  EXPECT_TRUE(parse_model_args({"--all"}).all);
+  EXPECT_TRUE(parse_model_args({"--mutate-all"}).mutate_all);
+  EXPECT_TRUE(parse_model_args({"--help"}).help);
+}
+
+TEST(ToolsModelTest, RejectsMalformedArguments) {
+  EXPECT_THROW(parse_model_args({"--bogus"}), core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--app=doom"}), core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--mutate=drop-everything"}),
+               core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--kernels=0"}), core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--kernels=lots"}), core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--unroll=0"}), core::TFluxError);
+  EXPECT_THROW(parse_model_args({"--max-states=-5"}), core::TFluxError);
+}
+
+TEST(ToolsModelTest, HelpPrintsUsage) {
+  ModelCliOptions options;
+  options.help = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_model(options, out), 0);
+  EXPECT_NE(out.str().find("--mutate="), std::string::npos);
+}
+
+TEST(ToolsModelTest, SmallConfigsSpanAtLeastTwoBlocks) {
+  // Every per-app default must be a *multi-block* configuration - the
+  // point of the model is the block-transition protocol.
+  for (apps::AppKind kind : apps::all_apps()) {
+    std::uint32_t unroll = 0;
+    std::uint32_t capacity = 0;
+    model_small_config(kind, unroll, capacity);
+    EXPECT_GE(unroll, 1u) << apps::to_string(kind);
+    EXPECT_GE(capacity, 2u) << apps::to_string(kind);
+  }
+}
+
+TEST(ToolsModelTest, CleanGraphFileVerifiesClean) {
+  const std::string path = write_temp_graph("modeldiamond.ddmg",
+                                            kDiamondGraph);
+  ModelCliOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_model(options, out), 0) << out.str();
+  EXPECT_NE(out.str().find("clean"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("-> ok"), std::string::npos) << out.str();
+}
+
+TEST(ToolsModelTest, MutateAllOnGraphFindsEveryCounterexample) {
+  const std::string path = write_temp_graph("modeldiamond2.ddmg",
+                                            kDiamondGraph);
+  ModelCliOptions options;
+  options.graph_file = path;
+  options.mutate_all = true;
+  options.cex_dir = ::testing::TempDir();
+  std::ostringstream out;
+  EXPECT_EQ(run_model(options, out), 0) << out.str();
+  // 1 clean run + 5 mutation runs, every one replay-confirmed.
+  EXPECT_NE(out.str().find("6 run(s) -> ok"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("replay confirmed"), std::string::npos)
+      << out.str();
+
+  // Each mutation's counterexample landed as a loadable ddmtrace.
+  for (core::ModelMutation m : core::all_model_mutations()) {
+    const std::string cex_path = ::testing::TempDir() + "modeldiamond-" +
+                                 core::to_string(m) + ".ddmtrace";
+    std::ifstream in(cex_path);
+    ASSERT_TRUE(in.good()) << cex_path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const core::ExecTrace trace = core::load_trace(text.str());
+    EXPECT_FALSE(trace.records.empty()) << cex_path;
+  }
+}
+
+TEST(ToolsModelTest, CleanRunThatDeadlocksFails) {
+  const std::string path = write_temp_graph("modelcycle.ddmg",
+                                            R"(ddmgraph 1
+program modelcycle
+block
+thread a
+thread b
+arc 0 1
+arc 1 0
+)");
+  ModelCliOptions options;
+  options.graph_file = path;
+  std::ostringstream out;
+  EXPECT_EQ(run_model(options, out), 1) << out.str();
+  EXPECT_NE(out.str().find("deadlock"), std::string::npos) << out.str();
+}
+
+TEST(ToolsModelTest, TraceOutWritesTheFirstCounterexample) {
+  const std::string path = write_temp_graph("modeldiamond3.ddmg",
+                                            kDiamondGraph);
+  const std::string trace_path = ::testing::TempDir() + "first.ddmtrace";
+  ModelCliOptions options;
+  options.graph_file = path;
+  options.mutation = core::ModelMutation::kUnorderedGrant;
+  options.trace_out = trace_path;
+  std::ostringstream out;
+  EXPECT_EQ(run_model(options, out), 0) << out.str();
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const core::ExecTrace trace = core::load_trace(text.str());
+  EXPECT_FALSE(trace.records.empty());
+}
+
+TEST(ToolsModelTest, MissingGraphFileThrows) {
+  ModelCliOptions options;
+  options.graph_file = "/nonexistent/model.ddmg";
+  std::ostringstream out;
+  EXPECT_THROW(run_model(options, out), core::TFluxError);
+}
+
+}  // namespace
+}  // namespace tflux::tools
