@@ -20,6 +20,10 @@
 #                              affinity dispatch) vs implicit shared
 #                              memory + native forwarding-stat
 #                              reconciliation against ddmcheck
+#   BENCH_executor.json      - resident multi-program executor: open-
+#                              loop mixed-app throughput + tail latency
+#                              vs per-request runtime spawn (gated
+#                              >= 3x at 16 kernels)
 #
 # FULL=1 additionally runs every other bench binary into
 # BENCH_<name>.json. Usage:
@@ -73,6 +77,12 @@ run_bench "$BENCH_DIR/update_coalesce" "$OUT_DIR/BENCH_coalesce.json"
 run_bench "$BENCH_DIR/guard_overhead" "$OUT_DIR/BENCH_guard_overhead.json"
 run_bench "$BENCH_DIR/ablation_shards" "$OUT_DIR/BENCH_shards.json"
 run_bench "$BENCH_DIR/ablation_dataplane" "$OUT_DIR/BENCH_dataplane.json"
+# SERVE_REQUESTS/SERVE_REPS/SERVE_GATE shrink the stream for CI smoke
+# (the throughput gate is meaningless at smoke sizes - disable it with
+# SERVE_GATE=0 there; the committed artifact comes from the defaults).
+run_bench "$BENCH_DIR/request_driver" "$OUT_DIR/BENCH_executor.json" \
+  --requests="${SERVE_REQUESTS:-120}" --reps="${SERVE_REPS:-3}" \
+  --gate="${SERVE_GATE:-3.0}"
 
 if [ "${FULL:-0}" = "1" ]; then
   run_bench "$BENCH_DIR/ablation_tub_tkt" \

@@ -43,6 +43,12 @@ struct AppRun {
   core::Program program;
   std::shared_ptr<void> buffers;
   std::function<bool()> validate;
+  /// Re-initialize the input buffers for another run of the same
+  /// program in the same process (resident executor, tflux_run
+  /// --repeat). Null for apps whose DThread bodies (re)write every
+  /// output from scratch each run; set for apps that transform their
+  /// input in place (FFT), which are otherwise not idempotent.
+  std::function<void()> reset;
   /// Timing plan of the *original sequential program* (the paper's
   /// speedup baseline); fed to machine::simulate_sequential.
   std::vector<core::Footprint> sequential_plan;

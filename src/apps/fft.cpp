@@ -154,6 +154,10 @@ AppRun build_fft(const FftInput& input, const DdmParams& params) {
   run.name = "FFT";
   run.program = builder.build(options);
   run.buffers = buffers;
+  // The 2D FFT transforms kArenaA in place: without refilling, a
+  // second run would transform the first run's spectrum. The refill is
+  // deterministic (seeded by n), so every run sees identical input.
+  run.reset = [buffers, n] { fill_matrix(*buffers, n); };
   run.validate = [buffers, input] {
     const auto ref = fft_sequential(input);
     if (ref.size() != buffers->data.size()) return false;

@@ -1,0 +1,126 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace tflux::core {
+
+ProgramHandle ProgramRegistry::add(const Program& program,
+                                   std::shared_ptr<void> keepalive,
+                                   std::function<void()> reset,
+                                   std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegisteredProgram entry;
+  entry.program = &program;
+  entry.keepalive = std::move(keepalive);
+  entry.reset = std::move(reset);
+  entry.name = name.empty() ? program.name() : std::move(name);
+  programs_.push_back(std::move(entry));
+  return static_cast<ProgramHandle>(programs_.size() - 1);
+}
+
+const RegisteredProgram& ProgramRegistry::get(ProgramHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (handle >= programs_.size()) {
+    throw TFluxError("ProgramRegistry: unknown handle " +
+                     std::to_string(handle) + " (registry holds " +
+                     std::to_string(programs_.size()) + " program(s))");
+  }
+  // Deque references stay valid across later add() calls.
+  return programs_[handle];
+}
+
+std::size_t ProgramRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return programs_.size();
+}
+
+std::vector<TenantPartition> make_partition_plan(std::uint16_t pool_kernels,
+                                                 std::uint16_t width) {
+  if (width == 0) {
+    throw TFluxError("make_partition_plan: partition width must be >= 1");
+  }
+  if (width > pool_kernels) {
+    throw TFluxError("make_partition_plan: partition width " +
+                     std::to_string(width) + " exceeds the pool of " +
+                     std::to_string(pool_kernels) + " kernel(s)");
+  }
+  std::vector<TenantPartition> plan;
+  const std::uint16_t tenants = pool_kernels / width;
+  plan.reserve(tenants);
+  for (std::uint16_t t = 0; t < tenants; ++t) {
+    plan.push_back(TenantPartition{
+        .tenant = t,
+        .base = static_cast<KernelId>(t * width),
+        .width = width,
+    });
+  }
+  return plan;
+}
+
+std::string tenant_admission_error(const Program& program,
+                                   std::uint16_t width) {
+  if (program.max_kernels() <= width) return {};
+  return "program '" + program.name() + "' was built for " +
+         std::to_string(program.max_kernels()) +
+         " kernel(s) but the tenant slice is only " +
+         std::to_string(width) +
+         " wide; DThreads homed past the slice could never dispatch "
+         "(rebuild the program with num_kernels <= the partition width)";
+}
+
+void LatencyRecorder::add(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(seconds);
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+  }
+  LatencySummary s;
+  s.count = sorted.size();
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean_seconds = sum / static_cast<double>(sorted.size());
+  // Nearest-rank: percentile p is the ceil(p/100 * N)-th smallest.
+  auto rank = [&sorted](double p) {
+    const std::size_t n = sorted.size();
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (r == 0) r = 1;
+    if (r > n) r = n;
+    return sorted[r - 1];
+  };
+  s.p50_seconds = rank(50.0);
+  s.p90_seconds = rank(90.0);
+  s.p99_seconds = rank(99.0);
+  s.p999_seconds = rank(99.9);
+  s.max_seconds = sorted.back();
+  return s;
+}
+
+void LatencyRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+double fairness_ratio(const std::vector<TenantShare>& shares) {
+  if (shares.size() < 2) return 1.0;
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (const TenantShare& s : shares) {
+    const std::uint64_t runs = std::max<std::uint64_t>(1, s.runs);
+    lo = std::min(lo, runs);
+    hi = std::max(hi, runs);
+  }
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+}  // namespace tflux::core

@@ -1,0 +1,139 @@
+// Resident multi-program execution: the graph-side vocabulary of the
+// executor (runtime/executor.h). The paper's TSU runs one DDM program
+// and the process exits; a serving deployment instead keeps one kernel
+// pool resident and admits many independent programs against it. This
+// header holds everything about that which is independent of threads:
+//
+//   - ProgramRegistry: register a built Program once (with the buffers
+//     its DThread bodies capture and an optional per-run input reset),
+//     run it many times by handle.
+//   - TenantPartition / make_partition_plan: the static carve-up of a
+//     pool of kernels into fixed-width tenant slices. Isolation is
+//     structural: a tenant's program is built for `width` kernels and
+//     every runtime object of one run (SM generations, TUB lanes,
+//     mailboxes, steal/affinity scope) spans only its slice, so no
+//     policy can route work - or a stale update - across tenants.
+//   - tenant_admission_error: the admission-time capacity check shared
+//     by the executor and ddmlint --tenant-capacity (core/verify.h).
+//   - LatencyRecorder / TenantShare: the request-latency percentiles
+//     and per-tenant fairness accounting the serving bench reports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "core/types.h"
+
+namespace tflux::core {
+
+/// Handle of a registered program (index into the registry).
+using ProgramHandle = std::uint32_t;
+inline constexpr ProgramHandle kInvalidProgram =
+    std::numeric_limits<ProgramHandle>::max();
+
+/// One registry entry. The Program pointer stays valid for the
+/// registry's lifetime (entries are append-only); `keepalive` holds
+/// whatever the DThread bodies capture (apps::AppRun::buffers).
+struct RegisteredProgram {
+  const Program* program = nullptr;
+  std::shared_ptr<void> keepalive;
+  /// Re-initialize the program's input buffers; invoked before every
+  /// run after the first. Programs whose DThreads overwrite their
+  /// inputs in place (FFT's in-place transform) are not idempotent
+  /// without this; programs that (re)fill their buffers inside their
+  /// DThread bodies leave it null.
+  std::function<void()> reset;
+  std::string name;
+};
+
+/// Thread-safe append-only program registry: register once, run many
+/// times. References returned by get() stay valid forever (deque
+/// storage, entries never removed).
+class ProgramRegistry {
+ public:
+  /// `program` must outlive the registry (keep it alive via
+  /// `keepalive` when it is owned by an AppRun-style bundle).
+  ProgramHandle add(const Program& program,
+                    std::shared_ptr<void> keepalive = nullptr,
+                    std::function<void()> reset = nullptr,
+                    std::string name = "");
+
+  /// Throws core::TFluxError on an unknown handle.
+  const RegisteredProgram& get(ProgramHandle handle) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<RegisteredProgram> programs_;
+};
+
+/// One tenant's kernel slice: pool kernels [base, base + width).
+/// Programs run under a tenant with local kernel ids 0..width-1.
+struct TenantPartition {
+  std::uint16_t tenant = 0;
+  KernelId base = 0;
+  std::uint16_t width = 0;
+};
+
+/// Carve `pool_kernels` into as many width-`width` tenant slices as
+/// fit. Trailing kernels that do not fill a slice stay unused (a pool
+/// of 7 at width 2 yields 3 tenants; kernel 6 idles). Throws
+/// core::TFluxError when width is 0 or exceeds the pool.
+std::vector<TenantPartition> make_partition_plan(std::uint16_t pool_kernels,
+                                                 std::uint16_t width);
+
+/// Admission-time capacity check: can `program` run on a tenant slice
+/// of `width` kernels? A program built for K kernels homes DThreads on
+/// kernels 0..K-1 and needs all of them (Program::max_kernels()).
+/// Returns the empty string when admissible, else a diagnostic
+/// sentence. Shared with ddmlint --tenant-capacity, which reports the
+/// same condition as Diag::kTenantCapacity before deployment.
+std::string tenant_admission_error(const Program& program,
+                                   std::uint16_t width);
+
+/// Nearest-rank percentiles over recorded request latencies.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Thread-safe latency sample sink. add() is called once per completed
+/// request (off the per-event hot path), summary() sorts a snapshot.
+class LatencyRecorder {
+ public:
+  void add(double seconds);
+  LatencySummary summary() const;
+  /// Drop all samples (stats epoch reset).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+/// Per-tenant share of the executor's work, for the fairness report.
+struct TenantShare {
+  std::uint16_t tenant = 0;
+  std::uint64_t runs = 0;
+  double busy_seconds = 0.0;
+};
+
+/// Fairness of a round of runs: max over min per-tenant run count
+/// (1.0 = perfectly fair; tenants with zero runs count as 1 run so an
+/// idle warm-up round does not read as infinity). Returns 1.0 for
+/// fewer than two tenants.
+double fairness_ratio(const std::vector<TenantShare>& shares);
+
+}  // namespace tflux::core

@@ -289,6 +289,10 @@ GuardStats Guard::stats() const {
   return s;
 }
 
+void Guard::reset_stats_epoch() {
+  for (LaneCounters& lc : lanes_) lc = LaneCounters{};
+}
+
 std::string Guard::report(const Program& program) const {
   std::ostringstream out;
   const std::vector<GuardViolation> vs = violations();

@@ -99,6 +99,10 @@ struct GuardStats {
   std::uint64_t epoch_stamps = 0;    ///< relaxed epoch RMWs performed
   std::uint64_t sampled_blocks = 0;  ///< blocks that got deep checks
   std::uint64_t violations = 0;      ///< total trips (pre-dedup)
+
+  /// Zero every counter - the per-run stats epoch boundary for
+  /// embedders aggregating across back-to-back runs.
+  void reset() { *this = GuardStats{}; }
 };
 
 class Guard {
@@ -185,6 +189,12 @@ class Guard {
 
   /// Counter totals over all lanes (call after threads joined).
   GuardStats stats() const;
+
+  /// Start a fresh per-run counter epoch: zero every lane's check/
+  /// stamp/clock counters. Violations and epoch words are protocol
+  /// state, not statistics, and are left untouched. Only between runs
+  /// (no actor threads live).
+  void reset_stats_epoch();
 
   /// All violations, one per line, plus a summary line.
   std::string report(const Program& program) const;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/dataplane.h"
+#include "core/executor.h"
 #include "core/topology.h"
 
 namespace tflux::core {
@@ -71,6 +72,8 @@ const char* to_string(Diag code) {
       return "affinity-split";
     case Diag::kDeadFootprint:
       return "dead-footprint";
+    case Diag::kTenantCapacity:
+      return "tenant-capacity";
   }
   return "?";
 }
@@ -447,6 +450,44 @@ void check_capacity_and_kernels(const Program& program,
                        std::to_string(width) + " unit records");
         }
         i = j;
+      }
+    }
+  }
+  if (options.tenant_width != 0) {
+    // Resident-executor admission: a tenant slice is `tenant_width`
+    // kernels with local ids 0..width-1; a program homed past that can
+    // never be admitted (runtime/executor.h rejects it at submit).
+    const std::string admission =
+        tenant_admission_error(program, options.tenant_width);
+    if (!admission.empty()) {
+      out.error(Diag::kTenantCapacity, kInvalidThread, kInvalidBlock,
+                admission);
+    }
+    if (options.tub_lane_capacity != 0) {
+      // The slice's whole lock-free TUB budget is width x lane
+      // capacity; a single completion with more consumers than that
+      // cannot publish even across chunked batches without the
+      // emulator draining it mid-publish - a per-tenant stall the
+      // full-pool lane check below does not catch.
+      const std::uint64_t slice_budget =
+          static_cast<std::uint64_t>(options.tenant_width) *
+          options.tub_lane_capacity;
+      for (const DThread& t : program.threads()) {
+        if (!t.is_application()) continue;
+        if (t.consumers.size() > slice_budget) {
+          out.warn(Diag::kTenantCapacity, t.id, t.block,
+                   thread_ref(program, t.id) + " has " +
+                       std::to_string(t.consumers.size()) +
+                       " consumers, above the tenant slice's combined "
+                       "TUB lane budget of " +
+                       std::to_string(slice_budget) + " (" +
+                       std::to_string(options.tenant_width) +
+                       " lane(s) x " +
+                       std::to_string(options.tub_lane_capacity) +
+                       "); its completion publish stalls the slice "
+                       "until the emulator drains - widen the "
+                       "partition or reduce the fan-out");
+        }
       }
     }
   }

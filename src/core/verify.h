@@ -65,6 +65,7 @@ enum class Diag : std::uint8_t {
   kShardImbalance,        ///< per-shard load deviates from uniform
   kAffinitySplit,         ///< consumer input spans too many producers' homes
   kDeadFootprint,         ///< written range no consumer ever reads
+  kTenantCapacity,        ///< program too wide for a tenant slice
 };
 
 /// Stable kebab-case name of a diagnostic (e.g. "footprint-race").
@@ -149,6 +150,19 @@ struct VerifyOptions {
   /// ddmcpp IR lint, where footprints come from #pragma ddm and a
   /// mismatch is a preprocessor-input bug with a source line.
   bool check_dead_footprint = false;
+  /// Resident-executor tenant slice width for the tenant-capacity
+  /// check (0 disables): the executor (runtime/executor.h) carves its
+  /// kernel pool into fixed-width tenant partitions and a program
+  /// built for more kernels than one slice holds can never be
+  /// admitted - its DThreads homed past the slice would wait forever.
+  /// Reported as an error here so deployment fails at lint time with
+  /// a clear message instead of at admission. With tub_lane_capacity
+  /// also set, additionally warns when one DThread's fan-out exceeds
+  /// the slice's combined lock-free lane capacity (tenant_width x
+  /// tub_lane_capacity): such a completion cannot publish without the
+  /// emulator draining mid-publish, a stall serial full-pool runs
+  /// never see. tflux_lint --tenant-capacity=W.
+  std::uint16_t tenant_width = 0;
   /// Run the pairwise footprint race detection (the most expensive
   /// pass; quadratic in overlapping ranges per block).
   bool check_races = true;

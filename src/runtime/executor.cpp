@@ -1,0 +1,599 @@
+#include "runtime/executor.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/topology.h"
+#include "runtime/trace_log.h"
+
+namespace tflux::runtime {
+namespace {
+
+/// Best-effort self-pinning (modulo the host's CPU count); pinning is
+/// an optimization, errors are ignored.
+void pin_self_to_cpu(unsigned cpu) {
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % ncpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+}  // namespace
+
+struct Executor::Impl {
+  /// One admitted program instance: the complete partition-width
+  /// runtime state of one run, assembled by the dispatcher (off the
+  /// workers' critical path when stage_depth > 1) and executed by the
+  /// partition's resident workers. Mirrors Runtime::run()'s frame with
+  /// every object scoped to this instance - nothing is shared with
+  /// other tenants or with the next run of the same tenant, which is
+  /// what makes traces replay standalone and guard findings
+  /// attributable.
+  struct Instance {
+    const core::Program& program;
+    std::uint64_t ticket;
+    core::ProgramHandle handle;
+    std::uint16_t tenant;
+    std::uint16_t width;
+    std::uint16_t groups;
+    core::ExecTrace* trace_out;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::promise<RunResult> promise;
+
+    // Dependency order: later members reference earlier ones.
+    std::optional<core::ShardMap> shard_map;
+    std::unique_ptr<core::DataPlane> dataplane;
+    std::optional<SyncMemoryGroup> sm;
+    std::optional<TubGroup> tubs;
+    std::deque<Mailbox> mailboxes;
+    std::unique_ptr<TraceLog> trace_log;
+    std::unique_ptr<core::Guard> guard;
+    std::deque<TsuEmulator> emulators;
+    std::deque<Kernel> kernels;
+
+    /// First worker to pick the instance up stamps started_at.
+    std::atomic<bool> started{false};
+    std::chrono::steady_clock::time_point started_at{};
+    /// Roles still running; the worker that decrements this to zero
+    /// finalizes the result.
+    std::atomic<int> remaining{0};
+
+    Instance(const core::Program& p, std::uint64_t ticket_,
+             core::ProgramHandle handle_, std::uint16_t tenant_,
+             const ExecutorOptions& opts, const core::GuardOptions& guard_opts,
+             core::ExecTrace* trace_out_,
+             std::chrono::steady_clock::time_point submitted)
+        : program(p),
+          ticket(ticket_),
+          handle(handle_),
+          tenant(tenant_),
+          width(opts.partition_width),
+          groups(opts.shards >= 1 ? opts.shards : opts.tsu_groups),
+          trace_out(trace_out_),
+          submitted_at(submitted) {
+      const bool sharded = opts.shards >= 1;
+      if (sharded) {
+        shard_map = core::ShardMap::clustered(width, opts.shards);
+      }
+      const core::ShardMap* map_ptr = sharded ? &*shard_map : nullptr;
+      if (opts.dataplane) {
+        dataplane = std::make_unique<core::DataPlane>(program, map_ptr);
+      }
+      sm.emplace(program, width);
+      sm->set_shard_map(map_ptr);
+      const std::uint32_t num_lanes = width + (sharded ? groups : 0u);
+      tubs.emplace(program, *sm,
+                   TubGroupOptions{
+                       .num_groups = groups,
+                       .lockfree = opts.lockfree,
+                       .num_lanes = num_lanes,
+                       .lane_capacity = opts.tub_lane_capacity,
+                       .coalesce = opts.coalesce_updates,
+                       .shard_map = map_ptr,
+                   });
+      std::size_t peak_block = 0;
+      for (const core::Block& blk : program.blocks()) {
+        peak_block = std::max(peak_block, blk.app_threads.size());
+      }
+      const std::size_t mailbox_capacity =
+          std::max<std::size_t>(64, peak_block + 4);
+      for (core::KernelId k = 0; k < width; ++k) {
+        mailboxes.emplace_back(opts.lockfree, mailbox_capacity);
+      }
+      if (trace_out != nullptr) {
+        // Per-instance trace lanes: kernel lanes 0..W-1 and emulator
+        // lanes W..W+G-1 cover exactly this run, so the trace replays
+        // standalone through tflux_check while other tenants are in
+        // flight. The process-global emergency-flush slot is never
+        // armed here - it is single-run machinery, and a resident pool
+        // has many concurrent candidates for it.
+        trace_log = std::make_unique<TraceLog>(width, groups);
+      }
+      if (guard_opts.mode != core::GuardMode::kOff) {
+        // Per-instance epoch words: this Guard covers only this run's
+        // DThreads and block generations, so one tenant's finding
+        // never implicates another tenant's run.
+        guard =
+            std::make_unique<core::Guard>(program, guard_opts, width, groups);
+      }
+      tubs->set_guard(guard.get());
+      for (std::uint16_t g = 0; g < groups; ++g) {
+        emulators.emplace_back(program, *tubs, *sm, mailboxes,
+                               TsuEmulator::Options{
+                                   .policy = opts.policy,
+                                   .group = g,
+                                   .num_groups = groups,
+                                   .block_pipeline = opts.block_pipeline,
+                                   .shard_map = map_ptr,
+                                   .steal_threshold = opts.steal_threshold,
+                                   .dataplane = dataplane.get(),
+                                   .trace = trace_log.get(),
+                                   .guard = guard.get(),
+                               });
+      }
+      for (core::KernelId k = 0; k < width; ++k) {
+        kernels.emplace_back(program, k, mailboxes[k], *tubs, trace_log.get(),
+                             GuardHook{guard.get(), k}, nullptr,
+                             dataplane.get());
+      }
+      remaining.store(width + groups, std::memory_order_relaxed);
+    }
+  };
+
+  /// One resident worker's inbox. The dispatcher pushes the same
+  /// shared_ptr<Instance> to every role of the target partition, so
+  /// all of an instance's actors run concurrently; per-worker queues
+  /// (rather than one shared pool queue) guarantee each role runs each
+  /// instance exactly once, in admission order.
+  struct WorkerChannel {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Instance>> queue;
+  };
+
+  struct Partition {
+    core::TenantPartition part;
+    std::deque<WorkerChannel> channels;  // width + groups entries
+    std::vector<std::thread> threads;
+    /// Instances admitted and not yet finalized (guarded by mu_).
+    std::uint16_t inflight = 0;
+    /// Stats-epoch-scoped share (guarded by mu_).
+    std::uint64_t runs = 0;
+    double busy_seconds = 0.0;
+  };
+
+  struct Pending {
+    RunRequest request;
+    std::uint64_t ticket = 0;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::promise<RunResult> promise;
+  };
+
+  core::ProgramRegistry& registry;
+  ExecutorOptions options;
+  std::vector<core::TenantPartition> plan;
+  std::deque<Partition> partitions;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     ///< submitters wait for space
+  std::condition_variable dispatch_cv_;  ///< dispatcher waits for work
+  std::condition_variable drain_cv_;     ///< drain() waits for idle
+  std::deque<Pending> queue_;
+  std::vector<bool> handle_busy_;  ///< per-handle serialization
+  /// Atomic (not mu_-guarded) because the worker wait predicates read
+  /// it under their channel mutex; channel mutexes are leaves in the
+  /// lock order, so they must never take mu_. The shutdown sequence
+  /// stores it, then lock/unlocks every waiter's mutex before
+  /// notifying, so no waiter can miss the transition.
+  std::atomic<bool> stop_{false};
+
+  // Stats (guarded by mu_; zeroed by reset_stats_epoch).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t queue_depth_peak_ = 0;
+  std::uint64_t epoch_ = 1;
+  /// Never reset: requests accepted and not yet finalized. drain()
+  /// and the destructor key off this, so a mid-flight stats-epoch
+  /// reset cannot wedge them.
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t next_ticket_ = 1;
+  core::LatencyRecorder latency_;  // internally synchronized
+
+  std::thread dispatcher_;
+
+  Impl(core::ProgramRegistry& reg, ExecutorOptions opts)
+      : registry(reg), options(opts) {
+    if (options.pool_kernels == 0) {
+      throw core::TFluxError("Executor: pool_kernels must be >= 1");
+    }
+    plan = core::make_partition_plan(options.pool_kernels,
+                                     options.partition_width);
+    if (options.tsu_groups == 0 ||
+        options.tsu_groups > options.partition_width) {
+      throw core::TFluxError(
+          "Executor: tsu_groups must be in [1, partition_width]");
+    }
+    if (options.shards > options.partition_width) {
+      throw core::TFluxError("Executor: shards must be <= partition_width");
+    }
+    if (options.stage_depth == 0) {
+      throw core::TFluxError("Executor: stage_depth must be >= 1");
+    }
+    if (options.queue_capacity == 0) {
+      throw core::TFluxError("Executor: queue_capacity must be >= 1");
+    }
+    const std::uint16_t groups =
+        options.shards >= 1 ? options.shards : options.tsu_groups;
+    const std::uint16_t roles =
+        static_cast<std::uint16_t>(options.partition_width + groups);
+    for (const core::TenantPartition& part : plan) {
+      partitions.emplace_back();
+      partitions.back().part = part;
+    }
+    for (Partition& p : partitions) {
+      for (std::uint16_t r = 0; r < roles; ++r) p.channels.emplace_back();
+      for (std::uint16_t r = 0; r < roles; ++r) {
+        p.threads.emplace_back([this, &p, r, groups] { worker(p, r, groups); });
+      }
+    }
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+  }
+
+  ~Impl() {
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_release);
+    }
+    dispatch_cv_.notify_all();
+    queue_cv_.notify_all();
+    dispatcher_.join();
+    for (Partition& p : partitions) {
+      for (WorkerChannel& ch : p.channels) {
+        // Empty lock/unlock: a worker between its predicate check and
+        // its wait re-acquires this mutex, so after this pass every
+        // waiter either saw the push that woke it or will observe
+        // stop_ on its next predicate evaluation.
+        { std::lock_guard<std::mutex> lock(ch.mutex); }
+        ch.cv.notify_all();
+      }
+      for (std::thread& t : p.threads) t.join();
+    }
+  }
+
+  void worker(Partition& p, std::uint16_t role, std::uint16_t groups) {
+    if (options.pin_threads) {
+      // Kernel roles pack onto the pool's kernel CPUs; emulator roles
+      // follow after the pool, grouped by tenant.
+      const unsigned cpu =
+          role < options.partition_width
+              ? static_cast<unsigned>(p.part.base + role)
+              : static_cast<unsigned>(options.pool_kernels +
+                                      p.part.tenant * groups +
+                                      (role - options.partition_width));
+      pin_self_to_cpu(cpu);
+    }
+    WorkerChannel& ch = p.channels[role];
+    for (;;) {
+      std::shared_ptr<Instance> inst;
+      {
+        std::unique_lock<std::mutex> lock(ch.mutex);
+        ch.cv.wait(lock, [&] {
+          return !ch.queue.empty() || stop_.load(std::memory_order_acquire);
+        });
+        if (ch.queue.empty()) return;  // stopped, inbox drained
+        inst = std::move(ch.queue.front());
+        ch.queue.pop_front();
+      }
+      bool expected = false;
+      if (inst->started.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        inst->started_at = std::chrono::steady_clock::now();
+      }
+      if (role < options.partition_width) {
+        inst->kernels[role].run();
+      } else {
+        inst->emulators[role - options.partition_width].run();
+      }
+      if (inst->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finalize(p, *inst);
+      }
+    }
+  }
+
+  /// Called by the last worker out of an instance; fills the trace and
+  /// the result, releases the handle and the partition slot.
+  void finalize(Partition& p, Instance& inst) {
+    const auto t1 = std::chrono::steady_clock::now();
+    if (inst.trace_log != nullptr) {
+      core::ExecTrace& trace = *inst.trace_out;
+      trace.program = inst.program.name();
+      trace.kernels = inst.width;
+      trace.groups = inst.groups;
+      trace.policy = core::to_string(options.policy);
+      trace.pipelined = options.block_pipeline;
+      trace.lockfree = options.lockfree;
+      trace.shards = options.shards;
+      trace.coalesce = options.coalesce_updates;
+      trace.dataplane = options.dataplane;
+      trace.records = inst.trace_log->finish();
+    }
+
+    RunResult result;
+    result.instance = inst.ticket;
+    result.handle = inst.handle;
+    result.tenant = inst.tenant;
+    result.completed_at = t1;
+    result.queue_seconds =
+        std::chrono::duration<double>(inst.started_at - inst.submitted_at)
+            .count();
+    result.run_seconds =
+        std::chrono::duration<double>(t1 - inst.started_at).count();
+    result.latency_seconds =
+        std::chrono::duration<double>(t1 - inst.submitted_at).count();
+    result.stats.wall_seconds = result.run_seconds;
+    result.stats.tub = inst.tubs->aggregated_stats();
+    for (const TsuEmulator& e : inst.emulators) {
+      result.stats.emulators.push_back(e.stats());
+      result.stats.emulator += e.stats();
+    }
+    result.stats.kernels.reserve(inst.kernels.size());
+    for (const Kernel& k : inst.kernels) {
+      result.stats.kernels.push_back(k.stats());
+    }
+    if (inst.guard) {
+      result.stats.guard = inst.guard->stats();
+      result.stats.guard_violations = inst.guard->violations();
+      result.guard_clean = result.stats.guard_violations.empty();
+    }
+    latency_.add(result.latency_seconds);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handle_busy_[inst.handle] = false;
+      --p.inflight;
+      ++p.runs;
+      p.busy_seconds += result.run_seconds;
+      ++completed_;
+      --outstanding_;
+      result.stats.epoch = epoch_;
+    }
+    inst.promise.set_value(std::move(result));
+    dispatch_cv_.notify_one();
+    drain_cv_.notify_all();
+  }
+
+  /// Under mu_: first queued request that can start now, and the
+  /// partition it should start on. Requests whose program is already
+  /// in flight are skipped, not blocked on - a busy handle must not
+  /// head-of-line-block other tenants' work.
+  bool pick_admissible(std::size_t& index_out, std::size_t& partition_out) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Pending& pend = queue_[i];
+      if (handle_busy_[pend.request.handle]) continue;
+      std::size_t best = partitions.size();
+      if (pend.request.tenant >= 0) {
+        const auto t = static_cast<std::size_t>(pend.request.tenant);
+        if (partitions[t].inflight < options.stage_depth) best = t;
+      } else {
+        // Least-loaded partition, ties broken toward the tenant with
+        // the fewest completed runs so long-run throughput stays fair.
+        for (std::size_t t = 0; t < partitions.size(); ++t) {
+          if (partitions[t].inflight >= options.stage_depth) continue;
+          if (best == partitions.size() ||
+              partitions[t].inflight < partitions[best].inflight ||
+              (partitions[t].inflight == partitions[best].inflight &&
+               partitions[t].runs < partitions[best].runs)) {
+            best = t;
+          }
+        }
+      }
+      if (best < partitions.size()) {
+        index_out = i;
+        partition_out = best;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void dispatch_loop() {
+    for (;;) {
+      Pending pend;
+      std::size_t index = 0;
+      std::size_t target = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        dispatch_cv_.wait(lock, [&] {
+          return stop_.load(std::memory_order_acquire) ||
+                 pick_admissible(index, target);
+        });
+        // Shutdown happens after drain(), so a stop with work still
+        // queued is impossible; exit unconditionally.
+        if (stop_.load(std::memory_order_acquire)) return;
+        pend = std::move(queue_[index]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+        // Reserve before unlocking so no other request is admitted to
+        // the same handle or past the partition's stage depth.
+        handle_busy_[pend.request.handle] = true;
+        ++partitions[target].inflight;
+      }
+      queue_cv_.notify_one();  // a queue slot freed
+
+      Partition& p = partitions[target];
+      std::shared_ptr<Instance> inst;
+      try {
+        const core::RegisteredProgram& entry =
+            registry.get(pend.request.handle);
+        // Re-initialize this program's inputs. Safe without the lock:
+        // runs of one handle are serialized (handle_busy_), so the
+        // previous run has finalized before this reset touches the
+        // buffers its DThreads captured.
+        if (entry.reset) entry.reset();
+        inst = std::make_shared<Instance>(
+            *entry.program, pend.ticket, pend.request.handle, p.part.tenant,
+            options, pend.request.guard, pend.request.trace,
+            pend.submitted_at);
+      } catch (...) {
+        pend.promise.set_exception(std::current_exception());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          handle_busy_[pend.request.handle] = false;
+          --p.inflight;
+          ++completed_;
+          --outstanding_;
+        }
+        drain_cv_.notify_all();
+        continue;
+      }
+      inst->promise = std::move(pend.promise);
+      for (WorkerChannel& ch : p.channels) {
+        {
+          std::lock_guard<std::mutex> lock(ch.mutex);
+          ch.queue.push_back(inst);
+        }
+        ch.cv.notify_one();
+      }
+    }
+  }
+
+  void validate_request(const RunRequest& request) {
+    const core::RegisteredProgram& entry = registry.get(request.handle);
+    const std::string err =
+        core::tenant_admission_error(*entry.program, options.partition_width);
+    if (!err.empty()) {
+      throw core::TFluxError("Executor: cannot admit: " + err);
+    }
+    if (request.tenant >= 0 &&
+        static_cast<std::size_t>(request.tenant) >= partitions.size()) {
+      throw core::TFluxError(
+          "Executor: tenant pin " + std::to_string(request.tenant) +
+          " out of range (pool has " + std::to_string(partitions.size()) +
+          " partition(s))");
+    }
+  }
+
+  /// Under mu_ with space available: append the request and account it.
+  std::future<RunResult> enqueue_locked(const RunRequest& request) {
+    Pending pend;
+    pend.request = request;
+    pend.ticket = next_ticket_++;
+    pend.submitted_at = std::chrono::steady_clock::now();
+    std::future<RunResult> future = pend.promise.get_future();
+    if (request.handle >= handle_busy_.size()) {
+      handle_busy_.resize(request.handle + 1, false);
+    }
+    queue_.push_back(std::move(pend));
+    ++submitted_;
+    ++outstanding_;
+    queue_depth_peak_ = std::max(queue_depth_peak_, queue_.size());
+    return future;
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+};
+
+Executor::Executor(core::ProgramRegistry& registry, ExecutorOptions options)
+    : impl_(std::make_unique<Impl>(registry, options)) {}
+
+Executor::~Executor() = default;
+
+std::future<RunResult> Executor::submit(const RunRequest& request) {
+  impl_->validate_request(request);
+  std::future<RunResult> future;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu_);
+    impl_->queue_cv_.wait(lock, [&] {
+      return impl_->stop_.load(std::memory_order_acquire) ||
+             impl_->queue_.size() < impl_->options.queue_capacity;
+    });
+    if (impl_->stop_.load(std::memory_order_acquire)) {
+      throw core::TFluxError("Executor: submit after shutdown");
+    }
+    future = impl_->enqueue_locked(request);
+  }
+  impl_->dispatch_cv_.notify_one();
+  return future;
+}
+
+std::optional<std::future<RunResult>> Executor::try_submit(
+    const RunRequest& request) {
+  impl_->validate_request(request);
+  std::optional<std::future<RunResult>> future;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    if (impl_->stop_.load(std::memory_order_acquire)) {
+      throw core::TFluxError("Executor: submit after shutdown");
+    }
+    if (impl_->queue_.size() >= impl_->options.queue_capacity) {
+      ++impl_->rejected_;
+      return std::nullopt;
+    }
+    future = impl_->enqueue_locked(request);
+  }
+  impl_->dispatch_cv_.notify_one();
+  return future;
+}
+
+void Executor::drain() { impl_->drain(); }
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats s;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    s.submitted = impl_->submitted_;
+    s.completed = impl_->completed_;
+    s.rejected = impl_->rejected_;
+    s.queue_depth = impl_->queue_.size();
+    s.queue_depth_peak = impl_->queue_depth_peak_;
+    s.epoch = impl_->epoch_;
+    s.tenants.reserve(impl_->partitions.size());
+    for (const Impl::Partition& p : impl_->partitions) {
+      s.tenants.push_back(core::TenantShare{
+          .tenant = p.part.tenant,
+          .runs = p.runs,
+          .busy_seconds = p.busy_seconds,
+      });
+    }
+  }
+  s.latency = impl_->latency_.summary();
+  return s;
+}
+
+void Executor::reset_stats_epoch() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->submitted_ = 0;
+    impl_->completed_ = 0;
+    impl_->rejected_ = 0;
+    impl_->queue_depth_peak_ = impl_->queue_.size();
+    ++impl_->epoch_;
+    for (Impl::Partition& p : impl_->partitions) {
+      p.runs = 0;
+      p.busy_seconds = 0.0;
+    }
+  }
+  impl_->latency_.reset();
+}
+
+std::uint16_t Executor::num_tenants() const {
+  return static_cast<std::uint16_t>(impl_->partitions.size());
+}
+
+const ExecutorOptions& Executor::options() const { return impl_->options; }
+
+}  // namespace tflux::runtime

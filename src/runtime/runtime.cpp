@@ -123,10 +123,7 @@ Runtime::Runtime(const core::Program& program, RuntimeOptions options)
 }
 
 RuntimeStats Runtime::run() {
-  if (ran_) {
-    throw core::TFluxError("Runtime::run may only be called once");
-  }
-  ran_ = true;
+  ++runs_;
 
   // Sharded topology: replace the interleaved k % tsu_groups ownership
   // with clustered shards, one emulator per shard. The map lives on
@@ -301,6 +298,7 @@ RuntimeStats Runtime::run() {
 
   RuntimeStats stats;
   stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.epoch = runs_;
   stats.tub = tubs.aggregated_stats();
   for (const TsuEmulator& e : emulators) {
     stats.emulators.push_back(e.stats());

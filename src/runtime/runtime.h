@@ -113,6 +113,11 @@ struct RuntimeOptions {
 
 struct RuntimeStats {
   double wall_seconds = 0.0;
+  /// Which run() invocation of this Runtime produced these stats
+  /// (1-based). Every run assembles fresh actors, so the counters are
+  /// always per-run - this is the epoch tag that makes back-to-back
+  /// in-process runs distinguishable in reports.
+  std::uint64_t epoch = 0;
   TubStats tub;                          ///< aggregated over all TUBs
   EmulatorStats emulator;                ///< aggregated over emulators
   std::vector<EmulatorStats> emulators;  ///< per TSU Group
@@ -133,14 +138,22 @@ class Runtime {
  public:
   Runtime(const core::Program& program, RuntimeOptions options);
 
-  /// Execute the program to completion. May be called once per Runtime
-  /// (Programs themselves are reusable; build a fresh Runtime to rerun).
+  /// Execute the program to completion. May be called repeatedly (one
+  /// run at a time): every invocation assembles fresh SM generations,
+  /// TUBs, mailboxes, and actor threads, so runs are independent and
+  /// the returned stats cover exactly one run (RuntimeStats::epoch
+  /// numbers them). Callers re-running a program whose DThreads
+  /// consume their own outputs must re-initialize the input buffers
+  /// between runs (apps::AppRun::reset).
   RuntimeStats run();
+
+  /// Completed run() invocations so far.
+  std::uint64_t runs() const { return runs_; }
 
  private:
   const core::Program& program_;
   RuntimeOptions options_;
-  bool ran_ = false;
+  std::uint64_t runs_ = 0;
 };
 
 }  // namespace tflux::runtime

@@ -92,6 +92,14 @@ class TraceLog {
     dump_requested_.store(true, std::memory_order_release);
   }
 
+  /// Reset the sequence ticket to zero - the per-run trace-counter
+  /// epoch boundary, so an embedder reusing one sink across back-to-
+  /// back runs gets per-run seq ranges instead of a monotonically
+  /// growing ticket. Only between runs (actors joined, finish() not
+  /// yet called); the resident executor instead builds one TraceLog
+  /// per program instance, which scopes seqs per run by construction.
+  void reset_epoch() { seq_.store(0, std::memory_order_relaxed); }
+
  private:
   static void atexit_hook();
 

@@ -170,6 +170,11 @@ std::string usage() {
       "                                       through the ddmcheck "
       "verifier (exit 1 on\n"
       "                                       findings)\n"
+      "  --repeat=N                           soft platform: run N "
+      "iterations on ONE\n"
+      "                                       warm-started Runtime, "
+      "reporting every\n"
+      "                                       iteration's wall time\n"
       "  --guard=off|sampled[:N]|full         soft platform: ddmguard "
       "online protocol\n"
       "                                       checking (sampled = deep "
@@ -251,6 +256,12 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.lint = true;
     } else if (arg == "--check") {
       options.check = true;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      options.repeat = static_cast<std::uint32_t>(
+          parse_uint("--repeat", value_of("--repeat=")));
+      if (options.repeat == 0) {
+        throw TFluxError("tflux_run: --repeat must be >= 1");
+      }
     } else if (arg.rfind("--guard=", 0) == 0) {
       if (!core::parse_guard_spec(value_of("--guard="), options.guard)) {
         throw TFluxError("tflux_run: --guard expects off, sampled, "
@@ -321,6 +332,20 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     throw TFluxError(
         "tflux_run: --guard hooks the native runtime and requires "
         "--platform=soft");
+  }
+  if (options.repeat > 1) {
+    if (options.platform != CliPlatform::kSoft) {
+      throw TFluxError(
+          "tflux_run: --repeat re-runs the native runtime warm and "
+          "requires --platform=soft");
+    }
+    if (options.check || !options.trace_file.empty() ||
+        options.inject_fault.kind != runtime::FaultInjection::Kind::kNone) {
+      throw TFluxError(
+          "tflux_run: --repeat is incompatible with --check, --trace "
+          "and --inject-fault (single-run machinery; they would only "
+          "cover the first iteration)");
+    }
   }
   if (options.inject_fault.kind != runtime::FaultInjection::Kind::kNone) {
     if (options.platform != CliPlatform::kSoft) {
@@ -483,7 +508,24 @@ int run_cli(const CliOptions& options, std::ostream& out) {
         };
       }
       runtime::Runtime rt(run.program, rt_options);
-      const runtime::RuntimeStats st = rt.run();
+      // --repeat=N: iterate on the ONE resident Runtime (warm start),
+      // resetting the app buffers between iterations; `st` and the
+      // validation below cover the last iteration.
+      std::vector<double> iteration_walls;
+      iteration_walls.reserve(options.repeat);
+      runtime::RuntimeStats st = rt.run();
+      iteration_walls.push_back(st.wall_seconds);
+      for (std::uint32_t r = 1; r < options.repeat; ++r) {
+        if (run.reset) run.reset();
+        st = rt.run();
+        iteration_walls.push_back(st.wall_seconds);
+      }
+      if (options.repeat > 1) {
+        out << "  repeat (" << options.repeat
+            << " warm iterations on one runtime): wall";
+        for (double w : iteration_walls) out << " " << w * 1e3;
+        out << " ms (stats epoch " << st.epoch << ")\n";
+      }
       out << "  " << (options.lockfree ? "lock-free" : "mutex")
           << " hot path: wall time " << st.wall_seconds * 1e3 << " ms, "
           << st.emulator.updates_processed << " Ready Count updates, "
@@ -595,6 +637,12 @@ int run_cli(const CliOptions& options, std::ostream& out) {
              << ",\n"
              << "  \"guard_violations\": " << st.guard.violations << ",\n"
              << "  \"wall_seconds\": " << st.wall_seconds << ",\n"
+             << "  \"repeat\": " << options.repeat << ",\n"
+             << "  \"iteration_wall_seconds\": [";
+        for (std::size_t r = 0; r < iteration_walls.size(); ++r) {
+          json << (r == 0 ? "" : ", ") << iteration_walls[r];
+        }
+        json << "],\n"
              << "  \"emulator\": {\n"
              << "    \"dispatches\": " << e.dispatches << ",\n"
              << "    \"home_dispatches\": " << e.home_dispatches << ",\n"

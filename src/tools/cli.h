@@ -64,6 +64,12 @@ struct CliOptions {
   /// Soft platform only: record an execution trace and replay it
   /// through the ddmcheck verifier after the run (exit 1 on findings).
   bool check = false;
+  /// Soft platform only: run the benchmark N times on ONE Runtime
+  /// (warm start - the resident state is constructed once, the app
+  /// buffers reset between iterations), reporting every iteration's
+  /// wall time. Incompatible with --check/--trace/--inject-fault,
+  /// which are single-run machinery.
+  std::uint32_t repeat = 1;
   /// Soft platform only: ddmguard online protocol checking
   /// (--guard=off|sampled|sampled:N|full; exit 1 on violations).
   core::GuardOptions guard;

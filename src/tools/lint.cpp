@@ -131,6 +131,15 @@ std::string lint_usage() {
       "homed on more than N\n"
       "                                       kernels (shards with "
       "--shards; 0 = off)\n"
+      "  --tenant-capacity=W                  resident-executor "
+      "admission: error when\n"
+      "                                       the program cannot run "
+      "on a W-kernel\n"
+      "                                       tenant slice, warn when "
+      "a block's peak\n"
+      "                                       concurrency saturates "
+      "the slice's lanes\n"
+      "                                       (0 = off)\n"
       "  --dead-footprint                     warn when a DThread's "
       "write ranges are\n"
       "                                       read by none of its "
@@ -198,6 +207,9 @@ LintOptions parse_lint_args(const std::vector<std::string>& args) {
     } else if (arg.rfind("--affinity-split=", 0) == 0) {
       options.affinity_split = static_cast<std::uint32_t>(parse_uint(
           "--affinity-split", value_of("--affinity-split=")));
+    } else if (arg.rfind("--tenant-capacity=", 0) == 0) {
+      options.tenant_capacity = static_cast<std::uint16_t>(parse_uint(
+          "--tenant-capacity", value_of("--tenant-capacity=")));
     } else if (arg == "--dead-footprint") {
       options.dead_footprint = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -232,6 +244,7 @@ core::VerifyReport lint_program(const core::Program& program,
   verify_options.shards = options.shards;
   verify_options.shard_imbalance_pct = options.shard_imbalance;
   verify_options.affinity_split = options.affinity_split;
+  verify_options.tenant_width = options.tenant_capacity;
   verify_options.check_dead_footprint = options.dead_footprint;
   core::VerifyReport report = core::verify(program, verify_options);
   if (options.werror) {

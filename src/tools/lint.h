@@ -53,6 +53,12 @@ struct LintOptions {
   /// --shards) a consumer's input footprint may span before the
   /// affinity-split check warns (0 disables).
   std::uint32_t affinity_split = 0;
+  /// Resident-executor tenant partition width for the tenant-capacity
+  /// check (0 disables): error when the program cannot be admitted to
+  /// a `tenant_capacity`-kernel tenant slice at all, warn when a
+  /// block's peak concurrency would saturate the slice's combined
+  /// lock-free lane capacity.
+  std::uint16_t tenant_capacity = 0;
   /// Enable the opt-in dead-footprint check (write ranges no consumer
   /// reads).
   bool dead_footprint = false;

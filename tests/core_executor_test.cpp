@@ -1,0 +1,140 @@
+// Resident-executor core vocabulary (core/executor.h): the program
+// registry, the static tenant partition plan, the admission capacity
+// check shared with ddmlint --tenant-capacity, and the latency /
+// fairness accounting the serving bench reports. Everything here is
+// thread-free; the threaded executor built on top is covered by
+// runtime_executor_test.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/error.h"
+#include "core/executor.h"
+#include "core/program.h"
+
+namespace tflux {
+namespace {
+
+using core::LatencyRecorder;
+using core::LatencySummary;
+using core::ProgramRegistry;
+using core::TenantPartition;
+using core::TenantShare;
+
+/// A minimal one-block program homed on kernels 0..width-1.
+core::Program make_program(std::uint16_t width, const std::string& name) {
+  core::ProgramBuilder builder(name);
+  const core::BlockId blk = builder.add_block();
+  std::vector<core::ThreadId> ids;
+  for (std::uint16_t k = 0; k < width; ++k) {
+    ids.push_back(builder.add_thread(blk, "t" + std::to_string(k), {}, {},
+                                     static_cast<core::KernelId>(k)));
+  }
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    builder.add_arc(ids[0], ids[i]);
+  }
+  return builder.build();
+}
+
+TEST(ProgramRegistry, RegisterOnceRunMany) {
+  ProgramRegistry registry;
+  const core::Program a = make_program(2, "a");
+  const core::Program b = make_program(4, "b");
+  int resets = 0;
+  const core::ProgramHandle ha =
+      registry.add(a, nullptr, [&resets] { ++resets; }, "prog-a");
+  const core::ProgramHandle hb = registry.add(b, nullptr, nullptr, "prog-b");
+  EXPECT_NE(ha, hb);
+  EXPECT_EQ(registry.size(), 2u);
+
+  const core::RegisteredProgram& ea = registry.get(ha);
+  EXPECT_EQ(ea.program, &a);
+  EXPECT_EQ(ea.name, "prog-a");
+  ASSERT_TRUE(static_cast<bool>(ea.reset));
+  ea.reset();
+  EXPECT_EQ(resets, 1);
+  EXPECT_EQ(registry.get(hb).program, &b);
+  EXPECT_FALSE(static_cast<bool>(registry.get(hb).reset));
+}
+
+TEST(ProgramRegistry, UnknownHandleThrows) {
+  ProgramRegistry registry;
+  EXPECT_THROW(registry.get(0), core::TFluxError);
+  EXPECT_THROW(registry.get(core::kInvalidProgram), core::TFluxError);
+}
+
+TEST(PartitionPlan, ExactCarveUp) {
+  const std::vector<TenantPartition> plan = core::make_partition_plan(8, 2);
+  ASSERT_EQ(plan.size(), 4u);
+  for (std::size_t t = 0; t < plan.size(); ++t) {
+    EXPECT_EQ(plan[t].tenant, t);
+    EXPECT_EQ(plan[t].base, static_cast<core::KernelId>(2 * t));
+    EXPECT_EQ(plan[t].width, 2);
+  }
+}
+
+TEST(PartitionPlan, TrailingKernelsIdle) {
+  // 7 kernels at width 2: three tenants, kernel 6 idles.
+  const std::vector<TenantPartition> plan = core::make_partition_plan(7, 2);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[2].base, 4);
+}
+
+TEST(PartitionPlan, WholePoolIsOneTenant) {
+  const std::vector<TenantPartition> plan = core::make_partition_plan(4, 4);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].base, 0);
+  EXPECT_EQ(plan[0].width, 4);
+}
+
+TEST(PartitionPlan, InvalidWidthThrows) {
+  EXPECT_THROW(core::make_partition_plan(4, 0), core::TFluxError);
+  EXPECT_THROW(core::make_partition_plan(4, 5), core::TFluxError);
+}
+
+TEST(TenantAdmission, CapacityCheck) {
+  const core::Program wide = make_program(4, "wide");
+  EXPECT_TRUE(core::tenant_admission_error(wide, 4).empty());
+  EXPECT_TRUE(core::tenant_admission_error(wide, 8).empty());
+  const std::string err = core::tenant_admission_error(wide, 2);
+  EXPECT_NE(err.find("4"), std::string::npos);
+  EXPECT_NE(err.find("2"), std::string::npos);
+}
+
+TEST(LatencyRecorder, NearestRankPercentiles) {
+  LatencyRecorder recorder;
+  // 1..100 ms: nearest-rank p50 = 50 ms, p99 = 99 ms, max = 100 ms.
+  for (int i = 1; i <= 100; ++i) recorder.add(i * 1e-3);
+  const LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_seconds, 50.5e-3, 1e-9);
+  EXPECT_NEAR(s.p50_seconds, 50e-3, 1e-9);
+  EXPECT_NEAR(s.p90_seconds, 90e-3, 1e-9);
+  EXPECT_NEAR(s.p99_seconds, 99e-3, 1e-9);
+  EXPECT_NEAR(s.max_seconds, 100e-3, 1e-9);
+}
+
+TEST(LatencyRecorder, ResetDropsSamples) {
+  LatencyRecorder recorder;
+  recorder.add(1.0);
+  recorder.reset();
+  EXPECT_EQ(recorder.summary().count, 0u);
+  recorder.add(2.0);
+  const LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_NEAR(s.max_seconds, 2.0, 1e-12);
+}
+
+TEST(Fairness, RatioOverTenantShares) {
+  EXPECT_NEAR(core::fairness_ratio({}), 1.0, 1e-12);
+  EXPECT_NEAR(core::fairness_ratio({{0, 5, 0.0}}), 1.0, 1e-12);
+  EXPECT_NEAR(core::fairness_ratio({{0, 4, 0.0}, {1, 2, 0.0}}), 2.0, 1e-12);
+  // A zero-run tenant counts as one run, not as infinity.
+  EXPECT_NEAR(core::fairness_ratio({{0, 3, 0.0}, {1, 0, 0.0}}), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tflux

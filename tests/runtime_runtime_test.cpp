@@ -32,13 +32,24 @@ TEST(RuntimeTest, ZeroKernelsRejected) {
   EXPECT_THROW(Runtime(p, RuntimeOptions{.num_kernels = 0}), core::TFluxError);
 }
 
-TEST(RuntimeTest, RunTwiceRejected) {
+TEST(RuntimeTest, RunTwiceIsAWarmRerun) {
+  // One Runtime serves many runs (the resident executor's shape):
+  // each run() replays the whole graph against reset state, with
+  // stats.epoch counting iterations.
   ProgramBuilder b;
-  b.add_thread(b.add_block(), "t", {});
+  std::atomic<int> hits{0};
+  b.add_thread(b.add_block(), "t",
+               [&hits](const ExecContext&) { hits.fetch_add(1); });
   Program p = b.build();
   Runtime rt(p, RuntimeOptions{.num_kernels = 1});
-  rt.run();
-  EXPECT_THROW(rt.run(), core::TFluxError);
+  const RuntimeStats first = rt.run();
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(hits.load(), 1);
+  const RuntimeStats second = rt.run();
+  EXPECT_EQ(second.epoch, 2u);
+  EXPECT_EQ(hits.load(), 2);
+  EXPECT_EQ(second.total_app_threads_executed(),
+            first.total_app_threads_executed());
 }
 
 TEST(RuntimeTest, SingleThreadProgramCompletes) {
